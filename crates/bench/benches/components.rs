@@ -1,0 +1,140 @@
+//! Microbenchmarks of the server components: each disk scheduler's
+//! push/pop cycle at realistic queue depths, buffer pool operations, and
+//! the mechanical disk model.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use spiffi_bufferpool::{BufferPool, PolicyKind};
+use spiffi_disk::{Disk, DiskParams};
+use spiffi_layout::BlockAddr;
+use spiffi_mpeg::VideoId;
+use spiffi_sched::{DiskRequest, RequestId, SchedulerKind, StreamId};
+use spiffi_simcore::{SimDuration, SimRng, SimTime};
+
+fn mk_request(rng: &mut SimRng, id: u64) -> DiskRequest {
+    DiskRequest {
+        id: RequestId(id),
+        cylinder: rng.u64_below(5600) as u32,
+        deadline: Some(SimTime(rng.u64_below(20_000_000_000))),
+        stream: Some(StreamId(rng.u64_below(64) as u32)),
+        is_prefetch: rng.chance(0.5),
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let kinds = [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Elevator,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Gss { groups: 4 },
+        SchedulerKind::RealTime {
+            classes: 3,
+            spacing: SimDuration::from_secs(4),
+        },
+    ];
+    for &depth in &[16usize, 64, 256] {
+        let mut g = c.benchmark_group(format!("sched_depth_{depth}"));
+        for kind in kinds {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(kind.label()),
+                &kind,
+                |b, &kind| {
+                    b.iter_batched(
+                        || {
+                            let mut s = kind.build();
+                            let mut rng = SimRng::new(3);
+                            for i in 0..depth as u64 {
+                                s.push(mk_request(&mut rng, i));
+                            }
+                            (s, rng, depth as u64)
+                        },
+                        |(mut s, mut rng, mut next_id)| {
+                            // Steady state: pop one, push one, like the
+                            // disk loop at a stable queue depth.
+                            let mut head = 0;
+                            for _ in 0..depth {
+                                let r =
+                                    s.pop_next(SimTime(1_000_000_000), head).expect("non-empty");
+                                head = r.cylinder;
+                                s.push(mk_request(&mut rng, next_id));
+                                next_id += 1;
+                            }
+                            black_box(s.len())
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bufferpool");
+    for policy in [PolicyKind::GlobalLru, PolicyKind::LovePrefetch] {
+        g.bench_with_input(
+            BenchmarkId::new("miss_fill_evict", policy.label()),
+            &policy,
+            |b, &policy| {
+                b.iter_batched(
+                    || BufferPool::new(2048, policy),
+                    |mut pool| {
+                        // Stream 4096 blocks through a 2048-frame pool:
+                        // every allocation beyond the first 2048 evicts.
+                        for i in 0..4096u32 {
+                            let key = BlockAddr {
+                                video: VideoId(i % 8),
+                                index: i / 8,
+                            };
+                            if let spiffi_bufferpool::LookupResult::Miss =
+                                pool.lookup(key, Some(i % 64))
+                            {
+                                let f = pool.allocate(key, i % 2 == 0).expect("evictable");
+                                pool.complete_io(f);
+                                pool.record_reference(f, i % 64);
+                            }
+                        }
+                        black_box(pool.stats().evictions)
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_disk_model(c: &mut Criterion) {
+    c.bench_function("disk/random_read_512k", |b| {
+        let params = DiskParams::default().with_capacity_for(7 * 1024 * 1024 * 1024);
+        let mut disk = Disk::new(params);
+        let mut rng = SimRng::new(4);
+        let span = 6 * 1024 * 1024 * 1024u64 / 524_288;
+        b.iter(|| {
+            let start = rng.u64_below(span) * 524_288;
+            black_box(disk.read(start, 524_288, &mut rng).total())
+        });
+    });
+    c.bench_function("disk/sequential_read_512k", |b| {
+        let params = DiskParams::default().with_capacity_for(7 * 1024 * 1024 * 1024);
+        let mut disk = Disk::new(params);
+        let mut rng = SimRng::new(4);
+        let mut pos = 0u64;
+        b.iter(|| {
+            let t = disk.read(pos, 524_288, &mut rng).total();
+            pos += 524_288;
+            if pos > 6 * 1024 * 1024 * 1024 {
+                pos = 0;
+            }
+            black_box(t)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_buffer_pool,
+    bench_disk_model
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! End-to-end simulator throughput: how fast the full system simulates,
+//! per scheduler and per prefetching strategy. These are the numbers that
+//! size a capacity-search budget (a probe is one of these runs).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use spiffi_core::{run_once, SystemConfig};
+use spiffi_layout::Topology;
+use spiffi_mpeg::AccessPattern;
+use spiffi_prefetch::PrefetchKind;
+use spiffi_sched::SchedulerKind;
+use spiffi_simcore::SimDuration;
+
+fn small_config() -> SystemConfig {
+    let mut c = SystemConfig::small_test();
+    c.topology = Topology {
+        nodes: 2,
+        disks_per_node: 2,
+    };
+    c.n_videos = 32;
+    c.access = AccessPattern::Uniform;
+    c.server_memory_bytes = 64 * 1024 * 1024;
+    c.n_terminals = 30;
+    c.timing.stagger = SimDuration::from_secs(5);
+    c.timing.warmup = SimDuration::from_secs(10);
+    c.timing.measure = SimDuration::from_secs(50);
+    c
+}
+
+fn bench_schedulers_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_60s_30terms");
+    g.sample_size(10);
+    for kind in [
+        SchedulerKind::Elevator,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Gss { groups: 1 },
+        SchedulerKind::RealTime {
+            classes: 3,
+            spacing: SimDuration::from_secs(4),
+        },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                let cfg = small_config().with_scheduler(kind);
+                b.iter(|| black_box(run_once(&cfg).events_processed));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_prefetchers_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_prefetch");
+    g.sample_size(10);
+    for (name, pf) in [
+        ("off", PrefetchKind::Off),
+        ("standard1", PrefetchKind::Standard { processes: 1 }),
+        ("realtime4", PrefetchKind::RealTime { processes: 4 }),
+        (
+            "delayed4_8s",
+            PrefetchKind::Delayed {
+                processes: 4,
+                max_advance: SimDuration::from_secs(8),
+            },
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &pf, |b, &pf| {
+            let mut cfg = small_config();
+            cfg.prefetch = pf;
+            b.iter(|| black_box(run_once(&cfg).events_processed));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers_end_to_end,
+    bench_prefetchers_end_to_end
+);
+criterion_main!(benches);

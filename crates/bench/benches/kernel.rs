@@ -1,0 +1,95 @@
+//! Microbenchmarks of the simulation kernel: event calendar throughput,
+//! RNG, distribution samplers, and the video byte index. These bound the
+//! simulator's event rate, which in turn bounds how many capacity probes
+//! an experiment can afford.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use spiffi_mpeg::{Video, VideoId, VideoParams};
+use spiffi_simcore::dist::{Exponential, Zipf};
+use spiffi_simcore::{Calendar, SimDuration, SimRng, SimTime};
+
+fn bench_calendar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calendar");
+    for &pending in &[64usize, 1024, 16384] {
+        g.bench_with_input(
+            BenchmarkId::new("schedule_pop", pending),
+            &pending,
+            |b, &pending| {
+                b.iter_batched(
+                    || {
+                        let mut cal = Calendar::new();
+                        let mut rng = SimRng::new(1);
+                        for i in 0..pending {
+                            cal.schedule_at(SimTime(rng.u64_below(1 << 40)), i as u64);
+                        }
+                        (cal, rng)
+                    },
+                    |(mut cal, mut rng)| {
+                        // Steady-state churn: one pop, one schedule.
+                        for _ in 0..pending {
+                            let (t, _) = cal.pop().expect("non-empty");
+                            cal.schedule_at(t + SimDuration(rng.u64_below(1 << 20) + 1), 0);
+                        }
+                        black_box(cal.len())
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next_u64", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| black_box(rng.next_u64_raw()));
+    });
+    c.bench_function("rng/u64_below", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| black_box(rng.u64_below(1_000_003)));
+    });
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    c.bench_function("dist/exponential", |b| {
+        let mut rng = SimRng::new(7);
+        let d = Exponential::new(50_000.0);
+        b.iter(|| black_box(d.sample(&mut rng)));
+    });
+    let mut g = c.benchmark_group("dist/zipf_sample");
+    for &n in &[64usize, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let d = Zipf::new(n, 1.0);
+            let mut rng = SimRng::new(7);
+            b.iter(|| black_box(d.sample(&mut rng)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_video_index(c: &mut Criterion) {
+    let video = Video::generate(VideoId(0), VideoParams::default(), 42);
+    let total = video.total_bytes();
+    c.bench_function("video/frame_at_byte", |b| {
+        let mut rng = SimRng::new(9);
+        b.iter(|| black_box(video.frame_at_byte(rng.u64_below(total))));
+    });
+    c.bench_function("video/cum_bytes_at_frame", |b| {
+        let frames = video.num_frames();
+        let mut rng = SimRng::new(9);
+        b.iter(|| black_box(video.cum_bytes_at_frame(rng.u64_below(frames))));
+    });
+    c.bench_function("video/generate_1hr_title", |b| {
+        b.iter(|| black_box(Video::generate(VideoId(1), VideoParams::default(), 43).total_bytes()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_calendar,
+    bench_rng,
+    bench_distributions,
+    bench_video_index
+);
+criterion_main!(benches);

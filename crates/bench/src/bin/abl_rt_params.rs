@@ -1,0 +1,43 @@
+//! Ablation: real-time scheduler parameters.
+//!
+//! §7.2: "Although the real-time disk scheduling algorithm takes two
+//! parameters (the number of priority classes and the priority spacing)
+//! and, hence, has numerous variations … we explored a wide variety of
+//! settings for these parameters and found that regardless of how they
+//! were set there was little variation in the performance of the system."
+//! This ablation sweeps both parameters to verify that flatness.
+
+use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_sched::SchedulerKind;
+use spiffi_simcore::SimDuration;
+
+fn main() {
+    let preset = Preset::from_args();
+    banner("Ablation — real-time priority classes × spacing", preset);
+
+    let classes = [2u32, 3, 5, 8];
+    let spacings = [1u64, 2, 4, 8];
+
+    let headers: Vec<String> = std::iter::once("classes".to_string())
+        .chain(spacings.iter().map(|s| format!("{s}s spacing")))
+        .collect();
+    let t = Table::new(
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        &[8, 11, 11, 11, 11],
+    );
+
+    for cl in classes {
+        let mut cells = vec![cl.to_string()];
+        for sp in spacings {
+            let cfg = base_16_disk(preset).with_scheduler(SchedulerKind::RealTime {
+                classes: cl,
+                spacing: SimDuration::from_secs(sp),
+            });
+            let cap = capacity(&cfg, preset);
+            cells.push(cap.max_terminals.to_string());
+        }
+        t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+    t.rule();
+    println!("\n(paper: little variation across all settings)");
+}

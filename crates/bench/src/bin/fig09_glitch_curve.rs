@@ -1,0 +1,47 @@
+//! Figure 9: finding the maximum number of terminals without glitches.
+//!
+//! Reproduces the paper's §7.1 procedure on the base 16-disk
+//! configuration: sweep the terminal count, plot glitches against it, and
+//! report the knee. The paper's example curve crosses zero at 220
+//! terminals for this configuration.
+
+use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_core::run_once;
+
+fn main() {
+    let preset = Preset::from_args();
+    banner(
+        "Figure 9 — glitches vs. number of terminals (base config)",
+        preset,
+    );
+
+    let base = base_16_disk(preset);
+    println!(
+        "16 disks, 64 videos, 512 KB stripes, {} scheduling, {} MB server memory\n",
+        base.scheduler.label(),
+        base.server_memory_bytes / (1024 * 1024)
+    );
+
+    let t = Table::new(
+        &["terminals", "glitches", "glitching terms", "disk util %"],
+        &[10, 10, 16, 12],
+    );
+    for n in (150..=330).step_by(20) {
+        let mut c = base.clone();
+        c.n_terminals = n;
+        let r = run_once(&c);
+        t.row(&[
+            &n.to_string(),
+            &r.glitches.to_string(),
+            &r.glitching_terminals.to_string(),
+            &format!("{:.1}", r.avg_disk_utilization * 100.0),
+        ]);
+    }
+    t.rule();
+
+    let cap = capacity(&base, preset);
+    println!(
+        "\nmax glitch-free terminals: {}   (paper's example: 220)",
+        cap.max_terminals
+    );
+}

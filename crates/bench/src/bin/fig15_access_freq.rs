@@ -1,0 +1,50 @@
+//! Figure 15: the effect of movie access frequencies.
+//!
+//! §7.5: with love prefetch and elevator scheduling, sweep server memory
+//! for a uniform distribution and Zipf z = 0.5 / 1.0 / 1.5. With little
+//! memory, capacity is independent of skew; with more memory, the skewed
+//! distributions pull ahead because terminals increasingly share buffered
+//! stripe blocks.
+
+use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_bufferpool::PolicyKind;
+use spiffi_mpeg::AccessPattern;
+
+fn main() {
+    let preset = Preset::from_args();
+    banner(
+        "Figure 15 — movie access frequencies vs. max terminals",
+        preset,
+    );
+
+    let patterns: Vec<(&str, AccessPattern)> = vec![
+        ("uniform", AccessPattern::Uniform),
+        ("z=0.5", AccessPattern::Zipf(0.5)),
+        ("z=1.0", AccessPattern::Zipf(1.0)),
+        ("z=1.5", AccessPattern::Zipf(1.5)),
+    ];
+    let memories_mb: [u64; 4] = [128, 512, 1024, 4096];
+
+    let headers: Vec<&str> = std::iter::once("server MB")
+        .chain(patterns.iter().map(|(n, _)| *n))
+        .collect();
+    let t = Table::new(&headers, &[10, 9, 9, 9, 9]);
+
+    for m in memories_mb {
+        let mut cells = vec![m.to_string()];
+        for (_, access) in &patterns {
+            let mut c = base_16_disk(preset);
+            c.policy = PolicyKind::LovePrefetch;
+            c.access = *access;
+            c.server_memory_bytes = m * 1024 * 1024;
+            let cap = capacity(&c, preset);
+            cells.push(cap.max_terminals.to_string());
+        }
+        t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+    t.rule();
+    println!(
+        "\n(paper: capacities converge at small memory; at 4 GB the skewed \
+         distributions support noticeably more terminals)"
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 18: peak aggregate network bandwidth as the system scales.
+//!
+//! §7.6: "with 64 disks and 760 terminals, the system requires an
+//! aggregate network bandwidth of just over 370 Mbytes/second or about
+//! 4 Mbits/second per terminal (the compressed video bit rate)."
+
+use spiffi_bench::{
+    banner, capacity_bracketed, scaleup_brackets, scaleup_config, Preset, ScaleupVariant, Table,
+};
+use spiffi_core::run_once;
+
+fn main() {
+    let preset = Preset::from_args();
+    banner(
+        "Figure 18 — peak aggregate network bandwidth vs. scale",
+        preset,
+    );
+
+    let t = Table::new(
+        &[
+            "disks",
+            "terminals",
+            "peak MB/s",
+            "mean MB/s",
+            "Mbit/s/term",
+        ],
+        &[6, 10, 10, 10, 12],
+    );
+    for scale in [1u32, 2, 4] {
+        let cfg = scaleup_config(ScaleupVariant::RealTimeTuned, scale, preset);
+        let (lo, hi) = scaleup_brackets(scale);
+        let cap = capacity_bracketed(&cfg, preset, lo, hi);
+        let mut at_cap = cfg.clone();
+        at_cap.n_terminals = cap.max_terminals.max(10);
+        let r = run_once(&at_cap);
+        let per_term_mbit = r.net_peak_bytes_per_sec * 8.0 / 1e6 / at_cap.n_terminals as f64;
+        t.row(&[
+            &cfg.topology.total_disks().to_string(),
+            &at_cap.n_terminals.to_string(),
+            &format!("{:.1}", r.net_peak_bytes_per_sec / 1e6),
+            &format!("{:.1}", r.net_mean_bytes_per_sec / 1e6),
+            &format!("{:.2}", per_term_mbit),
+        ]);
+    }
+    t.rule();
+    println!(
+        "\n(paper: ~370 MB/s at 64 disks / 760 terminals, i.e. roughly the \
+         4 Mbit/s compressed rate per terminal)"
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 19: the effect of pausing.
+//!
+//! §8.1: each terminal pauses each video on average twice, for an average
+//! of two minutes. "As can easily be seen from the graph, performance is
+//! essentially unaffected by the pausing." We compare glitch counts across
+//! the terminal sweep and the resulting capacity, with and without pauses.
+
+use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_bufferpool::PolicyKind;
+use spiffi_core::{run_once, PauseConfig};
+
+fn main() {
+    let preset = Preset::from_args();
+    banner("Figure 19 — pausing vs. capacity", preset);
+
+    let mut base = base_16_disk(preset);
+    base.policy = PolicyKind::LovePrefetch;
+    base.server_memory_bytes = 512 * 1024 * 1024;
+
+    let t = Table::new(
+        &["terminals", "glitches (no pause)", "glitches (pausing)"],
+        &[10, 20, 20],
+    );
+    for n in (160..=300).step_by(35) {
+        let mut plain = base.clone();
+        plain.n_terminals = n;
+        let rp = run_once(&plain);
+        let mut pausing = plain.clone();
+        pausing.pause = Some(PauseConfig::default());
+        let rq = run_once(&pausing);
+        t.row(&[
+            &n.to_string(),
+            &rp.glitches.to_string(),
+            &rq.glitches.to_string(),
+        ]);
+    }
+    t.rule();
+
+    let cap_plain = capacity(&base, preset);
+    let mut pausing = base.clone();
+    pausing.pause = Some(PauseConfig::default());
+    let cap_pause = capacity(&pausing, preset);
+    println!(
+        "\nmax glitch-free terminals: {} without pauses, {} with",
+        cap_plain.max_terminals, cap_pause.max_terminals
+    );
+    println!("(paper: the two curves coincide — pausing is free)");
+}

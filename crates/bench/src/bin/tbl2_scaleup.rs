@@ -1,0 +1,58 @@
+//! Table 2: scale-up from 16 to 32 to 64 disks.
+//!
+//! §7.6: four base configurations, each scaled ×2 and ×4 in disks, videos
+//! and server memory (CPUs fixed at 4). The paper's result: the elevator
+//! configurations scale sub-linearly unless terminal memory also grows,
+//! while "the real-time algorithm … scales nearly linearly to at least 64
+//! disks, 256 videos, and 760 terminals."
+//!
+//! The parenthesised number after each scaled capacity is the scale-up
+//! efficiency, computed as the paper does: capacity / (base capacity ×
+//! scale factor).
+
+use spiffi_bench::{
+    banner, capacity_bracketed, scaleup_brackets, scaleup_config, Preset, ScaleupVariant, Table,
+};
+
+fn main() {
+    let preset = Preset::from_args();
+    banner("Table 2 — scale-up (16 -> 32 -> 64 disks)", preset);
+
+    let t = Table::new(
+        &[
+            "configuration",
+            "base(16)",
+            "x2(32)",
+            "eff",
+            "x4(64)",
+            "eff",
+        ],
+        &[22, 9, 8, 6, 8, 6],
+    );
+
+    for variant in ScaleupVariant::all() {
+        let mut caps = Vec::new();
+        for scale in [1u32, 2, 4] {
+            let cfg = scaleup_config(variant, scale, preset);
+            let (lo, hi) = scaleup_brackets(scale);
+            let cap = capacity_bracketed(&cfg, preset, lo, hi);
+            caps.push(cap.max_terminals);
+        }
+        let eff = |i: usize, scale: u32| {
+            format!("{:.2}", caps[i] as f64 / (caps[0] as f64 * scale as f64))
+        };
+        t.row(&[
+            variant.label(),
+            &caps[0].to_string(),
+            &caps[1].to_string(),
+            &eff(1, 2),
+            &caps[2].to_string(),
+            &eff(2, 4),
+        ]);
+    }
+    t.rule();
+    println!(
+        "\n(paper: elevator 2MB/128MB reaches 190/345(0.91)/535(0.70); \
+         elevator 2.5MB holds 0.96-0.99; real-time 200/395(0.99)/760(0.95))"
+    );
+}

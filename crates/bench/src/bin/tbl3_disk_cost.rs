@@ -1,0 +1,60 @@
+//! Table 3: disk cost per terminal.
+//!
+//! §7.6: the same 64-video library can live on 16 × 9 GB, 32 × 4.5 GB or
+//! 64 × 2.2 GB drives. More, smaller drives cost more per megabyte but
+//! support far more terminals, so "minimizing a system's cost per Mbyte
+//! does not lead to a minimal cost per terminal." We measure capacity for
+//! each disk count (64 videos fixed, real-time tuned configuration) and
+//! combine it with the paper's 1995 street prices.
+
+use spiffi_bench::{
+    banner, capacity_bracketed, scaleup_brackets, scaleup_config, Preset, ScaleupVariant, Table,
+};
+
+fn main() {
+    let preset = Preset::from_args();
+    banner("Table 3 — disk cost per terminal (64 videos)", preset);
+
+    // (disks, capacity GB/drive, $/drive) from the paper.
+    let rows: [(u32, f64, u32); 3] = [(16, 9.0, 4_000), (32, 4.5, 2_500), (64, 2.2, 1_500)];
+
+    let t = Table::new(
+        &[
+            "disks",
+            "GB/disk",
+            "$/disk",
+            "$/MB",
+            "total $",
+            "terminals",
+            "$/terminal",
+        ],
+        &[6, 8, 7, 6, 9, 10, 11],
+    );
+
+    for (disks, gb, dollars) in rows {
+        let scale = disks / 16;
+        let mut cfg = scaleup_config(ScaleupVariant::RealTimeTuned, scale, preset);
+        // Table 3 holds the library at 64 videos regardless of disk count.
+        cfg.n_videos = 64;
+        let (lo, hi) = scaleup_brackets(scale);
+        let cap = capacity_bracketed(&cfg, preset, lo, hi);
+        let total = dollars * disks;
+        let per_mb = dollars as f64 / (gb * 1024.0);
+        let per_term = total as f64 / cap.max_terminals.max(1) as f64;
+        t.row(&[
+            &disks.to_string(),
+            &format!("{gb:.1}"),
+            &format!("{dollars}"),
+            &format!("{per_mb:.2}"),
+            &format!("{total}"),
+            &cap.max_terminals.to_string(),
+            &format!("{per_term:.0}"),
+        ]);
+    }
+    t.rule();
+    println!(
+        "\n(paper: $320 / $200 / $125 per terminal at 200 / 395 / 760 \
+         terminals — the cheapest-per-MB system is the most expensive per \
+         subscriber)"
+    );
+}

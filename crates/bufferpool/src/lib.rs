@@ -1,0 +1,34 @@
+//! The video server buffer pool (§5.2.1 of the SPIFFI paper).
+//!
+//! Pages are stripe blocks. The pool distinguishes **prefetched pages**
+//! (brought in by the background prefetcher, not yet consumed) from
+//! **referenced pages** (explicitly requested by a terminal), because a
+//! video page's life is almost always: prefetched → referenced once →
+//! garbage. "Due to the huge size of the video files and the strictly
+//! sequential access pattern, it is impossible to cache a significant
+//! portion of a video in memory for reuse and the likelihood that a stripe
+//! block in the buffer pool will be referenced more than once is low."
+//!
+//! Two replacement policies are provided behind [`ReplacementPolicy`]:
+//!
+//! * [`GlobalLru`] — one LRU chain, no distinction between prefetched and
+//!   referenced pages (the baseline SPIFFI pool).
+//! * [`LovePrefetch`] — two chains \[Teng84\]: victims come from the
+//!   referenced-pages chain first, protecting prefetched-but-unused pages
+//!   from eviction. This is what lets the server run with 128 MB instead
+//!   of 4 GB in Figures 11 and 12.
+//!
+//! [`BufferPool`] adds the page table, pinning, in-flight I/O merging
+//! (a real request for a block whose prefetch is still on the disk queue
+//! attaches as a waiter instead of issuing a second I/O), and the
+//! re-reference statistics of Figure 16.
+
+#![warn(missing_docs)]
+
+mod lru;
+mod policy;
+mod pool;
+
+pub use lru::LruList;
+pub use policy::{GlobalLru, LovePrefetch, PolicyKind, ReplacementPolicy};
+pub use pool::{BufferPool, FrameId, LookupResult, PoolStats};

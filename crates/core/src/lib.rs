@@ -1,0 +1,39 @@
+//! The SPIFFI scalable video-on-demand system (Freedman & DeWitt, SIGMOD
+//! 1995) — the core simulation assembling every substrate crate into the
+//! full server + terminal population, plus the experiment driver.
+//!
+//! # Quick start
+//!
+//! ```
+//! use spiffi_core::{run_once, SystemConfig};
+//!
+//! let mut cfg = SystemConfig::small_test();
+//! cfg.n_terminals = 4;
+//! let report = run_once(&cfg);
+//! assert!(report.glitch_free());
+//! println!("{}", report.summary());
+//! ```
+//!
+//! The paper's primary metric — the maximum number of terminals a
+//! configuration supports glitch-free — is computed by
+//! [`max_glitch_free_terminals`].
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod driver;
+pub mod metrics;
+pub mod node;
+pub mod piggyback;
+pub mod system;
+pub mod terminal;
+
+pub use config::{default_prefetch_for, PauseConfig, RunTiming, SystemConfig, KB, MB};
+pub use driver::{
+    capacity_with_confidence, max_glitch_free_terminals, run_once, CapacityResult,
+    CapacitySearch, ConfidentCapacity, ConfidentCapacityResult,
+};
+pub use metrics::RunReport;
+pub use piggyback::{Piggyback, StartDecision};
+pub use system::{Event, VisualSearch, VodSystem};
+pub use terminal::{PlayState, Pump, Terminal};

@@ -1,0 +1,151 @@
+//! Run-level measurement report.
+
+use spiffi_bufferpool::PoolStats;
+use spiffi_prefetch::PrefetchStats;
+use spiffi_simcore::SimDuration;
+
+/// Everything measured over one run's measurement window — the quantities
+/// behind every figure of §7: glitch counts (Figures 9–13, 15, 19, Table
+/// 2), disk utilization (Figure 14), CPU utilization (Figure 17), network
+/// bandwidth (Figure 18), and buffer-pool sharing (Figure 16).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Terminals in the closed population.
+    pub terminals: u32,
+    /// Length of the measurement window.
+    pub measured: SimDuration,
+    /// Glitches during the window (the capacity criterion: zero = the
+    /// configuration supports this many terminals).
+    pub glitches: u64,
+    /// Distinct terminals that glitched during the window.
+    pub glitching_terminals: u32,
+    /// Stripe-block replies delivered during the window.
+    pub blocks_delivered: u64,
+    /// Titles completed (across the whole run).
+    pub videos_completed: u64,
+    /// Mean disk utilization over all disks.
+    pub avg_disk_utilization: f64,
+    /// Utilization of the busiest disk.
+    pub max_disk_utilization: f64,
+    /// Utilization of the idlest disk.
+    pub min_disk_utilization: f64,
+    /// Per-disk utilizations in global disk order.
+    pub disk_utilizations: Vec<f64>,
+    /// Mean CPU utilization over all nodes.
+    pub avg_cpu_utilization: f64,
+    /// Utilization of the busiest CPU.
+    pub max_cpu_utilization: f64,
+    /// Peak aggregate network bandwidth, bytes/second (Figure 18).
+    pub net_peak_bytes_per_sec: f64,
+    /// Mean aggregate network bandwidth, bytes/second.
+    pub net_mean_bytes_per_sec: f64,
+    /// Aggregated buffer-pool statistics across nodes.
+    pub pool: PoolStats,
+    /// Aggregated prefetcher statistics across disks.
+    pub prefetch: PrefetchStats,
+    /// Events processed over the whole run (throughput reporting).
+    pub events_processed: u64,
+    /// Mean demand (non-prefetch) disk I/O latency — scheduler queueing
+    /// plus service — in milliseconds.
+    pub io_latency_mean_ms: f64,
+    /// 95th-percentile demand I/O latency, milliseconds.
+    pub io_latency_p95_ms: f64,
+    /// Worst demand I/O latency observed, milliseconds.
+    pub io_latency_max_ms: f64,
+    /// Demand I/Os that completed after an *achievable* deadline (one
+    /// later than their issue instant). Misses do not necessarily glitch —
+    /// the terminal's buffer may still hold data — but predict glitches
+    /// under further load.
+    pub deadline_misses: u64,
+    /// Terminals piggybacked onto another stream (§8.2), if enabled.
+    pub terminals_piggybacked: u64,
+}
+
+impl RunReport {
+    /// True when no terminal glitched during the measurement window.
+    pub fn glitch_free(&self) -> bool {
+        self.glitches == 0
+    }
+
+    /// Delivered video payload rate, bytes/second, over the window.
+    pub fn delivery_bytes_per_sec(&self, block_bytes: u64) -> f64 {
+        if self.measured == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.blocks_delivered as f64 * block_bytes as f64 / self.measured.as_secs_f64()
+    }
+
+    /// One-line summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "terminals={} glitches={} ({} terms) disk={:.1}% cpu={:.1}% \
+             net_peak={:.1} MB/s pool_hit={:.1}% shared={:.1}%",
+            self.terminals,
+            self.glitches,
+            self.glitching_terminals,
+            self.avg_disk_utilization * 100.0,
+            self.avg_cpu_utilization * 100.0,
+            self.net_peak_bytes_per_sec / 1e6,
+            self.pool.hit_rate() * 100.0,
+            self.pool.shared_reference_rate() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            terminals: 100,
+            measured: SimDuration::from_secs(600),
+            glitches: 0,
+            glitching_terminals: 0,
+            blocks_delivered: 60_000,
+            videos_completed: 5,
+            avg_disk_utilization: 0.9,
+            max_disk_utilization: 0.95,
+            min_disk_utilization: 0.85,
+            disk_utilizations: vec![0.85, 0.95],
+            avg_cpu_utilization: 0.2,
+            max_cpu_utilization: 0.25,
+            net_peak_bytes_per_sec: 55e6,
+            net_mean_bytes_per_sec: 50e6,
+            pool: PoolStats::default(),
+            prefetch: PrefetchStats::default(),
+            events_processed: 1_000_000,
+            io_latency_mean_ms: 40.0,
+            io_latency_p95_ms: 120.0,
+            io_latency_max_ms: 300.0,
+            deadline_misses: 0,
+            terminals_piggybacked: 0,
+        }
+    }
+
+    #[test]
+    fn glitch_free_criterion() {
+        let mut r = report();
+        assert!(r.glitch_free());
+        r.glitches = 1;
+        assert!(!r.glitch_free());
+    }
+
+    #[test]
+    fn delivery_rate() {
+        let r = report();
+        // 60 000 × 512 KB over 600 s = 52.4 MB/s.
+        let rate = r.delivery_bytes_per_sec(512 * 1024);
+        assert!((rate - 52.4e6).abs() < 0.2e6, "rate {rate}");
+        let mut zero = report();
+        zero.measured = SimDuration::ZERO;
+        assert_eq!(zero.delivery_bytes_per_sec(512 * 1024), 0.0);
+    }
+
+    #[test]
+    fn summary_is_informative() {
+        let s = report().summary();
+        assert!(s.contains("terminals=100"));
+        assert!(s.contains("glitches=0"));
+    }
+}

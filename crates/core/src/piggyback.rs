@@ -1,0 +1,192 @@
+//! Piggybacking terminals (§8.2 of the SPIFFI paper).
+//!
+//! "There is no reason why the video server could not recognize popular
+//! movies and intentionally delay the first subscriber (e.g., by playing a
+//! few commercials) while it waits for additional subscribers to request
+//! the same movie. In this way, a group of terminals could be 'piggybacked'
+//! and serviced as though they were one terminal."
+//!
+//! The manager batches start requests per title within a configurable
+//! delay window. When a batch fires, its first member becomes the group
+//! *leader* — the only terminal that actually transfers data — and the
+//! rest become *followers* who watch the leader's stream (a network-level
+//! multicast). Followers therefore place no additional load on the server.
+
+use std::collections::HashMap;
+
+use spiffi_mpeg::VideoId;
+use spiffi_simcore::{SimDuration, SimTime};
+
+/// Outcome of routing a start request through the manager.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StartDecision {
+    /// A new batch was opened for this title; the system must schedule a
+    /// batch-fire event at the returned instant.
+    OpenedBatch {
+        /// When the batch fires.
+        fire_at: SimTime,
+    },
+    /// The terminal joined an existing batch and waits for it to fire.
+    JoinedBatch,
+}
+
+/// The piggyback batch manager.
+#[derive(Debug, Default)]
+pub struct Piggyback {
+    delay: SimDuration,
+    open: HashMap<VideoId, Vec<u32>>,
+    /// leader → followers, for groups currently streaming.
+    groups: HashMap<u32, Vec<u32>>,
+    /// follower → leader.
+    leader_of: HashMap<u32, u32>,
+    batches_fired: u64,
+    terminals_piggybacked: u64,
+}
+
+impl Piggyback {
+    /// A manager batching starts within `delay`.
+    pub fn new(delay: SimDuration) -> Self {
+        Piggyback {
+            delay,
+            ..Default::default()
+        }
+    }
+
+    /// The batching delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Terminal `term` wants to start `video` at `now`.
+    pub fn request_start(&mut self, term: u32, video: VideoId, now: SimTime) -> StartDecision {
+        match self.open.get_mut(&video) {
+            Some(members) => {
+                members.push(term);
+                StartDecision::JoinedBatch
+            }
+            None => {
+                self.open.insert(video, vec![term]);
+                StartDecision::OpenedBatch {
+                    fire_at: now + self.delay,
+                }
+            }
+        }
+    }
+
+    /// Fire the batch for `video`: returns `(leader, followers)`.
+    ///
+    /// # Panics
+    /// If no batch is open for the title.
+    pub fn fire(&mut self, video: VideoId) -> (u32, Vec<u32>) {
+        let members = self
+            .open
+            .remove(&video)
+            .expect("fired a batch that is not open");
+        let leader = members[0];
+        let followers = members[1..].to_vec();
+        for &f in &followers {
+            self.leader_of.insert(f, leader);
+        }
+        self.terminals_piggybacked += followers.len() as u64;
+        self.batches_fired += 1;
+        self.groups.insert(leader, followers.clone());
+        (leader, followers)
+    }
+
+    /// The leader's title finished: dissolve its group and return every
+    /// member (leader first) so each can select a new title.
+    pub fn dissolve(&mut self, leader: u32) -> Vec<u32> {
+        let followers = self.groups.remove(&leader).unwrap_or_default();
+        let mut all = Vec::with_capacity(followers.len() + 1);
+        all.push(leader);
+        for f in followers {
+            self.leader_of.remove(&f);
+            all.push(f);
+        }
+        all
+    }
+
+    /// True if `term` is currently following another terminal's stream.
+    pub fn is_follower(&self, term: u32) -> bool {
+        self.leader_of.contains_key(&term)
+    }
+
+    /// Number of streams saved so far (followers across all fired batches).
+    pub fn terminals_piggybacked(&self) -> u64 {
+        self.terminals_piggybacked
+    }
+
+    /// Batches fired so far.
+    pub fn batches_fired(&self) -> u64 {
+        self.batches_fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn first_requester_opens_batch() {
+        let mut pb = Piggyback::new(SimDuration::from_secs(300));
+        let d = pb.request_start(1, VideoId(0), t(10.0));
+        assert_eq!(d, StartDecision::OpenedBatch { fire_at: t(310.0) });
+    }
+
+    #[test]
+    fn subsequent_requesters_join() {
+        let mut pb = Piggyback::new(SimDuration::from_secs(300));
+        pb.request_start(1, VideoId(0), t(0.0));
+        assert_eq!(
+            pb.request_start(2, VideoId(0), t(50.0)),
+            StartDecision::JoinedBatch
+        );
+        assert_eq!(
+            pb.request_start(3, VideoId(0), t(100.0)),
+            StartDecision::JoinedBatch
+        );
+        let (leader, followers) = pb.fire(VideoId(0));
+        assert_eq!(leader, 1);
+        assert_eq!(followers, vec![2, 3]);
+        assert!(pb.is_follower(2));
+        assert!(pb.is_follower(3));
+        assert!(!pb.is_follower(1));
+        assert_eq!(pb.terminals_piggybacked(), 2);
+        assert_eq!(pb.batches_fired(), 1);
+    }
+
+    #[test]
+    fn different_titles_batch_separately() {
+        let mut pb = Piggyback::new(SimDuration::from_secs(300));
+        pb.request_start(1, VideoId(0), t(0.0));
+        let d = pb.request_start(2, VideoId(1), t(0.0));
+        assert!(matches!(d, StartDecision::OpenedBatch { .. }));
+    }
+
+    #[test]
+    fn batch_reopens_after_fire() {
+        let mut pb = Piggyback::new(SimDuration::from_secs(300));
+        pb.request_start(1, VideoId(0), t(0.0));
+        pb.fire(VideoId(0));
+        // A new request after firing opens a fresh batch.
+        let d = pb.request_start(9, VideoId(0), t(400.0));
+        assert_eq!(d, StartDecision::OpenedBatch { fire_at: t(700.0) });
+    }
+
+    #[test]
+    fn dissolve_returns_all_members() {
+        let mut pb = Piggyback::new(SimDuration::from_secs(10));
+        pb.request_start(1, VideoId(0), t(0.0));
+        pb.request_start(2, VideoId(0), t(1.0));
+        pb.fire(VideoId(0));
+        let members = pb.dissolve(1);
+        assert_eq!(members, vec![1, 2]);
+        assert!(!pb.is_follower(2));
+        // Dissolving a solo terminal (no group) returns just itself.
+        assert_eq!(pb.dissolve(5), vec![5]);
+    }
+}

@@ -1,0 +1,1171 @@
+//! The assembled SPIFFI video-on-demand system: one event loop driving
+//! terminals, the network, node CPUs, buffer pools, prefetchers, disk
+//! schedulers and disks.
+//!
+//! The request pipeline (§5.2):
+//!
+//! ```text
+//! terminal ──wire──▶ node CPU (recv 2200i) ──▶ buffer pool lookup
+//!    ▲                                         │ hit: reply
+//!    │                                         │ in-flight: attach waiter
+//!    │                                         ▼ miss: allocate frame
+//!    │                          node CPU (start-I/O 20000i)
+//!    │                                         ▼
+//!    │                         disk scheduler ──▶ disk mechanics
+//!    │                                         ▼ completion
+//!    └──wire◀── node CPU (send 6800i) ◀── waiters drained
+//! ```
+//!
+//! Every real reference also enqueues a prefetch for the next stripe block
+//! on the same disk; prefetch processes pull from the per-disk prefetch
+//! queue subject to the configured strategy (standard / real-time /
+//! delayed).
+
+use spiffi_bufferpool::{LookupResult, PoolStats};
+use spiffi_layout::{BlockAddr, Layout, Placement};
+use spiffi_mpeg::{Library, TitleSelector, VideoId};
+use spiffi_net::Network;
+use spiffi_prefetch::{IssueDecision, PrefetchRequest, PrefetchStats};
+use spiffi_sched::{DiskRequest, RequestId, StreamId};
+use spiffi_simcore::dist::{uniform_time, Exponential};
+use spiffi_simcore::stats::Histogram;
+use spiffi_simcore::{Calendar, SimRng, SimTime};
+
+use crate::config::SystemConfig;
+use crate::metrics::RunReport;
+use crate::node::{decode_waiter, waiter_token, CpuJob, IoCtx, Node, PendingRead};
+use crate::piggyback::{Piggyback, StartDecision};
+use crate::terminal::Terminal;
+
+/// A skip-based visual search (§8.1): show `show` of video, skip over
+/// `skip`, repeat.
+#[derive(Clone, Copy, Debug)]
+pub struct VisualSearch {
+    /// Length of each shown window (the paper suggests "one or two
+    /// seconds").
+    pub show: spiffi_simcore::SimDuration,
+    /// Content skipped between windows ("out of every several seconds").
+    pub skip: spiffi_simcore::SimDuration,
+    /// True for fast-forward, false for rewind.
+    pub forward: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SearchState {
+    session: u64,
+    search: VisualSearch,
+    end_at: SimTime,
+    started: bool,
+}
+
+/// Size of a read-request message on the wire.
+pub const REQUEST_MSG_BYTES: u64 = 128;
+/// Header overhead of a data reply on the wire.
+pub const REPLY_HEADER_BYTES: u64 = 128;
+
+/// Simulation events.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// A terminal comes online and selects its first title.
+    StartTerminal(u32),
+    /// Scheduled wake for a terminal; stale if `gen` no longer matches.
+    Wake {
+        /// Terminal index.
+        term: u32,
+        /// Generation at scheduling time.
+        gen: u64,
+    },
+    /// A read request reached its target node.
+    RequestArrive {
+        /// Target node.
+        node: u32,
+        /// Requesting terminal.
+        term: u32,
+        /// Terminal epoch.
+        epoch: u32,
+        /// Requested block.
+        block: BlockAddr,
+        /// Deadline assigned by the terminal.
+        deadline: SimTime,
+    },
+    /// A data reply reached its terminal.
+    ReplyArrive {
+        /// Destination terminal.
+        term: u32,
+        /// Epoch echoed from the request.
+        epoch: u32,
+        /// Delivered block.
+        block: BlockAddr,
+    },
+    /// A node CPU finished its current job.
+    CpuDone {
+        /// The node.
+        node: u32,
+    },
+    /// A disk finished its current transfer.
+    DiskDone {
+        /// The node.
+        node: u32,
+        /// Node-local disk index.
+        disk: u32,
+    },
+    /// A delayed prefetch became issuable; stale if `gen` mismatches.
+    PrefetchRelease {
+        /// The node.
+        node: u32,
+        /// Node-local disk index.
+        disk: u32,
+        /// Release-timer generation.
+        gen: u64,
+    },
+    /// A piggyback batch for this title fires.
+    PiggybackFire {
+        /// The batched title.
+        video: VideoId,
+    },
+    /// End of warm-up: begin collecting statistics.
+    BeginMeasure,
+    /// A subscriber pressed fast-forward/rewind: jump the terminal to a
+    /// new position in its current title (§8.1).
+    UserSeek {
+        /// The terminal.
+        term: u32,
+        /// Target frame.
+        frame: u64,
+    },
+    /// One step of a skip-based visual search (§8.1): play a short window,
+    /// then jump.
+    SearchStep {
+        /// The terminal.
+        term: u32,
+        /// Search-session id; stale steps are dropped.
+        session: u64,
+    },
+    /// Switch a terminal onto its title's §8.1 search version.
+    SmoothSearchBegin {
+        /// The terminal.
+        term: u32,
+        /// True for fast-forward.
+        forward: bool,
+        /// When to switch back to the normal version.
+        end_at: SimTime,
+    },
+    /// Switch a terminal back from a search version to the normal title.
+    SmoothSearchEnd {
+        /// The terminal.
+        term: u32,
+    },
+}
+
+/// The assembled system. Build with [`VodSystem::new`], run to completion
+/// with [`VodSystem::run`].
+pub struct VodSystem {
+    cfg: SystemConfig,
+    cal: Calendar<Event>,
+    library: Library,
+    layout: Layout,
+    selector: TitleSelector,
+    net: Network,
+    nodes: Vec<Node>,
+    terminals: Vec<Terminal>,
+    rng_workload: SimRng,
+    piggyback: Option<Piggyback>,
+    /// Active skip-based visual searches, by terminal.
+    searches: std::collections::HashMap<u32, SearchState>,
+    search_sessions: u64,
+    measuring: bool,
+    next_req_id: u64,
+    // --- measurement-window counters ---
+    glitches_measured: u64,
+    glitching_terminals: std::collections::BTreeSet<u32>,
+    blocks_delivered: u64,
+    events_processed: u64,
+    /// Disk I/O latency (scheduler queueing + service), seconds; 5 ms bins
+    /// to 2 s.
+    io_latency: Histogram,
+    /// Demand I/Os completing after their deadline.
+    deadline_misses: u64,
+}
+
+impl VodSystem {
+    /// Build the system described by `cfg`.
+    ///
+    /// # Panics
+    /// If the configuration fails [`SystemConfig::validate`].
+    pub fn new(cfg: SystemConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid configuration: {e}");
+        }
+        let mut rng_workload = SimRng::stream(cfg.seed, 0x17e2);
+        let library = match cfg.search_speedup {
+            None => Library::generate(cfg.n_videos, cfg.video, cfg.seed ^ 0x11b),
+            Some(speedup) => Library::generate_with_search_versions(
+                cfg.n_videos,
+                cfg.video,
+                cfg.seed ^ 0x11b,
+                speedup,
+            ),
+        };
+        let layout = match cfg.placement {
+            Placement::Striped => Layout::striped(cfg.topology, cfg.stripe_bytes, &library),
+            Placement::NonStriped => {
+                let mut rng = SimRng::stream(cfg.seed, 0x1a70);
+                Layout::non_striped(cfg.topology, cfg.stripe_bytes, &library, &mut rng)
+            }
+            Placement::StripeGroup { width } => {
+                Layout::stripe_group(cfg.topology, cfg.stripe_bytes, &library, width)
+            }
+        };
+        let disk_params = cfg.disk.with_capacity_for(layout.max_disk_used_bytes());
+        let nodes = (0..cfg.topology.nodes)
+            .map(|n| {
+                Node::new(
+                    n,
+                    cfg.topology.disks_per_node,
+                    cfg.frames_per_node(),
+                    cfg.policy,
+                    cfg.cpu,
+                    disk_params,
+                    cfg.scheduler,
+                    cfg.prefetch,
+                    cfg.seed ^ 0xd15c,
+                )
+            })
+            .collect();
+        let terminals = (0..cfg.n_terminals)
+            .map(|t| Terminal::new(t, cfg.terminal_memory_bytes))
+            .collect();
+        let selector = TitleSelector::new(cfg.access, cfg.n_videos);
+
+        let mut cal = Calendar::new();
+        // Staggered starts (§6): "the terminals start movies at random
+        // intervals."
+        for t in 0..cfg.n_terminals {
+            let at = uniform_time(
+                &mut rng_workload,
+                SimTime::ZERO,
+                SimTime::ZERO + cfg.timing.stagger,
+            );
+            cal.schedule_at(at, Event::StartTerminal(t));
+        }
+        cal.schedule_at(SimTime::ZERO + cfg.timing.warmup, Event::BeginMeasure);
+
+        let piggyback = cfg.piggyback_delay.map(Piggyback::new);
+
+        VodSystem {
+            cfg,
+            cal,
+            library,
+            layout,
+            selector,
+            net: Network::default(),
+            nodes,
+            terminals,
+            rng_workload,
+            piggyback,
+            searches: std::collections::HashMap::new(),
+            search_sessions: 0,
+            measuring: false,
+            next_req_id: 0,
+            glitches_measured: 0,
+            glitching_terminals: std::collections::BTreeSet::new(),
+            blocks_delivered: 0,
+            events_processed: 0,
+            io_latency: Histogram::new(0.005, 400),
+            deadline_misses: 0,
+        }
+    }
+
+    /// Run until `warmup + measure` and return the measured report.
+    pub fn run(mut self) -> RunReport {
+        let end = SimTime::ZERO + self.cfg.timing.total();
+        while let Some((_, ev)) = self.cal.pop_until(end) {
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        self.cal.advance_to(end);
+        self.collect_report(end)
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::StartTerminal(t) => self.start_first_title(t),
+            Event::Wake { term, gen } => {
+                if self.terminals[term as usize].gen() == gen {
+                    self.pump_terminal(term);
+                }
+            }
+            Event::RequestArrive {
+                node,
+                term,
+                epoch,
+                block,
+                deadline,
+            } => {
+                self.submit_cpu(
+                    node,
+                    self.cfg.cpu.recv_msg_instr,
+                    CpuJob::RecvRequest {
+                        term,
+                        epoch,
+                        block,
+                        deadline,
+                    },
+                );
+            }
+            Event::ReplyArrive { term, epoch, block } => {
+                let video = self.library.get(block.video);
+                let fresh = self.terminals[term as usize].on_block_arrival(
+                    video,
+                    self.cfg.stripe_bytes,
+                    block.index,
+                    epoch,
+                );
+                if fresh {
+                    self.pump_terminal(term);
+                }
+            }
+            Event::CpuDone { node } => {
+                let now = self.cal.now();
+                let (job, next) = self.nodes[node as usize].cpu.finish(now);
+                if let Some(d) = next {
+                    self.cal.schedule_at(now + d, Event::CpuDone { node });
+                }
+                self.handle_cpu_job(node, job);
+            }
+            Event::DiskDone { node, disk } => self.handle_disk_done(node, disk),
+            Event::PrefetchRelease { node, disk, gen } => {
+                let unit = &mut self.nodes[node as usize].disks[disk as usize];
+                if unit.release_gen == gen {
+                    unit.release_timer = None;
+                    self.prefetch_kick(node, disk);
+                }
+            }
+            Event::PiggybackFire { video } => {
+                let pb = self
+                    .piggyback
+                    .as_mut()
+                    .expect("piggyback fire without manager");
+                let (leader, _followers) = pb.fire(video);
+                self.begin_stream(leader, video);
+            }
+            Event::BeginMeasure => self.begin_measure(),
+            Event::UserSeek { term, frame } => self.user_seek(term, frame),
+            Event::SearchStep { term, session } => self.search_step(term, session),
+            Event::SmoothSearchBegin {
+                term,
+                forward,
+                end_at,
+            } => self.smooth_search_begin(term, forward, end_at),
+            Event::SmoothSearchEnd { term } => self.smooth_search_end(term),
+        }
+    }
+
+    // ----- terminal side -------------------------------------------------
+
+    /// Schedule a fast-forward/rewind for terminal `term` at time `at`
+    /// (§8.1): the terminal seeks to `frame` of whatever title it is then
+    /// watching, discards its buffers, and re-primes from the new
+    /// position. Call before [`VodSystem::run`].
+    pub fn schedule_user_seek(&mut self, at: SimTime, term: u32, frame: u64) {
+        assert!(term < self.cfg.n_terminals, "no terminal {term}");
+        self.cal.schedule_at(at, Event::UserSeek { term, frame });
+    }
+
+    /// Begin a skip-based visual search (§8.1) on terminal `term` at time
+    /// `at`: "the terminal can skip forward or backward through the movie
+    /// showing one or two seconds out of every several seconds of video
+    /// data. Since the skipped video segments need not be read, this
+    /// scheme will not significantly increase the load on the video
+    /// server." The terminal shows `search.show` of content, jumps over
+    /// `search.skip`, and repeats until `at + duration`, then resumes
+    /// normal playback from wherever the search landed. Call before
+    /// [`VodSystem::run`].
+    pub fn schedule_visual_search(
+        &mut self,
+        at: SimTime,
+        term: u32,
+        search: VisualSearch,
+        duration: spiffi_simcore::SimDuration,
+    ) {
+        assert!(term < self.cfg.n_terminals, "no terminal {term}");
+        assert!(search.show > spiffi_simcore::SimDuration::ZERO);
+        self.search_sessions += 1;
+        let session = self.search_sessions;
+        self.searches.insert(
+            term,
+            SearchState {
+                session,
+                search,
+                end_at: at + duration,
+                started: false,
+            },
+        );
+        self.cal.schedule_at(at, Event::SearchStep { term, session });
+    }
+
+    fn search_step(&mut self, term: u32, session: u64) {
+        let now = self.cal.now();
+        let Some(state) = self.searches.get_mut(&term) else {
+            return;
+        };
+        if state.session != session {
+            return; // superseded by a newer search
+        }
+        if now >= state.end_at {
+            // Search over: normal playback continues from here.
+            self.searches.remove(&term);
+            return;
+        }
+        let Some(video) = self.terminals[term as usize].video() else {
+            self.searches.remove(&term);
+            return;
+        };
+        let v = self.library.get(video);
+        let fps = v.params().fps as u64;
+        let here = self.terminals[term as usize]
+            .current_frame()
+            .unwrap_or(0);
+        let skip_frames =
+            (state.search.skip.0 as u128 * fps as u128 / 1_000_000_000) as u64;
+        let target = if state.started {
+            if state.search.forward {
+                here.saturating_add(skip_frames)
+            } else {
+                here.saturating_sub(skip_frames)
+            }
+        } else {
+            state.started = true;
+            here // first step: just begin showing from the current spot
+        };
+        let show = state.search.show;
+        if target >= v.num_frames().saturating_sub(1) || (!state.search.forward && target == 0) {
+            // Ran off the end of the title: stop searching there.
+            self.searches.remove(&term);
+            self.user_seek(term, target.min(v.num_frames().saturating_sub(1)));
+            return;
+        }
+        self.user_seek(term, target);
+        self.cal
+            .schedule_at(now + show, Event::SearchStep { term, session });
+    }
+
+    /// Begin a smooth (search-version) fast-forward or rewind (§8.1's
+    /// second scheme) on terminal `term` at time `at`, returning to normal
+    /// playback after `duration`. Requires
+    /// [`SystemConfig::search_speedup`](crate::config::SystemConfig) to be
+    /// set. "The search versions of the movie will provide a smooth,
+    /// constant rate video stream similar to what a typical VCR produces."
+    /// Call before [`VodSystem::run`].
+    pub fn schedule_smooth_search(
+        &mut self,
+        at: SimTime,
+        term: u32,
+        forward: bool,
+        duration: spiffi_simcore::SimDuration,
+    ) {
+        assert!(term < self.cfg.n_terminals, "no terminal {term}");
+        assert!(
+            self.cfg.search_speedup.is_some(),
+            "smooth search requires SystemConfig::search_speedup"
+        );
+        self.cal.schedule_at(
+            at,
+            Event::SmoothSearchBegin {
+                term,
+                forward,
+                end_at: at + duration,
+            },
+        );
+    }
+
+    fn smooth_search_begin(&mut self, term: u32, forward: bool, end_at: SimTime) {
+        let speedup = self
+            .cfg
+            .search_speedup
+            .expect("smooth search without search versions") as u64;
+        let Some(video) = self.terminals[term as usize].video() else {
+            return;
+        };
+        let Some(search) = self.library.search_version_of(video) else {
+            return; // already on a search version (double press): ignore
+        };
+        let here = self.terminals[term as usize].current_frame().unwrap_or(0);
+        let sv = self.library.get(search);
+        // Map the current position into the compressed timeline. Rewind
+        // plays the search version too (we do not model reverse display;
+        // the subscriber watches the preview stream while the position
+        // rewinds at speed-up rate when they press play again — for the
+        // simulator's purposes both directions read the search version
+        // forward from the mapped position).
+        let target = (here / speedup).min(sv.num_frames().saturating_sub(1));
+        let _ = forward;
+        self.terminals[term as usize].start_video(sv, self.cfg.stripe_bytes, target, Vec::new());
+        self.pump_terminal(term);
+        self.cal.schedule_at(end_at, Event::SmoothSearchEnd { term });
+    }
+
+    fn smooth_search_end(&mut self, term: u32) {
+        let speedup = self
+            .cfg
+            .search_speedup
+            .expect("smooth search without search versions") as u64;
+        let Some(video) = self.terminals[term as usize].video() else {
+            return;
+        };
+        let Some(normal) = self.library.normal_version_of(video) else {
+            return; // the search ended some other way (title rollover)
+        };
+        let here = self.terminals[term as usize].current_frame().unwrap_or(0);
+        let nv = self.library.get(normal);
+        let target = (here * speedup).min(nv.num_frames().saturating_sub(1));
+        self.terminals[term as usize].start_video(nv, self.cfg.stripe_bytes, target, Vec::new());
+        self.pump_terminal(term);
+    }
+
+    fn user_seek(&mut self, term: u32, frame: u64) {
+        let Some(video) = self.terminals[term as usize].video() else {
+            return; // not watching anything yet — ignore the keypress
+        };
+        let v = self.library.get(video);
+        let frame = frame.min(v.num_frames().saturating_sub(1));
+        // Re-prime from the new position; in-flight replies for the old
+        // position are invalidated by the epoch bump.
+        self.terminals[term as usize].start_video(v, self.cfg.stripe_bytes, frame, Vec::new());
+        self.pump_terminal(term);
+    }
+
+    /// A terminal comes online. Under
+    /// [`InitialPosition::UniformWithinVideo`](crate::config::InitialPosition)
+    /// its first viewing begins at a random position — the steady state an
+    /// hours-long run converges to — and bypasses the piggyback manager
+    /// (one cannot join a stream mid-video).
+    fn start_first_title(&mut self, t: u32) {
+        match self.cfg.initial_position {
+            crate::config::InitialPosition::Start => self.start_next_title(t),
+            crate::config::InitialPosition::UniformWithinVideo => {
+                let video = self.selector.select(&mut self.rng_workload);
+                let frames = self.library.get(video).num_frames();
+                let frame = self.rng_workload.u64_below(frames.max(1));
+                self.begin_stream_at(t, video, frame);
+            }
+        }
+    }
+
+    /// Select (and possibly batch) the next title for terminal `t`.
+    fn start_next_title(&mut self, t: u32) {
+        let video = self.selector.select(&mut self.rng_workload);
+        match self.piggyback.as_mut() {
+            None => self.begin_stream(t, video),
+            Some(pb) => {
+                let now = self.cal.now();
+                match pb.request_start(t, video, now) {
+                    StartDecision::OpenedBatch { fire_at } => {
+                        self.cal
+                            .schedule_at(fire_at, Event::PiggybackFire { video });
+                    }
+                    StartDecision::JoinedBatch => {}
+                }
+            }
+        }
+    }
+
+    /// Begin streaming `video` on terminal `t` from its first frame.
+    fn begin_stream(&mut self, t: u32, video: VideoId) {
+        self.begin_stream_at(t, video, 0);
+    }
+
+    /// Begin streaming `video` on terminal `t` from `start_frame`.
+    fn begin_stream_at(&mut self, t: u32, video: VideoId, start_frame: u64) {
+        let mut pauses = self.draw_pause_plan(video);
+        // Pauses scheduled before the starting position already "happened";
+        // keeping them would stall playback the moment it starts.
+        pauses.retain(|&(frame, _)| frame >= start_frame);
+        let v = self.library.get(video);
+        self.terminals[t as usize].start_video(v, self.cfg.stripe_bytes, start_frame, pauses);
+        self.pump_terminal(t);
+    }
+
+    /// Draw the pause plan for one viewing (§8.1): pause instants form a
+    /// Poisson process over the title at the configured mean rate, with
+    /// exponential durations.
+    fn draw_pause_plan(&mut self, video: VideoId) -> Vec<(u64, spiffi_simcore::SimDuration)> {
+        let Some(pc) = self.cfg.pause else {
+            return Vec::new();
+        };
+        let v = self.library.get(video);
+        let frames = v.num_frames();
+        let mean_gap_frames = frames as f64 / pc.mean_pauses_per_video;
+        let gap = Exponential::new(mean_gap_frames);
+        let dur = Exponential::new(pc.mean_duration.as_secs_f64());
+        let mut plan = Vec::new();
+        let mut at = 0.0;
+        loop {
+            at += gap.sample(&mut self.rng_workload);
+            let frame = at as u64;
+            if frame >= frames {
+                break;
+            }
+            plan.push((
+                frame,
+                spiffi_simcore::SimDuration::from_secs_f64(dur.sample(&mut self.rng_workload)),
+            ));
+        }
+        plan
+    }
+
+    /// Pump a terminal and apply its decisions: send requests, schedule the
+    /// wake, count glitches, and roll over finished titles.
+    fn pump_terminal(&mut self, t: u32) {
+        let now = self.cal.now();
+        let vid = self.terminals[t as usize]
+            .video()
+            .expect("pumping a terminal with no video");
+        let pump = {
+            let video = self.library.get(vid);
+            self.terminals[t as usize].pump(video, self.cfg.stripe_bytes, now)
+        };
+
+        if pump.glitched && self.measuring {
+            self.glitches_measured += 1;
+            self.glitching_terminals.insert(t);
+        }
+
+        for index in &pump.requests {
+            self.send_request(
+                t,
+                BlockAddr {
+                    video: vid,
+                    index: *index,
+                },
+            );
+        }
+
+        if let Some(wake_at) = pump.wake_at {
+            let gen = self.terminals[t as usize].gen();
+            self.cal
+                .schedule_at(wake_at.max(now), Event::Wake { term: t, gen });
+        }
+
+        if pump.finished {
+            self.handle_video_finished(t);
+        }
+    }
+
+    /// A title completed on terminal `t`: dissolve its piggyback group (if
+    /// any) and have every member pick a new title ("When a terminal
+    /// finishes one movie, it randomly selects a new video and immediately
+    /// begins playing it", §6).
+    fn handle_video_finished(&mut self, t: u32) {
+        let members = match self.piggyback.as_mut() {
+            Some(pb) => pb.dissolve(t),
+            None => vec![t],
+        };
+        for m in members {
+            self.start_next_title(m);
+        }
+    }
+
+    /// Transmit a read request from terminal `t` for `block`.
+    fn send_request(&mut self, t: u32, block: BlockAddr) {
+        let now = self.cal.now();
+        let video = self.library.get(block.video);
+        let deadline = self.terminals[t as usize].deadline_for_block(
+            video,
+            self.cfg.stripe_bytes,
+            block.index,
+            now,
+        );
+        let epoch = self.terminals[t as usize].epoch();
+        let loc = self.layout.locate(block);
+        let delay = self.net.send(now, REQUEST_MSG_BYTES);
+        self.cal.schedule_at(
+            now + delay,
+            Event::RequestArrive {
+                node: loc.disk.node.0,
+                term: t,
+                epoch,
+                block,
+                deadline,
+            },
+        );
+    }
+
+    // ----- node side ------------------------------------------------------
+
+    /// Put a job on a node's CPU, scheduling its completion if the CPU was
+    /// idle.
+    fn submit_cpu(&mut self, node: u32, instr: u64, job: CpuJob) {
+        let now = self.cal.now();
+        if let Some(d) = self.nodes[node as usize].cpu.submit(now, instr, job) {
+            self.cal.schedule_at(now + d, Event::CpuDone { node });
+        }
+    }
+
+    fn handle_cpu_job(&mut self, node: u32, job: CpuJob) {
+        match job {
+            CpuJob::RecvRequest {
+                term,
+                epoch,
+                block,
+                deadline,
+            } => self.handle_request(node, term, epoch, block, deadline),
+            CpuJob::StartIo { disk, req } => {
+                self.nodes[node as usize].disks[disk as usize]
+                    .sched
+                    .push(req);
+                self.try_start_disk(node, disk);
+            }
+            CpuJob::SendReply {
+                term,
+                epoch,
+                block,
+                len,
+            } => {
+                let now = self.cal.now();
+                let delay = self.net.send(now, len + REPLY_HEADER_BYTES);
+                if self.measuring {
+                    self.blocks_delivered += 1;
+                }
+                self.cal
+                    .schedule_at(now + delay, Event::ReplyArrive { term, epoch, block });
+            }
+        }
+    }
+
+    /// Core request-processing path (runs after the receive CPU cost).
+    fn handle_request(
+        &mut self,
+        node: u32,
+        term: u32,
+        epoch: u32,
+        block: BlockAddr,
+        deadline: SimTime,
+    ) {
+        let token = waiter_token(term, epoch);
+        let loc = self.layout.locate(block);
+        let d = loc.disk.disk;
+        let n = node as usize;
+        match self.nodes[n].pool.lookup(block, Some(term)) {
+            LookupResult::Resident(f) => {
+                self.nodes[n].pool.record_reference(f, term);
+                self.submit_cpu(
+                    node,
+                    self.cfg.cpu.send_msg_instr,
+                    CpuJob::SendReply {
+                        term,
+                        epoch,
+                        block,
+                        len: loc.len,
+                    },
+                );
+            }
+            LookupResult::InFlight(f) => {
+                self.nodes[n].pool.add_waiter(f, token);
+                // Escalate a still-queued prefetch to the real deadline so
+                // the real-time scheduler treats it with the urgency of the
+                // real request it now serves.
+                let unit = &mut self.nodes[n].disks[d as usize];
+                if let Some(&rid) = unit.by_block.get(&block) {
+                    if let Some(mut req) = unit.sched.remove(rid) {
+                        req.deadline = Some(req.deadline.map_or(deadline, |old| old.min(deadline)));
+                        req.stream = Some(StreamId(term));
+                        unit.sched.push(req);
+                    }
+                }
+            }
+            LookupResult::Miss => {
+                // A queued (unissued) prefetch for this block is now
+                // pointless: the demand read supersedes it.
+                self.nodes[n].disks[d as usize].prefetch.cancel(block);
+                match self.nodes[n].pool.allocate(block, false) {
+                    Some(f) => {
+                        self.nodes[n].pool.add_waiter(f, token);
+                        self.issue_io(node, d, block, f, Some(deadline), Some(term), false);
+                    }
+                    None => {
+                        self.nodes[n].pending_reads.push_back(PendingRead {
+                            term,
+                            epoch,
+                            block,
+                            deadline,
+                        });
+                    }
+                }
+            }
+        }
+        // §5.2.3: every real reference triggers a background prefetch of
+        // the next stripe block on the same disk.
+        self.enqueue_prefetch_after(node, block, deadline, term);
+    }
+
+    /// Queue the standard follow-on prefetch for the block after `block`
+    /// on the same disk.
+    fn enqueue_prefetch_after(
+        &mut self,
+        node: u32,
+        block: BlockAddr,
+        deadline: SimTime,
+        term: u32,
+    ) {
+        let Some(next) = self.layout.next_block_same_disk(block) else {
+            return;
+        };
+        let n = node as usize;
+        if self.nodes[n].pool.lookup(next, None) != LookupResult::Miss {
+            return;
+        }
+        let d = self.layout.locate(next).disk.disk;
+        // Estimated deadline: the real request for `next` trails this one
+        // by the playback time of the intervening stripe blocks.
+        let stride = (next.index - block.index) as u64;
+        let stride_time = spiffi_simcore::SimDuration::from_secs_f64(
+            stride as f64 * self.cfg.stripe_bytes as f64 * 8.0 / self.cfg.video.bit_rate_bps as f64,
+        );
+        self.nodes[n].disks[d as usize]
+            .prefetch
+            .enqueue(PrefetchRequest {
+                block: next,
+                estimated_deadline: deadline + stride_time,
+                stream: term,
+            });
+        self.prefetch_kick(node, d);
+    }
+
+    /// Let the prefetch processes of disk `(node, disk)` issue as much as
+    /// the strategy allows right now.
+    fn prefetch_kick(&mut self, node: u32, disk: u32) {
+        let now = self.cal.now();
+        let n = node as usize;
+        loop {
+            let decision = self.nodes[n].disks[disk as usize].prefetch.try_issue(now);
+            match decision {
+                IssueDecision::Idle => break,
+                IssueDecision::NotYet { release_at } => {
+                    // Arm (or re-arm) the release timer only when the queue
+                    // head's release time moved earlier; re-arming on every
+                    // kick would invalidate timers faster than they fire.
+                    let unit = &mut self.nodes[n].disks[disk as usize];
+                    let must_arm = unit.release_timer.is_none_or(|armed| release_at < armed);
+                    if must_arm {
+                        unit.release_gen += 1;
+                        unit.release_timer = Some(release_at);
+                        let gen = unit.release_gen;
+                        self.cal.schedule_at(
+                            release_at.max(now),
+                            Event::PrefetchRelease { node, disk, gen },
+                        );
+                    }
+                    break;
+                }
+                IssueDecision::Issue { request, deadline } => {
+                    // The block may have been fetched (or be in flight) by
+                    // the time this prefetch reaches the head of the queue.
+                    if self.nodes[n].pool.lookup(request.block, None) != LookupResult::Miss {
+                        self.nodes[n].disks[disk as usize].prefetch.abort();
+                        continue;
+                    }
+                    match self.nodes[n].pool.allocate(request.block, true) {
+                        None => {
+                            // No frame available: drop the prefetch rather
+                            // than stall real work.
+                            self.nodes[n].disks[disk as usize].prefetch.abort();
+                            continue;
+                        }
+                        Some(f) => {
+                            self.issue_io(
+                                node,
+                                disk,
+                                request.block,
+                                f,
+                                deadline,
+                                Some(request.stream),
+                                true,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Charge the start-I/O CPU cost and enqueue the disk request.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_io(
+        &mut self,
+        node: u32,
+        disk: u32,
+        block: BlockAddr,
+        frame: spiffi_bufferpool::FrameId,
+        deadline: Option<SimTime>,
+        stream: Option<u32>,
+        is_prefetch: bool,
+    ) {
+        let rid = RequestId(self.next_req_id);
+        self.next_req_id += 1;
+        let loc = self.layout.locate(block);
+        let unit = &mut self.nodes[node as usize].disks[disk as usize];
+        let cylinder = unit.disk.params().cylinder_of(loc.disk_byte);
+        let req = DiskRequest {
+            id: rid,
+            cylinder,
+            deadline,
+            stream: stream.map(StreamId),
+            is_prefetch,
+        };
+        let now = self.cal.now();
+        unit.inflight.insert(
+            rid,
+            IoCtx {
+                block,
+                frame,
+                is_prefetch,
+                issued_at: now,
+                deadline,
+            },
+        );
+        unit.by_block.insert(block, rid);
+        self.submit_cpu(
+            node,
+            self.cfg.cpu.start_io_instr,
+            CpuJob::StartIo { disk, req },
+        );
+    }
+
+    /// If the disk is idle and work is queued, start the next transfer.
+    fn try_start_disk(&mut self, node: u32, disk: u32) {
+        let now = self.cal.now();
+        let unit = &mut self.nodes[node as usize].disks[disk as usize];
+        if unit.current.is_some() {
+            return;
+        }
+        let head = unit.disk.head_cylinder();
+        let Some(req) = unit.sched.pop_next(now, head) else {
+            return;
+        };
+        let ctx = unit.inflight[&req.id];
+        let loc = self.layout.locate(ctx.block);
+        let breakdown = unit.disk.read(loc.disk_byte, loc.len, &mut unit.rng);
+        unit.current = Some(req.id);
+        self.cal
+            .schedule_at(now + breakdown.total(), Event::DiskDone { node, disk });
+    }
+
+    /// A disk transfer finished: publish the page, wake waiters, restart
+    /// the pipeline.
+    fn handle_disk_done(&mut self, node: u32, disk: u32) {
+        let n = node as usize;
+        let (ctx, len) = {
+            let unit = &mut self.nodes[n].disks[disk as usize];
+            let rid = unit.current.take().expect("disk-done with idle disk");
+            let ctx = unit
+                .inflight
+                .remove(&rid)
+                .expect("disk-done without context");
+            unit.by_block.remove(&ctx.block);
+            (ctx, self.layout.locate(ctx.block).len)
+        };
+        let now = self.cal.now();
+        if self.measuring && !ctx.is_prefetch {
+            self.io_latency
+                .add(now.saturating_since(ctx.issued_at).as_secs_f64());
+            if let Some(d) = ctx.deadline {
+                // Only *achievable* deadlines count as misses: the first
+                // block of a (re)priming session carries deadline = issue
+                // time ("display starts now"), which no disk can meet.
+                if now > d && d > ctx.issued_at {
+                    self.deadline_misses += 1;
+                }
+            }
+        }
+        let waiters = self.nodes[n].pool.complete_io(ctx.frame);
+        for token in waiters {
+            let (term, epoch) = decode_waiter(token);
+            self.nodes[n].pool.record_reference(ctx.frame, term);
+            self.submit_cpu(
+                node,
+                self.cfg.cpu.send_msg_instr,
+                CpuJob::SendReply {
+                    term,
+                    epoch,
+                    block: ctx.block,
+                    len,
+                },
+            );
+        }
+        if ctx.is_prefetch {
+            self.nodes[n].disks[disk as usize].prefetch.complete();
+        }
+        // Frames may have become evictable: retry reads stalled on
+        // allocation, then let the prefetcher and the disk continue.
+        self.retry_pending(node);
+        self.prefetch_kick(node, disk);
+        self.try_start_disk(node, disk);
+    }
+
+    /// Retry demand reads that previously failed to get a buffer frame.
+    fn retry_pending(&mut self, node: u32) {
+        let n = node as usize;
+        while let Some(pr) = self.nodes[n].pending_reads.front().copied() {
+            let token = waiter_token(pr.term, pr.epoch);
+            match self.nodes[n].pool.lookup(pr.block, None) {
+                LookupResult::Resident(f) => {
+                    self.nodes[n].pending_reads.pop_front();
+                    self.nodes[n].pool.record_reference(f, pr.term);
+                    let len = self.layout.locate(pr.block).len;
+                    self.submit_cpu(
+                        node,
+                        self.cfg.cpu.send_msg_instr,
+                        CpuJob::SendReply {
+                            term: pr.term,
+                            epoch: pr.epoch,
+                            block: pr.block,
+                            len,
+                        },
+                    );
+                }
+                LookupResult::InFlight(f) => {
+                    self.nodes[n].pending_reads.pop_front();
+                    self.nodes[n].pool.add_waiter(f, token);
+                }
+                LookupResult::Miss => match self.nodes[n].pool.allocate(pr.block, false) {
+                    Some(f) => {
+                        self.nodes[n].pending_reads.pop_front();
+                        self.nodes[n].pool.add_waiter(f, token);
+                        let d = self.layout.locate(pr.block).disk.disk;
+                        self.issue_io(
+                            node,
+                            d,
+                            pr.block,
+                            f,
+                            Some(pr.deadline),
+                            Some(pr.term),
+                            false,
+                        );
+                    }
+                    None => break,
+                },
+            }
+        }
+    }
+
+    // ----- measurement ----------------------------------------------------
+
+    fn begin_measure(&mut self) {
+        let now = self.cal.now();
+        self.measuring = true;
+        self.glitches_measured = 0;
+        self.glitching_terminals.clear();
+        self.blocks_delivered = 0;
+        self.io_latency.reset();
+        self.deadline_misses = 0;
+        self.net.reset_window(now);
+        for node in &mut self.nodes {
+            node.cpu.reset_window(now);
+            node.pool.reset_stats();
+            for unit in &mut node.disks {
+                unit.disk.reset_window(now);
+            }
+        }
+    }
+
+    fn collect_report(&self, end: SimTime) -> RunReport {
+        let mut disk_utils = Vec::new();
+        let mut pool = PoolStats::default();
+        let mut prefetch = PrefetchStats::default();
+        let mut cpu_utils = Vec::new();
+        for node in &self.nodes {
+            cpu_utils.push(node.cpu.utilization(end));
+            let s = node.pool.stats();
+            pool.lookups += s.lookups;
+            pool.resident_hits += s.resident_hits;
+            pool.inflight_hits += s.inflight_hits;
+            pool.misses += s.misses;
+            pool.shared_references += s.shared_references;
+            pool.prefetch_inserts += s.prefetch_inserts;
+            pool.prefetch_used += s.prefetch_used;
+            pool.prefetch_wasted += s.prefetch_wasted;
+            pool.evictions += s.evictions;
+            pool.alloc_failures += s.alloc_failures;
+            for unit in &node.disks {
+                disk_utils.push(unit.disk.utilization(end));
+                let p = unit.prefetch.stats();
+                prefetch.enqueued += p.enqueued;
+                prefetch.deduplicated += p.deduplicated;
+                prefetch.issued += p.issued;
+                prefetch.completed += p.completed;
+                prefetch.aborted += p.aborted;
+                prefetch.cancelled += p.cancelled;
+            }
+        }
+        let avg = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        let maxf = |v: &[f64]| v.iter().copied().fold(0.0, f64::max);
+        let minf = |v: &[f64]| v.iter().copied().fold(1.0, f64::min);
+        RunReport {
+            terminals: self.cfg.n_terminals,
+            measured: self.cfg.timing.measure,
+            glitches: self.glitches_measured,
+            glitching_terminals: self.glitching_terminals.len() as u32,
+            blocks_delivered: self.blocks_delivered,
+            videos_completed: self.terminals.iter().map(|t| t.videos_completed()).sum(),
+            avg_disk_utilization: avg(&disk_utils),
+            max_disk_utilization: maxf(&disk_utils),
+            min_disk_utilization: minf(&disk_utils),
+            disk_utilizations: disk_utils,
+            avg_cpu_utilization: avg(&cpu_utils),
+            max_cpu_utilization: maxf(&cpu_utils),
+            net_peak_bytes_per_sec: self.net.peak_bytes_per_sec(),
+            net_mean_bytes_per_sec: self.net.mean_bytes_per_sec(end),
+            pool,
+            prefetch,
+            events_processed: self.events_processed,
+            io_latency_mean_ms: self.io_latency.mean() * 1e3,
+            io_latency_p95_ms: self.io_latency.quantile(0.95) * 1e3,
+            io_latency_max_ms: self.io_latency.max() * 1e3,
+            deadline_misses: self.deadline_misses,
+            terminals_piggybacked: self
+                .piggyback
+                .as_ref()
+                .map_or(0, |p| p.terminals_piggybacked()),
+        }
+    }
+
+    // ----- inspection (tests, examples) ------------------------------------
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The generated library.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// The storage layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.cal.now()
+    }
+
+    /// Access a terminal (tests).
+    pub fn terminal(&self, t: u32) -> &Terminal {
+        &self.terminals[t as usize]
+    }
+
+    /// Total glitches across all terminals since simulation start (not
+    /// just the measurement window).
+    pub fn glitches_since_start(&self) -> u64 {
+        self.terminals.iter().map(|t| t.glitches_total()).sum()
+    }
+}

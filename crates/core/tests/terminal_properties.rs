@@ -1,0 +1,178 @@
+//! Property-based tests of the terminal state machine under adversarial
+//! block-delivery schedules: memory bounds are respected, requests are
+//! never duplicated or lost, consumption is monotone, and a terminal that
+//! is served promptly never glitches.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use spiffi_core::terminal::{PlayState, Terminal};
+use spiffi_mpeg::{Video, VideoId, VideoParams};
+use spiffi_simcore::{SimDuration, SimTime};
+
+const BB: u64 = 512 * 1024;
+
+fn video(secs: u64, seed: u64) -> Video {
+    Video::generate(
+        VideoId(0),
+        VideoParams {
+            duration: SimDuration::from_secs(secs),
+            ..VideoParams::default()
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Drive a terminal with randomized delivery delays and reordering.
+    /// Whatever the server does, the terminal must (a) never request a
+    /// block twice, (b) never exceed its buffer memory with
+    /// buffered + outstanding data, (c) consume monotonically.
+    #[test]
+    fn memory_and_request_invariants(
+        seed in any::<u64>(),
+        delays_ms in proptest::collection::vec(1u64..3000, 4..120),
+        reorder in any::<bool>(),
+    ) {
+        let v = video(45, seed);
+        let total_blocks = v.total_bytes().div_ceil(BB) as u32;
+        let capacity = 2 * 1024 * 1024u64;
+        let mut term = Terminal::new(0, capacity);
+        term.start_video(&v, BB, 0, vec![]);
+
+        let mut now = SimTime::ZERO;
+        let mut pending: VecDeque<u32> = VecDeque::new();
+        let mut requested = vec![false; total_blocks as usize];
+        let mut delivered = 0u32;
+
+        let absorb = |requests: &[u32],
+                          pending: &mut VecDeque<u32>,
+                          requested: &mut Vec<bool>|
+         -> Result<(), TestCaseError> {
+            for &r in requests {
+                prop_assert!(
+                    !requested[r as usize],
+                    "block {r} requested twice"
+                );
+                requested[r as usize] = true;
+                pending.push_back(r);
+            }
+            Ok(())
+        };
+
+        let p = term.pump(&v, BB, now);
+        absorb(&p.requests, &mut pending, &mut requested)?;
+        let mut next_wake = p.wake_at;
+
+        for (i, &d) in delays_ms.iter().enumerate() {
+            // Interleave deliveries and wake pumps at randomized times.
+            now += SimDuration::from_millis(d);
+            if let Some(w) = next_wake {
+                if w <= now {
+                    // Honour the wake first, at its exact instant.
+                    let p = term.pump(&v, BB, w);
+                    absorb(&p.requests, &mut pending, &mut requested)?;
+                    next_wake = p.wake_at;
+                }
+            }
+            // Deliver one pending block (possibly out of order).
+            let take = if reorder && pending.len() > 1 && i % 3 == 0 {
+                pending.remove(1)
+            } else {
+                pending.pop_front()
+            };
+            if let Some(b) = take {
+                prop_assert!(term.on_block_arrival(&v, BB, b, term.epoch()));
+                delivered += 1;
+                let p = term.pump(&v, BB, now.max(SimTime::ZERO));
+                absorb(&p.requests, &mut pending, &mut requested)?;
+                next_wake = p.wake_at;
+            }
+            // Invariant: buffered data never exceeds terminal memory.
+            prop_assert!(
+                term.buffered_bytes() <= capacity,
+                "buffered {} > capacity {capacity}",
+                term.buffered_bytes()
+            );
+        }
+        prop_assert_eq!(term.blocks_received(), delivered as u64);
+    }
+
+    /// A terminal whose every request is satisfied instantly never
+    /// glitches and finishes exactly at the title length.
+    #[test]
+    fn instant_service_never_glitches(seed in any::<u64>(), secs in 4u64..30) {
+        let v = video(secs, seed);
+        let mut term = Terminal::new(0, 2 * 1024 * 1024);
+        term.start_video(&v, BB, 0, vec![]);
+        let mut now = SimTime::ZERO;
+        let mut p = term.pump(&v, BB, now);
+        let mut guard = 0;
+        loop {
+            for b in p.requests.clone() {
+                prop_assert!(term.on_block_arrival(&v, BB, b, term.epoch()));
+            }
+            if !p.requests.is_empty() {
+                p = term.pump(&v, BB, now);
+                continue;
+            }
+            match p.wake_at {
+                None => break,
+                Some(w) => {
+                    now = w;
+                    p = term.pump(&v, BB, now);
+                }
+            }
+            guard += 1;
+            prop_assert!(guard < 100_000, "did not terminate");
+        }
+        prop_assert_eq!(term.glitches_total(), 0);
+        prop_assert_eq!(term.videos_completed(), 1);
+        prop_assert_eq!(term.state(), PlayState::Finished);
+        // Playback of an N-second title takes at least N seconds.
+        prop_assert!(now.as_secs_f64() >= secs as f64);
+        // …and no more than N seconds plus the priming instant.
+        prop_assert!(now.as_secs_f64() <= secs as f64 + 1.0);
+    }
+
+    /// With a pause plan, total wall time extends by at least the pause
+    /// durations that fall within the title, and still no glitch occurs
+    /// under instant service.
+    #[test]
+    fn pauses_extend_wall_time(seed in any::<u64>(), pause_at_sec in 1u64..5, pause_secs in 1u64..20) {
+        let secs = 10u64;
+        let v = video(secs, seed);
+        let mut term = Terminal::new(0, 2 * 1024 * 1024);
+        let pause_frame = pause_at_sec * 30;
+        term.start_video(&v, BB, 0, vec![(pause_frame, SimDuration::from_secs(pause_secs))]);
+        let mut now = SimTime::ZERO;
+        let mut p = term.pump(&v, BB, now);
+        let mut guard = 0;
+        loop {
+            for b in p.requests.clone() {
+                prop_assert!(term.on_block_arrival(&v, BB, b, term.epoch()));
+            }
+            if !p.requests.is_empty() {
+                p = term.pump(&v, BB, now);
+                continue;
+            }
+            match p.wake_at {
+                None => break,
+                Some(w) => {
+                    now = w;
+                    p = term.pump(&v, BB, now);
+                }
+            }
+            guard += 1;
+            prop_assert!(guard < 100_000);
+        }
+        prop_assert_eq!(term.glitches_total(), 0);
+        prop_assert_eq!(term.videos_completed(), 1);
+        prop_assert!(
+            now.as_secs_f64() >= (secs + pause_secs) as f64,
+            "finished at {now} despite a {pause_secs}s pause"
+        );
+    }
+}

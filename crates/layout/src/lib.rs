@@ -1,0 +1,769 @@
+//! Video storage layout: striping across nodes and disks (Figure 3 of the
+//! paper) plus the non-striped baseline of §7.4.
+//!
+//! SPIFFI "automatically stripes files across all the disks in the video
+//! server. … it first alternates between the nodes and then between the
+//! disks at each node. Thus, block A.0 is stored on node 0, disk 0; block
+//! A.1 is stored on node 1, disk 0; block A.2 is stored on node 0, disk 1."
+//! The portion of a video on one disk is a **fragment** and is laid out
+//! contiguously; each block is a **stripe block** of constant **stripe
+//! size**.
+//!
+//! The non-striped baseline stores each video whole on a single randomly
+//! chosen disk, with every disk holding the same number of videos — the
+//! configuration whose load imbalance Figures 13 and 14 quantify.
+
+#![warn(missing_docs)]
+
+pub mod topology;
+
+pub use topology::{DiskRef, NodeId, Topology};
+
+use spiffi_mpeg::{Library, VideoId};
+use spiffi_simcore::SimRng;
+
+/// Address of one stripe block within a video's byte stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr {
+    /// The video.
+    pub video: VideoId,
+    /// Zero-based stripe-block index within the video.
+    pub index: u32,
+}
+
+/// Physical location of a stripe block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockLocation {
+    /// The disk holding the block.
+    pub disk: DiskRef,
+    /// Byte offset of the block on that disk.
+    pub disk_byte: u64,
+    /// Length of the block in bytes (the final block of a video may be
+    /// shorter than the stripe size).
+    pub len: u64,
+}
+
+/// Placement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Full striping over all disks, node-major (Figure 3).
+    Striped,
+    /// Each video whole on one randomly chosen disk, balanced so every disk
+    /// holds the same number of videos (§7.4 baseline).
+    NonStriped,
+    /// Striping over fixed groups of `width` disks, videos dealt to groups
+    /// round-robin — the middle ground explored by the stripe-group
+    /// literature the paper cites (\[Bers94\], \[Chan94\]). `width = 1`
+    /// degenerates to a deterministic non-striped layout; `width = total
+    /// disks` is full striping.
+    StripeGroup {
+        /// Disks per stripe group; must divide the total disk count.
+        width: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum Scheme {
+    Striped {
+        /// `frag_base[v]` = byte offset on *every* disk at which video `v`'s
+        /// fragment begins (fragments of successive videos are laid out
+        /// contiguously in video order, identically on each disk).
+        frag_base: Vec<u64>,
+    },
+    NonStriped {
+        /// Global disk index holding each video.
+        disk_of_video: Vec<u32>,
+        /// Byte offset of each video on its disk.
+        video_base: Vec<u64>,
+    },
+    StripeGroup {
+        /// Disks per group.
+        width: u32,
+        /// Byte offset of each video's fragment on every disk of its group.
+        frag_base: Vec<u64>,
+    },
+}
+
+/// The mapping from stripe blocks to disks and disk byte offsets.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    topology: Topology,
+    block_bytes: u64,
+    video_bytes: Vec<u64>,
+    scheme: Scheme,
+}
+
+impl Layout {
+    /// Build a fully striped layout for the given library.
+    pub fn striped(topology: Topology, block_bytes: u64, library: &Library) -> Self {
+        assert!(block_bytes > 0);
+        let video_bytes: Vec<u64> = library.iter().map(|v| v.total_bytes()).collect();
+        let total_disks = topology.total_disks() as u64;
+        let mut frag_base = Vec::with_capacity(video_bytes.len());
+        let mut acc = 0u64;
+        for &bytes in &video_bytes {
+            frag_base.push(acc);
+            let blocks = bytes.div_ceil(block_bytes);
+            let frag_blocks = blocks.div_ceil(total_disks);
+            acc += frag_blocks * block_bytes;
+        }
+        Layout {
+            topology,
+            block_bytes,
+            video_bytes,
+            scheme: Scheme::Striped { frag_base },
+        }
+    }
+
+    /// Build the non-striped baseline: videos are dealt to disks in random
+    /// order, exactly `n_videos / n_disks` per disk (the paper's "each disk
+    /// held exactly 4 videos").
+    ///
+    /// # Panics
+    /// If the number of videos is not a multiple of the number of disks.
+    pub fn non_striped(
+        topology: Topology,
+        block_bytes: u64,
+        library: &Library,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(block_bytes > 0);
+        let video_bytes: Vec<u64> = library.iter().map(|v| v.total_bytes()).collect();
+        let n_videos = video_bytes.len();
+        let n_disks = topology.total_disks() as usize;
+        assert!(
+            n_videos.is_multiple_of(n_disks),
+            "non-striped layout requires videos ({n_videos}) to divide evenly \
+             across disks ({n_disks})"
+        );
+        let per_disk = n_videos / n_disks;
+        // Balanced random assignment: shuffle a deck holding each disk id
+        // `per_disk` times (Fisher-Yates).
+        let mut deck: Vec<u32> = (0..n_disks as u32)
+            .flat_map(|d| std::iter::repeat_n(d, per_disk))
+            .collect();
+        for i in (1..deck.len()).rev() {
+            deck.swap(i, rng.index(i + 1));
+        }
+        // Lay videos out per disk in video order, block-aligned.
+        let mut next_free = vec![0u64; n_disks];
+        let mut video_base = Vec::with_capacity(n_videos);
+        for (v, &bytes) in video_bytes.iter().enumerate() {
+            let d = deck[v] as usize;
+            video_base.push(next_free[d]);
+            next_free[d] += bytes.div_ceil(block_bytes) * block_bytes;
+        }
+        Layout {
+            topology,
+            block_bytes,
+            video_bytes,
+            scheme: Scheme::NonStriped {
+                disk_of_video: deck,
+                video_base,
+            },
+        }
+    }
+
+    /// Build a stripe-group layout: the disks are cut into groups of
+    /// `width` consecutive global indices; video `v` stripes over group
+    /// `v mod n_groups` only.
+    ///
+    /// # Panics
+    /// If `width` is zero or does not divide the total disk count.
+    pub fn stripe_group(
+        topology: Topology,
+        block_bytes: u64,
+        library: &Library,
+        width: u32,
+    ) -> Self {
+        assert!(block_bytes > 0);
+        assert!(
+            width >= 1 && topology.total_disks().is_multiple_of(width),
+            "group width {width} must divide {} disks",
+            topology.total_disks()
+        );
+        let video_bytes: Vec<u64> = library.iter().map(|v| v.total_bytes()).collect();
+        let n_groups = (topology.total_disks() / width) as usize;
+        // Per-group running offset; fragments of a group's videos are laid
+        // out contiguously on each of its disks, in video order.
+        let mut next_free = vec![0u64; n_groups];
+        let mut frag_base = Vec::with_capacity(video_bytes.len());
+        for (v, &bytes) in video_bytes.iter().enumerate() {
+            let g = v % n_groups;
+            frag_base.push(next_free[g]);
+            let blocks = bytes.div_ceil(block_bytes);
+            next_free[g] += blocks.div_ceil(width as u64) * block_bytes;
+        }
+        Layout {
+            topology,
+            block_bytes,
+            video_bytes,
+            scheme: Scheme::StripeGroup { width, frag_base },
+        }
+    }
+
+    /// The placement policy of this layout.
+    pub fn placement(&self) -> Placement {
+        match self.scheme {
+            Scheme::Striped { .. } => Placement::Striped,
+            Scheme::NonStriped { .. } => Placement::NonStriped,
+            Scheme::StripeGroup { width, .. } => Placement::StripeGroup { width },
+        }
+    }
+
+    /// Server topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The stripe size (striped) or read size (non-striped), in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Number of stripe blocks in a video.
+    pub fn num_blocks(&self, video: VideoId) -> u32 {
+        self.video_bytes[video.0 as usize].div_ceil(self.block_bytes) as u32
+    }
+
+    /// Byte range `[start, start + len)` of block `index` within the
+    /// video's stream.
+    pub fn block_range(&self, addr: BlockAddr) -> (u64, u64) {
+        let total = self.video_bytes[addr.video.0 as usize];
+        let start = addr.index as u64 * self.block_bytes;
+        assert!(start < total, "block {addr:?} beyond end of video");
+        let len = self.block_bytes.min(total - start);
+        (start, len)
+    }
+
+    /// Physical location of a stripe block.
+    pub fn locate(&self, addr: BlockAddr) -> BlockLocation {
+        let (_, len) = self.block_range(addr);
+        match &self.scheme {
+            Scheme::Striped { frag_base } => {
+                let i = addr.index as u64;
+                let nodes = self.topology.nodes as u64;
+                let dpn = self.topology.disks_per_node as u64;
+                // Figure 3: alternate over nodes first, then over the disks
+                // at each node.
+                let node = (i % nodes) as u32;
+                let disk = ((i / nodes) % dpn) as u32;
+                let pos_in_fragment = i / (nodes * dpn);
+                BlockLocation {
+                    disk: DiskRef {
+                        node: NodeId(node),
+                        disk,
+                    },
+                    disk_byte: frag_base[addr.video.0 as usize]
+                        + pos_in_fragment * self.block_bytes,
+                    len,
+                }
+            }
+            Scheme::NonStriped {
+                disk_of_video,
+                video_base,
+            } => {
+                let v = addr.video.0 as usize;
+                BlockLocation {
+                    disk: self.topology.disk_ref(disk_of_video[v]),
+                    disk_byte: video_base[v] + addr.index as u64 * self.block_bytes,
+                    len,
+                }
+            }
+            Scheme::StripeGroup { width, frag_base } => {
+                let v = addr.video.0 as usize;
+                let n_groups = (self.topology.total_disks() / width) as usize;
+                let g = (v % n_groups) as u32;
+                let i = addr.index as u64;
+                let disk_global = g * width + (i % *width as u64) as u32;
+                let pos_in_fragment = i / *width as u64;
+                BlockLocation {
+                    disk: self.topology.disk_ref(disk_global),
+                    disk_byte: frag_base[v] + pos_in_fragment * self.block_bytes,
+                    len,
+                }
+            }
+        }
+    }
+
+    /// The next block of the same video that lives on the *same disk* as
+    /// `addr` — the block the standard prefetching algorithm (§5.2.3)
+    /// requests after servicing `addr`.
+    pub fn next_block_same_disk(&self, addr: BlockAddr) -> Option<BlockAddr> {
+        let stride = match self.scheme {
+            Scheme::Striped { .. } => self.topology.total_disks(),
+            Scheme::NonStriped { .. } => 1,
+            Scheme::StripeGroup { width, .. } => width,
+        };
+        let next = addr.index.checked_add(stride)?;
+        if next < self.num_blocks(addr.video) {
+            Some(BlockAddr {
+                video: addr.video,
+                index: next,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Bytes of fragment data placed on a given disk (for capacity checks
+    /// and cylinder counts).
+    pub fn disk_used_bytes(&self, disk: DiskRef) -> u64 {
+        match &self.scheme {
+            Scheme::Striped { frag_base } => {
+                // All disks hold the same fragment layout; the last video's
+                // base plus its fragment length bounds usage.
+                let total_disks = self.topology.total_disks() as u64;
+                let last = self.video_bytes.len() - 1;
+                let blocks = self.video_bytes[last].div_ceil(self.block_bytes);
+                frag_base[last] + blocks.div_ceil(total_disks) * self.block_bytes
+            }
+            Scheme::NonStriped { disk_of_video, .. } => {
+                let g = self.topology.global_index(disk);
+                disk_of_video
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &d)| d == g)
+                    .map(|(v, _)| self.video_bytes[v].div_ceil(self.block_bytes) * self.block_bytes)
+                    .sum()
+            }
+            Scheme::StripeGroup { width, frag_base } => {
+                // All disks of a group carry identical fragment layouts;
+                // usage is that group's last video's base plus fragment.
+                let n_groups = (self.topology.total_disks() / width) as usize;
+                let group = (self.topology.global_index(disk) / width) as usize;
+                (0..self.video_bytes.len())
+                    .filter(|v| v % n_groups == group)
+                    .map(|v| {
+                        let blocks = self.video_bytes[v].div_ceil(self.block_bytes);
+                        frag_base[v] + blocks.div_ceil(*width as u64) * self.block_bytes
+                    })
+                    .max()
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Largest used byte offset across all disks (sizes the simulated disk).
+    pub fn max_disk_used_bytes(&self) -> u64 {
+        (0..self.topology.total_disks())
+            .map(|g| self.disk_used_bytes(self.topology.disk_ref(g)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiffi_mpeg::VideoParams;
+    use spiffi_simcore::SimDuration;
+
+    const KB: u64 = 1024;
+
+    fn library(n: usize) -> Library {
+        Library::generate(
+            n,
+            VideoParams {
+                duration: SimDuration::from_secs(60),
+                ..VideoParams::default()
+            },
+            7,
+        )
+    }
+
+    fn topo() -> Topology {
+        Topology {
+            nodes: 2,
+            disks_per_node: 2,
+        }
+    }
+
+    #[test]
+    fn figure3_block_to_disk_pattern() {
+        // With 2 nodes × 2 disks: block 0 → (n0,d0), 1 → (n1,d0),
+        // 2 → (n0,d1), 3 → (n1,d1), 4 → (n0,d0) again.
+        let lib = library(4);
+        let l = Layout::striped(topo(), 512 * KB, &lib);
+        let locs: Vec<(u32, u32)> = (0..5)
+            .map(|i| {
+                let loc = l.locate(BlockAddr {
+                    video: VideoId(0),
+                    index: i,
+                });
+                (loc.disk.node.0, loc.disk.disk)
+            })
+            .collect();
+        assert_eq!(locs, vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 0)]);
+    }
+
+    #[test]
+    fn fragments_are_contiguous_on_disk() {
+        let lib = library(4);
+        let l = Layout::striped(topo(), 512 * KB, &lib);
+        // Successive blocks on the same disk (stride = total disks) must be
+        // adjacent byte ranges.
+        let a = l.locate(BlockAddr {
+            video: VideoId(1),
+            index: 0,
+        });
+        let b = l.locate(BlockAddr {
+            video: VideoId(1),
+            index: 4,
+        });
+        assert_eq!(a.disk, b.disk);
+        assert_eq!(b.disk_byte, a.disk_byte + 512 * KB);
+    }
+
+    #[test]
+    fn fragments_of_successive_videos_do_not_overlap() {
+        let lib = library(4);
+        let l = Layout::striped(topo(), 512 * KB, &lib);
+        // Last block of video 0 on disk (0,0) must end at or before the
+        // first block of video 1 on the same disk.
+        let nblocks = l.num_blocks(VideoId(0));
+        let last_on_d0 = (0..nblocks)
+            .rev()
+            .find(|&i| {
+                l.locate(BlockAddr {
+                    video: VideoId(0),
+                    index: i,
+                })
+                .disk
+                    == DiskRef {
+                        node: NodeId(0),
+                        disk: 0,
+                    }
+            })
+            .unwrap();
+        let end = {
+            let loc = l.locate(BlockAddr {
+                video: VideoId(0),
+                index: last_on_d0,
+            });
+            loc.disk_byte + 512 * KB
+        };
+        let v1_first = l.locate(BlockAddr {
+            video: VideoId(1),
+            index: 0,
+        });
+        assert!(v1_first.disk_byte >= end);
+    }
+
+    #[test]
+    fn block_ranges_cover_video_exactly() {
+        let lib = library(2);
+        let l = Layout::striped(topo(), 512 * KB, &lib);
+        let v = VideoId(1);
+        let n = l.num_blocks(v);
+        let mut covered = 0u64;
+        for i in 0..n {
+            let (start, len) = l.block_range(BlockAddr { video: v, index: i });
+            assert_eq!(start, covered);
+            covered += len;
+            if i + 1 < n {
+                assert_eq!(len, 512 * KB, "only the last block may be short");
+            }
+        }
+        assert_eq!(covered, lib.get(v).total_bytes());
+    }
+
+    #[test]
+    fn striped_spreads_over_all_disks_evenly() {
+        let lib = library(4);
+        let l = Layout::striped(topo(), 512 * KB, &lib);
+        let n = l.num_blocks(VideoId(0));
+        let mut counts = [0u32; 4];
+        for i in 0..n {
+            let loc = l.locate(BlockAddr {
+                video: VideoId(0),
+                index: i,
+            });
+            counts[l.topology().global_index(loc.disk) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "counts {counts:?}");
+    }
+
+    #[test]
+    fn non_striped_keeps_video_on_one_disk() {
+        let lib = library(8);
+        let mut rng = SimRng::new(1);
+        let l = Layout::non_striped(topo(), 512 * KB, &lib, &mut rng);
+        for v in 0..8 {
+            let video = VideoId(v);
+            let d0 = l.locate(BlockAddr { video, index: 0 }).disk;
+            for i in 1..l.num_blocks(video) {
+                assert_eq!(l.locate(BlockAddr { video, index: i }).disk, d0);
+            }
+        }
+    }
+
+    #[test]
+    fn non_striped_is_balanced() {
+        let lib = library(8);
+        let mut rng = SimRng::new(2);
+        let l = Layout::non_striped(topo(), 512 * KB, &lib, &mut rng);
+        let mut per_disk = [0u32; 4];
+        for v in 0..8 {
+            let d = l
+                .locate(BlockAddr {
+                    video: VideoId(v),
+                    index: 0,
+                })
+                .disk;
+            per_disk[l.topology().global_index(d) as usize] += 1;
+        }
+        assert_eq!(per_disk, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn non_striped_videos_do_not_overlap_on_disk() {
+        let lib = library(8);
+        let mut rng = SimRng::new(3);
+        let l = Layout::non_striped(topo(), 512 * KB, &lib, &mut rng);
+        // Collect (disk, start, end) for each video and check pairwise
+        // disjointness per disk.
+        let mut extents: Vec<(u32, u64, u64)> = Vec::new();
+        for v in 0..8 {
+            let video = VideoId(v);
+            let first = l.locate(BlockAddr { video, index: 0 });
+            let nb = l.num_blocks(video) as u64;
+            let g = l.topology().global_index(first.disk);
+            extents.push((g, first.disk_byte, first.disk_byte + nb * 512 * KB));
+        }
+        for (i, a) in extents.iter().enumerate() {
+            for b in extents.iter().skip(i + 1) {
+                if a.0 == b.0 {
+                    assert!(a.2 <= b.1 || b.2 <= a.1, "overlap {a:?} {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn non_striped_requires_divisible_counts() {
+        let lib = library(5);
+        let mut rng = SimRng::new(4);
+        let _ = Layout::non_striped(topo(), 512 * KB, &lib, &mut rng);
+    }
+
+    #[test]
+    fn prefetch_stride_striped() {
+        let lib = library(4);
+        let l = Layout::striped(topo(), 512 * KB, &lib);
+        let a = BlockAddr {
+            video: VideoId(0),
+            index: 1,
+        };
+        let next = l.next_block_same_disk(a).unwrap();
+        assert_eq!(next.index, 5);
+        assert_eq!(l.locate(a).disk, l.locate(next).disk);
+        // Past the end: none.
+        let last = BlockAddr {
+            video: VideoId(0),
+            index: l.num_blocks(VideoId(0)) - 1,
+        };
+        assert_eq!(l.next_block_same_disk(last), None);
+    }
+
+    #[test]
+    fn prefetch_stride_non_striped() {
+        let lib = library(8);
+        let mut rng = SimRng::new(5);
+        let l = Layout::non_striped(topo(), 512 * KB, &lib, &mut rng);
+        let a = BlockAddr {
+            video: VideoId(0),
+            index: 0,
+        };
+        let next = l.next_block_same_disk(a).unwrap();
+        assert_eq!(next.index, 1);
+        assert_eq!(l.locate(a).disk, l.locate(next).disk);
+    }
+
+    #[test]
+    fn disk_usage_accounting() {
+        let lib = library(4);
+        let l = Layout::striped(topo(), 512 * KB, &lib);
+        let used = l.max_disk_used_bytes();
+        // 4 videos, each contributing ~1/4 of its blocks per disk.
+        let expect: u64 = lib
+            .iter()
+            .map(|v| v.total_bytes().div_ceil(512 * KB).div_ceil(4) * 512 * KB)
+            .sum();
+        assert_eq!(used, expect);
+
+        let mut rng = SimRng::new(6);
+        let lib8 = library(8);
+        let ns = Layout::non_striped(topo(), 512 * KB, &lib8, &mut rng);
+        let total: u64 = (0..4)
+            .map(|g| ns.disk_used_bytes(ns.topology().disk_ref(g)))
+            .sum();
+        let expect: u64 = lib8
+            .iter()
+            .map(|v| v.total_bytes().div_ceil(512 * KB) * 512 * KB)
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn placement_accessor() {
+        let lib = library(4);
+        let l = Layout::striped(topo(), 512 * KB, &lib);
+        assert_eq!(l.placement(), Placement::Striped);
+        let mut rng = SimRng::new(7);
+        let n = Layout::non_striped(topo(), 512 * KB, &lib, &mut rng);
+        assert_eq!(n.placement(), Placement::NonStriped);
+    }
+}
+
+#[cfg(test)]
+mod stripe_group_tests {
+    use super::*;
+    use spiffi_mpeg::VideoParams;
+    use spiffi_simcore::SimDuration;
+
+    const KB: u64 = 1024;
+
+    fn library(n: usize) -> Library {
+        Library::generate(
+            n,
+            VideoParams {
+                duration: SimDuration::from_secs(60),
+                ..VideoParams::default()
+            },
+            7,
+        )
+    }
+
+    fn topo() -> Topology {
+        Topology {
+            nodes: 2,
+            disks_per_node: 2,
+        }
+    }
+
+    #[test]
+    fn width_equal_to_total_disks_behaves_like_full_striping() {
+        let lib = library(4);
+        let sg = Layout::stripe_group(topo(), 512 * KB, &lib, 4);
+        let full = Layout::striped(topo(), 512 * KB, &lib);
+        // Same per-video block counts and one-disk-per-block distribution
+        // across all four disks.
+        for v in 0..4u32 {
+            let video = VideoId(v);
+            assert_eq!(sg.num_blocks(video), full.num_blocks(video));
+            let mut counts = [0u32; 4];
+            for i in 0..sg.num_blocks(video) {
+                let loc = sg.locate(BlockAddr { video, index: i });
+                counts[topo().global_index(loc.disk) as usize] += 1;
+            }
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(max - min <= 1, "imbalanced {counts:?}");
+        }
+        assert_eq!(sg.placement(), Placement::StripeGroup { width: 4 });
+    }
+
+    #[test]
+    fn width_one_keeps_each_video_on_one_disk() {
+        let lib = library(8);
+        let sg = Layout::stripe_group(topo(), 512 * KB, &lib, 1);
+        for v in 0..8u32 {
+            let video = VideoId(v);
+            let d0 = sg.locate(BlockAddr { video, index: 0 }).disk;
+            for i in 1..sg.num_blocks(video) {
+                assert_eq!(sg.locate(BlockAddr { video, index: i }).disk, d0);
+            }
+        }
+        // Round-robin dealing: videos 0 and 4 share disk group 0.
+        let a = sg
+            .locate(BlockAddr {
+                video: VideoId(0),
+                index: 0,
+            })
+            .disk;
+        let b = sg
+            .locate(BlockAddr {
+                video: VideoId(4),
+                index: 0,
+            })
+            .disk;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn width_two_confines_each_video_to_its_group() {
+        let lib = library(4);
+        let sg = Layout::stripe_group(topo(), 512 * KB, &lib, 2);
+        for v in 0..4u32 {
+            let video = VideoId(v);
+            let group = v % 2;
+            for i in 0..sg.num_blocks(video) {
+                let loc = sg.locate(BlockAddr { video, index: i });
+                let g = topo().global_index(loc.disk);
+                assert_eq!(g / 2, group, "video {v} block {i} left its group");
+            }
+        }
+    }
+
+    #[test]
+    fn stripe_group_extents_do_not_overlap() {
+        let lib = library(6);
+        let sg = Layout::stripe_group(topo(), 512 * KB, &lib, 2);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..6u32 {
+            let video = VideoId(v);
+            for i in 0..sg.num_blocks(video) {
+                let loc = sg.locate(BlockAddr { video, index: i });
+                let g = topo().global_index(loc.disk);
+                assert!(
+                    seen.insert((g, loc.disk_byte)),
+                    "collision at disk {g} byte {}",
+                    loc.disk_byte
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_stride_equals_group_width() {
+        let lib = library(4);
+        let sg = Layout::stripe_group(topo(), 512 * KB, &lib, 2);
+        let a = BlockAddr {
+            video: VideoId(0),
+            index: 3,
+        };
+        let next = sg.next_block_same_disk(a).unwrap();
+        assert_eq!(next.index, 5);
+        assert_eq!(sg.locate(a).disk, sg.locate(next).disk);
+    }
+
+    #[test]
+    fn disk_usage_covers_group_videos() {
+        let lib = library(4);
+        let sg = Layout::stripe_group(topo(), 512 * KB, &lib, 2);
+        let used = sg.max_disk_used_bytes();
+        // Each group holds two videos, each contributing half its blocks
+        // per member disk.
+        let expect: u64 = (0..4)
+            .step_by(2)
+            .map(|v| {
+                lib.get(VideoId(v))
+                    .total_bytes()
+                    .div_ceil(512 * KB)
+                    .div_ceil(2)
+                    * 512
+                    * KB
+            })
+            .sum();
+        assert!(used >= expect, "used {used} < {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn width_must_divide_disk_count() {
+        let lib = library(4);
+        let _ = Layout::stripe_group(topo(), 512 * KB, &lib, 3);
+    }
+}

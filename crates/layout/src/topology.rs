@@ -1,0 +1,127 @@
+//! Server topology: nodes and the disks attached to each.
+
+use std::fmt;
+
+/// Identifier of a server node (CPU + memory + disks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A disk identified by its node and node-local index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DiskRef {
+    /// Owning node.
+    pub node: NodeId,
+    /// Index of the disk within its node.
+    pub disk: u32,
+}
+
+impl fmt::Display for DiskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/disk{}", self.node, self.disk)
+    }
+}
+
+/// Shape of the video server: `nodes` × `disks_per_node`.
+///
+/// The paper's base configuration is 4 nodes × 4 disks; scale-up goes to
+/// 4 × 8 and 4 × 16 (§7.6: "Four CPUs were used regardless of the number of
+/// disks").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of server nodes.
+    pub nodes: u32,
+    /// Disks attached to each node.
+    pub disks_per_node: u32,
+}
+
+impl Topology {
+    /// Total disks in the server.
+    pub fn total_disks(&self) -> u32 {
+        self.nodes * self.disks_per_node
+    }
+
+    /// Global disk index of a disk reference, numbering disks in the
+    /// striping order of Figure 3 (nodes vary fastest).
+    pub fn global_index(&self, d: DiskRef) -> u32 {
+        debug_assert!(d.node.0 < self.nodes && d.disk < self.disks_per_node);
+        d.disk * self.nodes + d.node.0
+    }
+
+    /// Inverse of [`Topology::global_index`].
+    pub fn disk_ref(&self, global: u32) -> DiskRef {
+        debug_assert!(global < self.total_disks());
+        DiskRef {
+            node: NodeId(global % self.nodes),
+            disk: global / self.nodes,
+        }
+    }
+
+    /// Iterate over all disks in global-index order.
+    pub fn disks(&self) -> impl Iterator<Item = DiskRef> + '_ {
+        (0..self.total_disks()).map(|g| self.disk_ref(g))
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_index_round_trips() {
+        let t = Topology {
+            nodes: 4,
+            disks_per_node: 4,
+        };
+        for g in 0..t.total_disks() {
+            assert_eq!(t.global_index(t.disk_ref(g)), g);
+        }
+    }
+
+    #[test]
+    fn global_order_alternates_nodes_first() {
+        // Matches Figure 3: consecutive stripe blocks go to consecutive
+        // global indices, which alternate nodes before disks.
+        let t = Topology {
+            nodes: 2,
+            disks_per_node: 2,
+        };
+        let order: Vec<(u32, u32)> = (0..4)
+            .map(|g| {
+                let d = t.disk_ref(g);
+                (d.node.0, d.disk)
+            })
+            .collect();
+        assert_eq!(order, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let t = Topology {
+            nodes: 3,
+            disks_per_node: 2,
+        };
+        assert_eq!(t.disks().count(), 6);
+        assert_eq!(t.node_ids().count(), 3);
+        assert_eq!(t.total_disks(), 6);
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = DiskRef {
+            node: NodeId(2),
+            disk: 3,
+        };
+        assert_eq!(d.to_string(), "node2/disk3");
+    }
+}

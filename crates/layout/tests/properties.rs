@@ -1,0 +1,123 @@
+//! Property-based tests of the storage layout: the striping map must be a
+//! bijection onto non-overlapping disk extents for any topology and stripe
+//! size, and prefetch strides must stay on-disk.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use spiffi_layout::{BlockAddr, Layout, Topology};
+use spiffi_mpeg::{Library, VideoId, VideoParams};
+use spiffi_simcore::{SimDuration, SimRng};
+
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    (1u32..5, 1u32..5).prop_map(|(nodes, disks_per_node)| Topology {
+        nodes,
+        disks_per_node,
+    })
+}
+
+fn library(n: usize, secs: u64) -> Library {
+    Library::generate(
+        n,
+        VideoParams {
+            duration: SimDuration::from_secs(secs),
+            ..VideoParams::default()
+        },
+        99,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No two stripe blocks of any videos ever map to overlapping byte
+    /// ranges of the same disk.
+    #[test]
+    fn striped_extents_never_overlap(
+        topo in topo_strategy(),
+        stripe_kb in prop::sample::select(vec![128u64, 256, 512, 1024]),
+        n_videos in 1usize..5,
+    ) {
+        let lib = library(n_videos, 8);
+        let l = Layout::striped(topo, stripe_kb * 1024, &lib);
+        // (disk, byte) -> block, for every block of every video.
+        let mut seen: HashMap<(u32, u64), BlockAddr> = HashMap::new();
+        for v in 0..n_videos as u32 {
+            let video = VideoId(v);
+            for i in 0..l.num_blocks(video) {
+                let addr = BlockAddr { video, index: i };
+                let loc = l.locate(addr);
+                let g = topo.global_index(loc.disk);
+                let prev = seen.insert((g, loc.disk_byte), addr);
+                prop_assert!(prev.is_none(), "{addr:?} collides with {prev:?}");
+                // Extents are stripe-aligned, so distinct starts suffice.
+                prop_assert_eq!(loc.disk_byte % (stripe_kb * 1024), 0);
+            }
+        }
+    }
+
+    /// Blocks of one video spread evenly: any two disks' block counts
+    /// differ by at most one.
+    #[test]
+    fn striped_balance(topo in topo_strategy(), stripe_kb in prop::sample::select(vec![256u64, 512])) {
+        let lib = library(1, 20);
+        let l = Layout::striped(topo, stripe_kb * 1024, &lib);
+        let mut counts = vec![0u32; topo.total_disks() as usize];
+        for i in 0..l.num_blocks(VideoId(0)) {
+            let loc = l.locate(BlockAddr { video: VideoId(0), index: i });
+            counts[topo.global_index(loc.disk) as usize] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "imbalanced: {counts:?}");
+    }
+
+    /// The prefetch stride always lands on the same disk, strictly later
+    /// in the stream.
+    #[test]
+    fn prefetch_stride_stays_on_disk(
+        topo in topo_strategy(),
+        sel in any::<prop::sample::Index>(),
+    ) {
+        let lib = library(2, 8);
+        let l = Layout::striped(topo, 512 * 1024, &lib);
+        let nblocks = l.num_blocks(VideoId(1));
+        let i = sel.index(nblocks as usize) as u32;
+        let addr = BlockAddr { video: VideoId(1), index: i };
+        if let Some(next) = l.next_block_same_disk(addr) {
+            prop_assert!(next.index > i);
+            prop_assert_eq!(l.locate(next).disk, l.locate(addr).disk);
+        } else {
+            // Only blocks within one stride of the end lack a successor.
+            prop_assert!(i + topo.total_disks() >= nblocks);
+        }
+    }
+
+    /// Non-striped layouts keep each video whole on one disk with
+    /// non-overlapping extents, regardless of the shuffle seed.
+    #[test]
+    fn non_striped_extents_never_overlap(seed in any::<u64>()) {
+        let topo = Topology { nodes: 2, disks_per_node: 2 };
+        let lib = library(8, 8);
+        let mut rng = SimRng::new(seed);
+        let l = Layout::non_striped(topo, 512 * 1024, &lib, &mut rng);
+        let mut extents: Vec<(u32, u64, u64)> = Vec::new();
+        for v in 0..8u32 {
+            let video = VideoId(v);
+            let first = l.locate(BlockAddr { video, index: 0 });
+            let g = topo.global_index(first.disk);
+            let len = l.num_blocks(video) as u64 * 512 * 1024;
+            for i in 1..l.num_blocks(video) {
+                prop_assert_eq!(l.locate(BlockAddr { video, index: i }).disk, first.disk);
+            }
+            extents.push((g, first.disk_byte, first.disk_byte + len));
+        }
+        for (i, a) in extents.iter().enumerate() {
+            for b in extents.iter().skip(i + 1) {
+                if a.0 == b.0 {
+                    prop_assert!(a.2 <= b.1 || b.2 <= a.1, "overlap {a:?} {b:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! MPEG frame types and the group-of-pictures pattern.
+
+use std::fmt;
+
+/// The three MPEG-I frame types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameType {
+    /// Intra-coded: self-contained, largest, least frequent.
+    I,
+    /// Predicted from the previous I/P frame.
+    P,
+    /// Bidirectionally predicted: smallest, most frequent.
+    B,
+}
+
+impl fmt::Display for FrameType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameType::I => write!(f, "I"),
+            FrameType::P => write!(f, "P"),
+            FrameType::B => write!(f, "B"),
+        }
+    }
+}
+
+/// Frames per group of pictures in the paper's 1:4:10 pattern.
+pub const GOP_LEN: usize = 15;
+
+/// The repeating GOP structure and per-type mean frame sizes.
+///
+/// The display-order pattern `I B B P B B P B B P B B P B B` yields exactly
+/// 1 I, 4 P and 10 B frames per 15 — the paper's 1:4:10 frequency ratio.
+/// Mean sizes follow the 10:5:2 size ratio scaled so the expected stream
+/// rate equals the configured bit rate.
+#[derive(Clone, Copy, Debug)]
+pub struct GopPattern {
+    mean_i: f64,
+    mean_p: f64,
+    mean_b: f64,
+}
+
+/// The canonical display-order frame-type sequence of one GOP.
+pub const GOP_SEQUENCE: [FrameType; GOP_LEN] = {
+    use FrameType::*;
+    [I, B, B, P, B, B, P, B, B, P, B, B, P, B, B]
+};
+
+impl GopPattern {
+    /// Build the pattern for a stream of `bit_rate` bits/second at `fps`
+    /// frames/second with the paper's 10:5:2 I:P:B size ratio.
+    pub fn for_bit_rate(bit_rate_bps: u64, fps: u32) -> Self {
+        assert!(bit_rate_bps > 0 && fps > 0);
+        let mean_frame_bytes = bit_rate_bps as f64 / 8.0 / fps as f64;
+        // Per GOP: 1×10u + 4×5u + 10×2u = 50u bytes across 15 frames.
+        let unit = mean_frame_bytes * GOP_LEN as f64 / 50.0;
+        GopPattern {
+            mean_i: 10.0 * unit,
+            mean_p: 5.0 * unit,
+            mean_b: 2.0 * unit,
+        }
+    }
+
+    /// Mean compressed size in bytes for one frame of the given type.
+    pub fn mean_size(&self, ty: FrameType) -> f64 {
+        match ty {
+            FrameType::I => self.mean_i,
+            FrameType::P => self.mean_p,
+            FrameType::B => self.mean_b,
+        }
+    }
+
+    /// Frame type at display-order position `i` within a GOP.
+    pub fn frame_type(&self, i: usize) -> FrameType {
+        GOP_SEQUENCE[i % GOP_LEN]
+    }
+
+    /// Expected bytes per full GOP.
+    pub fn mean_gop_bytes(&self) -> f64 {
+        GOP_SEQUENCE.iter().map(|&t| self.mean_size(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gop_sequence_has_paper_frequency_ratio() {
+        let i = GOP_SEQUENCE.iter().filter(|&&t| t == FrameType::I).count();
+        let p = GOP_SEQUENCE.iter().filter(|&&t| t == FrameType::P).count();
+        let b = GOP_SEQUENCE.iter().filter(|&&t| t == FrameType::B).count();
+        assert_eq!((i, p, b), (1, 4, 10));
+    }
+
+    #[test]
+    fn size_ratio_is_10_5_2() {
+        let g = GopPattern::for_bit_rate(4_000_000, 30);
+        assert!((g.mean_size(FrameType::I) / g.mean_size(FrameType::B) - 5.0).abs() < 1e-9);
+        assert!((g.mean_size(FrameType::P) / g.mean_size(FrameType::B) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_rate_matches_bit_rate() {
+        let g = GopPattern::for_bit_rate(4_000_000, 30);
+        // A GOP spans 15/30 = 0.5 s; expected bytes must equal 4 Mbit/2.
+        let expected_bytes_per_gop = 4_000_000.0 / 8.0 * (GOP_LEN as f64 / 30.0);
+        assert!((g.mean_gop_bytes() - expected_bytes_per_gop).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_parameter_mean_sizes() {
+        // 4 Mbit/s at 30 fps: mean frame = 16 666.7 B, unit u = 5 000 B,
+        // so I = 50 000, P = 25 000, B = 10 000 bytes.
+        let g = GopPattern::for_bit_rate(4_000_000, 30);
+        assert!((g.mean_size(FrameType::I) - 50_000.0).abs() < 1.0);
+        assert!((g.mean_size(FrameType::P) - 25_000.0).abs() < 1.0);
+        assert!((g.mean_size(FrameType::B) - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn frame_type_wraps_across_gops() {
+        let g = GopPattern::for_bit_rate(1_500_000, 30);
+        assert_eq!(g.frame_type(0), FrameType::I);
+        assert_eq!(g.frame_type(GOP_LEN), FrameType::I);
+        assert_eq!(g.frame_type(GOP_LEN + 3), FrameType::P);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FrameType::I.to_string(), "I");
+        assert_eq!(FrameType::P.to_string(), "P");
+        assert_eq!(FrameType::B.to_string(), "B");
+    }
+}

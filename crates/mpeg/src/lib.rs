@@ -1,0 +1,32 @@
+//! Synthetic MPEG-I video streams, per §6.1 of the SPIFFI paper.
+//!
+//! "To make the simulator as accurate as possible, the display of individual
+//! MPEG frames is simulated." A compressed stream interleaves three frame
+//! types — intra (I), predicted (P) and bidirectional (B) — in a repeating
+//! 15-frame group of pictures. The paper's parameters:
+//!
+//! * I:P:B frame **frequency** ratio 1:4:10 (the classic
+//!   `IBBPBBPBBPBBPBB` GOP),
+//! * I:P:B frame **size** ratio 10:5:2,
+//! * overall bit rate 4 Mbit/s at NTSC's ~30 frames/s,
+//! * individual frame sizes exponentially distributed,
+//! * "Each time the same video is played, the same sequence of frames and
+//!   frame sizes is repeated" — frame sizes are a deterministic function of
+//!   `(video seed, frame index)`.
+//!
+//! A one-hour video has 108 000 frames. Storing every frame's byte offset
+//! would cost ~1 MB per title, so [`Video`] keeps a cumulative index at GOP
+//! granularity (~57 KB per hour of video) and regenerates the 15 frames
+//! inside a GOP on demand — exact, deterministic, and cheap. [`PlayCursor`]
+//! adds an O(1) sequential window over that index for the terminal's
+//! frame-accurate consumption.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod library;
+pub mod video;
+
+pub use frame::{FrameType, GopPattern, GOP_LEN};
+pub use library::{AccessPattern, Library, TitleSelector};
+pub use video::{PlayCursor, Video, VideoId, VideoParams};

@@ -1,0 +1,460 @@
+//! A single synthetic video title and its frame-accurate byte index.
+
+use spiffi_simcore::time::NANOS_PER_SEC;
+use spiffi_simcore::{dist::Exponential, SimDuration, SimRng};
+
+use crate::frame::{GopPattern, GOP_LEN, GOP_SEQUENCE};
+
+/// Identifier of a video title. Titles are numbered in popularity order:
+/// video 0 is the most requested title (rank 0 of the Zipfian distribution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VideoId(pub u32);
+
+/// Stream parameters for generated titles.
+#[derive(Clone, Copy, Debug)]
+pub struct VideoParams {
+    /// Compressed stream rate in bits/second (paper: 4 Mbit/s).
+    pub bit_rate_bps: u64,
+    /// Display rate in frames/second (paper: NTSC ≈ 30).
+    pub fps: u32,
+    /// Title length (paper: 60 minutes).
+    pub duration: SimDuration,
+}
+
+impl Default for VideoParams {
+    fn default() -> Self {
+        VideoParams {
+            bit_rate_bps: 4_000_000,
+            fps: 30,
+            duration: SimDuration::from_secs(3600),
+        }
+    }
+}
+
+impl VideoParams {
+    /// Total number of displayed frames in the title.
+    pub fn num_frames(&self) -> u64 {
+        // duration * fps, rounded down to whole frames.
+        (self.duration.0 as u128 * self.fps as u128 / NANOS_PER_SEC as u128) as u64
+    }
+
+    /// Display instant of frame `f` relative to playback start.
+    pub fn frame_display_offset(&self, f: u64) -> SimDuration {
+        SimDuration((f as u128 * NANOS_PER_SEC as u128 / self.fps as u128) as u64)
+    }
+
+    /// Mean stream rate in bytes/second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bit_rate_bps as f64 / 8.0
+    }
+}
+
+/// One video title: a deterministic sequence of I/P/B frames with
+/// exponentially distributed sizes, indexed at GOP granularity.
+#[derive(Clone, Debug)]
+pub struct Video {
+    id: VideoId,
+    seed: u64,
+    params: VideoParams,
+    pattern: GopPattern,
+    /// `gop_cum[g]` = total bytes of all frames before GOP `g`;
+    /// `gop_cum[ngops]` = total title bytes.
+    gop_cum: Vec<u64>,
+    num_frames: u64,
+}
+
+impl Video {
+    /// Generate title `id` with the given parameters.
+    ///
+    /// `library_seed` is shared by the whole library; each title derives its
+    /// own stream from `(library_seed, id)`, so "each time the same video is
+    /// played, the same sequence of frames and frame sizes is repeated"
+    /// (§6.1) regardless of what else the simulation does.
+    pub fn generate(id: VideoId, params: VideoParams, library_seed: u64) -> Self {
+        let seed = SimRng::stream(library_seed, id.0 as u64).next_u64_raw();
+        let pattern = GopPattern::for_bit_rate(params.bit_rate_bps, params.fps);
+        let num_frames = params.num_frames();
+        let ngops = num_frames.div_ceil(GOP_LEN as u64);
+        let mut gop_cum = Vec::with_capacity(ngops as usize + 1);
+        let mut acc = 0u64;
+        gop_cum.push(0);
+        let mut v = Video {
+            id,
+            seed,
+            params,
+            pattern,
+            gop_cum: Vec::new(),
+            num_frames,
+        };
+        for g in 0..ngops {
+            let sizes = v.gop_frame_sizes(g);
+            let frames_in_gop = gop_frames(num_frames, g);
+            acc += sizes[..frames_in_gop].iter().sum::<u64>();
+            gop_cum.push(acc);
+        }
+        v.gop_cum = gop_cum;
+        v
+    }
+
+    /// Title identifier.
+    pub fn id(&self) -> VideoId {
+        self.id
+    }
+
+    /// Stream parameters.
+    pub fn params(&self) -> &VideoParams {
+        &self.params
+    }
+
+    /// The GOP size pattern in use.
+    pub fn pattern(&self) -> &GopPattern {
+        &self.pattern
+    }
+
+    /// Total compressed size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        *self.gop_cum.last().expect("at least one GOP boundary")
+    }
+
+    /// Total number of frames.
+    pub fn num_frames(&self) -> u64 {
+        self.num_frames
+    }
+
+    /// Number of GOPs (last may be partial).
+    pub fn num_gops(&self) -> u64 {
+        self.gop_cum.len() as u64 - 1
+    }
+
+    /// Deterministically regenerate the frame sizes of GOP `g`
+    /// (display order, `GOP_LEN` entries; for a partial final GOP the tail
+    /// entries are generated but unused).
+    pub fn gop_frame_sizes(&self, g: u64) -> [u64; GOP_LEN] {
+        let mut rng = SimRng::stream(self.seed, g);
+        let mut out = [0u64; GOP_LEN];
+        for (slot, &ty) in out.iter_mut().zip(GOP_SEQUENCE.iter()) {
+            let dist = Exponential::new(self.pattern.mean_size(ty));
+            *slot = (dist.sample(&mut rng).round() as u64).max(1);
+        }
+        out
+    }
+
+    /// Bytes occupied by frames `[0, f)`.
+    pub fn cum_bytes_at_frame(&self, f: u64) -> u64 {
+        let f = f.min(self.num_frames);
+        let g = f / GOP_LEN as u64;
+        let rem = (f % GOP_LEN as u64) as usize;
+        let mut total = self.gop_cum[g as usize];
+        if rem > 0 {
+            let sizes = self.gop_frame_sizes(g);
+            total += sizes[..rem].iter().sum::<u64>();
+        }
+        total
+    }
+
+    /// The frame containing byte offset `byte` (clamped to the last frame
+    /// at or past end of title).
+    pub fn frame_at_byte(&self, byte: u64) -> u64 {
+        if byte >= self.total_bytes() {
+            return self.num_frames.saturating_sub(1);
+        }
+        // partition_point over GOP boundaries: first GOP whose cumulative
+        // start exceeds `byte`, minus one.
+        let g = self.gop_cum.partition_point(|&c| c <= byte) as u64 - 1;
+        let sizes = self.gop_frame_sizes(g);
+        let mut acc = self.gop_cum[g as usize];
+        for (i, &s) in sizes[..gop_frames(self.num_frames, g)].iter().enumerate() {
+            acc += s;
+            if acc > byte {
+                return g * GOP_LEN as u64 + i as u64;
+            }
+        }
+        unreachable!("byte {byte} not inside GOP {g} of video {:?}", self.id)
+    }
+
+    /// Display instant of frame `f`, as an offset from playback start.
+    pub fn frame_display_offset(&self, f: u64) -> SimDuration {
+        self.params.frame_display_offset(f)
+    }
+
+    /// The frame on display at playback offset `t` (clamped to last frame).
+    pub fn frame_at_offset(&self, t: SimDuration) -> u64 {
+        let f = (t.0 as u128 * self.params.fps as u128 / NANOS_PER_SEC as u128) as u64;
+        f.min(self.num_frames.saturating_sub(1))
+    }
+
+    /// Measured mean bit rate of this particular title, bits/second.
+    pub fn actual_bit_rate_bps(&self) -> f64 {
+        self.total_bytes() as f64 * 8.0 / self.params.duration.as_secs_f64()
+    }
+}
+
+/// Frames actually present in GOP `g` of a title with `num_frames` frames.
+fn gop_frames(num_frames: u64, g: u64) -> usize {
+    let start = g * GOP_LEN as u64;
+    (num_frames.saturating_sub(start)).min(GOP_LEN as u64) as usize
+}
+
+/// A sequential read position over a [`Video`], caching the current GOP so
+/// frame-by-frame advancement is O(1) amortized.
+///
+/// The cursor stores no reference to the video (terminals own cursors while
+/// the library owns videos), so every method takes the `&Video` it was
+/// created for. Passing a different video is a logic error caught by a
+/// debug assertion.
+#[derive(Clone, Debug)]
+pub struct PlayCursor {
+    video: VideoId,
+    frame: u64,
+    gop_idx: u64,
+    /// Cumulative bytes within the cached GOP: `within_cum[i]` = bytes of
+    /// the GOP's first `i` frames.
+    within_cum: [u64; GOP_LEN + 1],
+    /// Bytes before the cached GOP.
+    gop_base: u64,
+}
+
+impl PlayCursor {
+    /// A cursor positioned at `frame` of `video`.
+    pub fn new(video: &Video, frame: u64) -> Self {
+        let mut c = PlayCursor {
+            video: video.id(),
+            frame: 0,
+            gop_idx: u64::MAX,
+            within_cum: [0; GOP_LEN + 1],
+            gop_base: 0,
+        };
+        c.seek(video, frame);
+        c
+    }
+
+    fn load_gop(&mut self, video: &Video, g: u64) {
+        let sizes = video.gop_frame_sizes(g);
+        self.within_cum[0] = 0;
+        for (i, &size) in sizes.iter().enumerate() {
+            self.within_cum[i + 1] = self.within_cum[i] + size;
+        }
+        self.gop_base = video.gop_cum[g as usize];
+        self.gop_idx = g;
+    }
+
+    /// Current frame index.
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// True when the cursor is past the last frame.
+    pub fn at_end(&self, video: &Video) -> bool {
+        self.frame >= video.num_frames()
+    }
+
+    /// Bytes of all frames before the current frame.
+    pub fn bytes_before_frame(&self) -> u64 {
+        let rem = (self.frame % GOP_LEN as u64) as usize;
+        self.gop_base + self.within_cum[rem]
+    }
+
+    /// Bytes of all frames up to and including the current frame — the
+    /// amount of stream data that must have arrived for this frame to
+    /// display without a glitch.
+    pub fn bytes_through_frame(&self) -> u64 {
+        let rem = (self.frame % GOP_LEN as u64) as usize;
+        self.gop_base + self.within_cum[rem + 1]
+    }
+
+    /// Size of the current frame.
+    pub fn frame_size(&self) -> u64 {
+        let rem = (self.frame % GOP_LEN as u64) as usize;
+        self.within_cum[rem + 1] - self.within_cum[rem]
+    }
+
+    /// Advance to the next frame.
+    pub fn advance(&mut self, video: &Video) {
+        debug_assert_eq!(self.video, video.id(), "cursor used with wrong video");
+        self.frame += 1;
+        if self.frame.is_multiple_of(GOP_LEN as u64) && self.frame < video.num_frames() {
+            self.load_gop(video, self.frame / GOP_LEN as u64);
+        }
+    }
+
+    /// Reposition to an arbitrary frame (for fast-forward/rewind).
+    pub fn seek(&mut self, video: &Video, frame: u64) {
+        debug_assert_eq!(self.video, video.id(), "cursor used with wrong video");
+        let frame = frame.min(video.num_frames());
+        self.frame = frame;
+        let g = (frame / GOP_LEN as u64).min(video.num_gops().saturating_sub(1));
+        if g != self.gop_idx {
+            self.load_gop(video, g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_video() -> Video {
+        Video::generate(
+            VideoId(3),
+            VideoParams {
+                duration: SimDuration::from_secs(60),
+                ..VideoParams::default()
+            },
+            99,
+        )
+    }
+
+    #[test]
+    fn regeneration_is_deterministic() {
+        let a = short_video();
+        let b = short_video();
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        for g in 0..a.num_gops() {
+            assert_eq!(a.gop_frame_sizes(g), b.gop_frame_sizes(g));
+        }
+    }
+
+    #[test]
+    fn different_titles_differ() {
+        let p = VideoParams {
+            duration: SimDuration::from_secs(60),
+            ..VideoParams::default()
+        };
+        let a = Video::generate(VideoId(0), p, 99);
+        let b = Video::generate(VideoId(1), p, 99);
+        assert_ne!(a.total_bytes(), b.total_bytes());
+    }
+
+    #[test]
+    fn bit_rate_close_to_nominal() {
+        // One hour of video at 4 Mbit/s: the law of large numbers over
+        // 108 000 exponential frames keeps the realized rate within 1%.
+        let v = Video::generate(VideoId(0), VideoParams::default(), 7);
+        let rate = v.actual_bit_rate_bps();
+        assert!(
+            (rate - 4_000_000.0).abs() < 40_000.0,
+            "realized bit rate {rate}"
+        );
+    }
+
+    #[test]
+    fn one_hour_video_is_about_1_8_gbytes() {
+        // §5.2.1: "2 hours equals 4 Gbytes" at 4 Mbit/s ⇒ 1 hour ≈ 1.8 GB.
+        let v = Video::generate(VideoId(0), VideoParams::default(), 7);
+        let gb = v.total_bytes() as f64 / 1e9;
+        assert!((1.75..1.85).contains(&gb), "size {gb} GB");
+    }
+
+    #[test]
+    fn cum_bytes_is_monotone_and_consistent() {
+        let v = short_video();
+        let mut prev = 0;
+        for f in 0..=v.num_frames() {
+            let c = v.cum_bytes_at_frame(f);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(v.cum_bytes_at_frame(v.num_frames()), v.total_bytes());
+        assert_eq!(v.cum_bytes_at_frame(0), 0);
+    }
+
+    #[test]
+    fn frame_at_byte_inverts_cum_bytes() {
+        let v = short_video();
+        for f in [0u64, 1, 14, 15, 16, 100, v.num_frames() - 1] {
+            let start = v.cum_bytes_at_frame(f);
+            let end = v.cum_bytes_at_frame(f + 1);
+            assert_eq!(v.frame_at_byte(start), f, "first byte of frame {f}");
+            assert_eq!(v.frame_at_byte(end - 1), f, "last byte of frame {f}");
+        }
+        assert_eq!(v.frame_at_byte(v.total_bytes()), v.num_frames() - 1);
+        assert_eq!(v.frame_at_byte(u64::MAX), v.num_frames() - 1);
+    }
+
+    #[test]
+    fn display_offsets() {
+        let v = short_video();
+        assert_eq!(v.frame_display_offset(0), SimDuration::ZERO);
+        assert_eq!(v.frame_display_offset(30), SimDuration::from_secs(1));
+        assert_eq!(v.frame_at_offset(SimDuration::from_secs(1)), 30);
+        assert_eq!(v.frame_at_offset(SimDuration::ZERO), 0);
+        // Clamped at the end.
+        assert_eq!(
+            v.frame_at_offset(SimDuration::from_secs(10_000)),
+            v.num_frames() - 1
+        );
+    }
+
+    #[test]
+    fn num_frames_matches_duration() {
+        let v = short_video();
+        assert_eq!(v.num_frames(), 60 * 30);
+        assert_eq!(v.num_gops(), 60 * 30 / 15);
+    }
+
+    #[test]
+    fn partial_final_gop() {
+        // 1.2 seconds at 30 fps = 36 frames = 2 GOPs + 6 frames.
+        let v = Video::generate(
+            VideoId(0),
+            VideoParams {
+                duration: SimDuration::from_millis(1200),
+                ..VideoParams::default()
+            },
+            5,
+        );
+        assert_eq!(v.num_frames(), 36);
+        assert_eq!(v.num_gops(), 3);
+        assert_eq!(v.cum_bytes_at_frame(36), v.total_bytes());
+        // Byte lookups work inside the partial GOP.
+        let f = v.frame_at_byte(v.total_bytes() - 1);
+        assert_eq!(f, 35);
+    }
+
+    #[test]
+    fn cursor_walks_whole_video() {
+        let v = short_video();
+        let mut c = PlayCursor::new(&v, 0);
+        let mut acc = 0u64;
+        while !c.at_end(&v) {
+            assert_eq!(c.bytes_before_frame(), acc);
+            acc += c.frame_size();
+            assert_eq!(c.bytes_through_frame(), acc);
+            c.advance(&v);
+        }
+        assert_eq!(acc, v.total_bytes());
+    }
+
+    #[test]
+    fn cursor_matches_random_access() {
+        let v = short_video();
+        let mut c = PlayCursor::new(&v, 0);
+        for f in 0..v.num_frames() {
+            assert_eq!(c.bytes_before_frame(), v.cum_bytes_at_frame(f));
+            c.advance(&v);
+        }
+    }
+
+    #[test]
+    fn cursor_seek() {
+        let v = short_video();
+        let mut c = PlayCursor::new(&v, 0);
+        c.seek(&v, 100);
+        assert_eq!(c.frame(), 100);
+        assert_eq!(c.bytes_before_frame(), v.cum_bytes_at_frame(100));
+        // Seek backwards too (rewind).
+        c.seek(&v, 7);
+        assert_eq!(c.bytes_before_frame(), v.cum_bytes_at_frame(7));
+        // Seeking past the end clamps and reports at_end.
+        c.seek(&v, u64::MAX);
+        assert!(c.at_end(&v));
+    }
+
+    #[test]
+    fn frame_sizes_are_positive() {
+        let v = short_video();
+        for g in 0..v.num_gops() {
+            assert!(v.gop_frame_sizes(g).iter().all(|&s| s >= 1));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The pending-event calendar.
+//!
+//! A stable min-heap over `(time, sequence)`: events at the same simulated
+//! instant fire in the order they were scheduled, which both matches CSIM's
+//! semantics and makes runs deterministic. The calendar also owns the
+//! simulated clock — popping an event advances `now` to the event's time,
+//! and scheduling into the past is a programming error that panics rather
+//! than silently reordering causality.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// The simulation's event calendar and clock.
+///
+/// `E` is the caller's event payload type; the kernel never inspects it.
+///
+/// # Example
+/// ```
+/// use spiffi_simcore::{Calendar, SimDuration, SimTime};
+///
+/// let mut cal: Calendar<&str> = Calendar::new();
+/// cal.schedule_in(SimDuration::from_secs(2), "second");
+/// cal.schedule_in(SimDuration::from_secs(1), "first");
+/// assert_eq!(cal.pop(), Some((SimTime::from_secs_f64(1.0), "first")));
+/// assert_eq!(cal.pop(), Some((SimTime::from_secs_f64(2.0), "second")));
+/// assert_eq!(cal.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    seq: u64,
+    scheduled_total: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar with the clock at t = 0.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is before the current simulated time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < now {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedule `event` after delay `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at the current instant (fires after all events
+    /// already scheduled for this instant).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Remove and return the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| {
+            debug_assert!(e.time >= self.now, "event calendar went backwards");
+            self.now = e.time;
+            (e.time, e.event)
+        })
+    }
+
+    /// Remove and return the next event only if it fires at or before
+    /// `limit`; the clock never advances past `limit`.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.time <= limit => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (for throughput reporting).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Advance the clock to `at` without processing events; used to close a
+    /// measurement window at an exact boundary.
+    ///
+    /// # Panics
+    /// If an event earlier than `at` is still pending, or `at` is in the
+    /// past.
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "advance_to into the past");
+        if let Some(t) = self.peek_time() {
+            assert!(t >= at, "advance_to would skip a pending event at {t:?}");
+        }
+        self.now = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(30), 'c');
+        cal.schedule_at(SimTime(10), 'a');
+        cal.schedule_at(SimTime(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_insertion_order() {
+        let mut cal = Calendar::new();
+        for i in 0..100 {
+            cal.schedule_at(SimTime(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(100), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), SimTime(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(100), ());
+        cal.pop();
+        cal.schedule_at(SimTime(50), ());
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(10), 'a');
+        cal.schedule_at(SimTime(20), 'b');
+        assert_eq!(cal.pop_until(SimTime(15)), Some((SimTime(10), 'a')));
+        assert_eq!(cal.pop_until(SimTime(15)), None);
+        assert_eq!(cal.now(), SimTime(10));
+        assert_eq!(cal.pop_until(SimTime(25)), Some((SimTime(20), 'b')));
+    }
+
+    #[test]
+    fn schedule_now_fires_after_current_instant_events() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(10), 1);
+        cal.pop();
+        cal.schedule_now(2);
+        cal.schedule_now(3);
+        assert_eq!(cal.pop(), Some((SimTime(10), 2)));
+        assert_eq!(cal.pop(), Some((SimTime(10), 3)));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(1000), ());
+        cal.pop();
+        cal.schedule_in(SimDuration(500), ());
+        assert_eq!(cal.peek_time(), Some(SimTime(1500)));
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut cal: Calendar<()> = Calendar::new();
+        cal.advance_to(SimTime(42));
+        assert_eq!(cal.now(), SimTime(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip a pending event")]
+    fn advance_to_cannot_skip_events() {
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(10), ());
+        cal.advance_to(SimTime(20));
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut cal = Calendar::new();
+        assert!(cal.is_empty());
+        cal.schedule_at(SimTime(1), ());
+        cal.schedule_at(SimTime(2), ());
+        assert_eq!(cal.len(), 2);
+        assert_eq!(cal.scheduled_total(), 2);
+        cal.pop();
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_stable() {
+        // Property-style check: popping while scheduling preserves global
+        // (time, insertion) order for equal times.
+        let mut cal = Calendar::new();
+        cal.schedule_at(SimTime(10), (10, 0));
+        cal.schedule_at(SimTime(10), (10, 1));
+        let first = cal.pop().unwrap();
+        cal.schedule_at(SimTime(10), (10, 2));
+        let second = cal.pop().unwrap();
+        let third = cal.pop().unwrap();
+        assert_eq!(first.1, (10, 0));
+        assert_eq!(second.1, (10, 1));
+        assert_eq!(third.1, (10, 2));
+    }
+}

@@ -1,0 +1,263 @@
+//! Probability distributions used by the SPIFFI study.
+//!
+//! * [`Exponential`] — MPEG frame sizes ("frame sizes typically are
+//!   exponentially distributed", §6.1) and pause durations (§8.1).
+//! * [`Zipf`] — video access frequencies (Figure 8): the probability of
+//!   selecting the *i*-th most popular of *n* videos is proportional to
+//!   `1 / i^z`. `z = 0` degenerates to the uniform distribution the paper
+//!   compares against in §7.4/§7.5.
+//! * [`uniform_duration`] — rotational latency and staggered start times.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Exponential distribution with a given mean (inverse-CDF sampling).
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// An exponential distribution with mean `mean` (must be positive).
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+        Exponential { mean }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draw one sample.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        -self.mean * rng.f64_open_closed().ln()
+    }
+
+    /// Draw one sample as a simulated duration, interpreting the mean as
+    /// seconds.
+    #[inline]
+    pub fn sample_duration(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(self.sample(rng))
+    }
+}
+
+/// Zipfian distribution over ranks `0..n` with skew parameter `z`.
+///
+/// Rank 0 is the most popular item. With `z = 1` and 64 items the top title
+/// draws ~21% of all requests, matching the distribution in Figure 8 of the
+/// paper. Sampling uses a precomputed CDF and binary search: O(log n) per
+/// draw, exact.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    z: f64,
+}
+
+impl Zipf {
+    /// A Zipfian distribution over `n` items with skew `z >= 0`.
+    ///
+    /// `z = 0` yields the uniform distribution.
+    pub fn new(n: usize, z: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(z >= 0.0 && z.is_finite(), "skew must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against FP round-off at the top end.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf, z }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the distribution has no items (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The skew parameter `z`.
+    pub fn skew(&self) -> f64 {
+        self.z
+    }
+
+    /// Probability of drawing rank `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let hi = self.cdf[i];
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        hi - lo
+    }
+
+    /// Draw a rank in `[0, n)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        // partition_point returns the count of ranks whose CDF value is
+        // <= u, i.e. the first rank with cdf > u.
+        self.cdf.partition_point(|&c| c <= u)
+    }
+}
+
+/// Uniform duration in `[0, upper)`; used for rotational latency
+/// (`U[0, rotation time)`) and staggered terminal start times.
+#[inline]
+pub fn uniform_duration(rng: &mut SimRng, upper: SimDuration) -> SimDuration {
+    if upper == SimDuration::ZERO {
+        return SimDuration::ZERO;
+    }
+    SimDuration(rng.u64_below(upper.0))
+}
+
+/// Uniform instant in `[lo, hi)`.
+#[inline]
+pub fn uniform_time(rng: &mut SimRng, lo: SimTime, hi: SimTime) -> SimTime {
+    assert!(lo <= hi);
+    lo + uniform_duration(rng, hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::new(1);
+        let dist = Exponential::new(5.0);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = SimRng::new(2);
+        let dist = Exponential::new(0.001);
+        for _ in 0..10_000 {
+            assert!(dist.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_duration_mean() {
+        let mut rng = SimRng::new(3);
+        let dist = Exponential::new(120.0); // 2 minutes, like the pause study
+        let n = 50_000;
+        let total: f64 = (0..n)
+            .map(|_| dist.sample_duration(&mut rng).as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 120.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn exponential_rejects_zero_mean() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        for &z in &[0.0, 0.5, 1.0, 1.5] {
+            let d = Zipf::new(64, z);
+            let sum: f64 = (0..64).map(|i| d.probability(i)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "z={z} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn zipf_rank_ordering_is_monotone() {
+        let d = Zipf::new(64, 1.0);
+        for i in 1..64 {
+            assert!(
+                d.probability(i) <= d.probability(i - 1) + 1e-15,
+                "rank {i} more popular than rank {}",
+                i - 1
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_z1_matches_harmonic_weights() {
+        // With z=1 over n items, p(i) = (1/i) / H_n.
+        let n = 64;
+        let d = Zipf::new(n, 1.0);
+        let h: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+        for i in 0..n {
+            let expect = (1.0 / (i + 1) as f64) / h;
+            assert!((d.probability(i) - expect).abs() < 1e-12);
+        }
+        // Top title ~21% as in Figure 8's z=1 curve over 64 videos.
+        assert!((d.probability(0) - 0.2102).abs() < 0.001);
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let d = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((d.probability(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_probabilities() {
+        let d = Zipf::new(16, 1.0);
+        let mut rng = SimRng::new(4);
+        let n = 400_000;
+        let mut counts = [0u32; 16];
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            let p = d.probability(i);
+            assert!(
+                (freq - p).abs() < 0.004,
+                "rank {i}: freq {freq:.4} vs p {p:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let d = Zipf::new(1, 1.5);
+        let mut rng = SimRng::new(5);
+        assert_eq!(d.sample(&mut rng), 0);
+        assert_eq!(d.probability(0), 1.0);
+    }
+
+    #[test]
+    fn uniform_duration_bounds() {
+        let mut rng = SimRng::new(6);
+        let upper = SimDuration::from_secs(2);
+        for _ in 0..10_000 {
+            let d = uniform_duration(&mut rng, upper);
+            assert!(d < upper);
+        }
+        assert_eq!(
+            uniform_duration(&mut rng, SimDuration::ZERO),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn uniform_time_bounds() {
+        let mut rng = SimRng::new(7);
+        let lo = SimTime::from_secs_f64(10.0);
+        let hi = SimTime::from_secs_f64(20.0);
+        for _ in 0..1000 {
+            let t = uniform_time(&mut rng, lo, hi);
+            assert!(t >= lo && t < hi);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the simulation kernel: the calendar is a
+//! faithful stable priority queue under arbitrary interleavings, and the
+//! statistics accumulators match naive reference computations.
+
+use proptest::prelude::*;
+
+use spiffi_simcore::stats::{RateTracker, Utilization, Welford};
+use spiffi_simcore::{Calendar, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Popping always yields events in (time, insertion) order, whatever
+    /// the interleaving of schedules and pops.
+    #[test]
+    fn calendar_is_a_stable_priority_queue(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1000), 1..200),
+    ) {
+        let mut cal: Calendar<usize> = Calendar::new();
+        let mut reference: Vec<(SimTime, usize)> = Vec::new();
+        let mut seq = 0usize;
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        for (push, dt) in ops {
+            if push {
+                let at = cal.now() + SimDuration(dt);
+                cal.schedule_at(at, seq);
+                reference.push((at, seq));
+                seq += 1;
+            } else if let Some((t, id)) = cal.pop() {
+                popped.push((t, id));
+            }
+        }
+        while let Some((t, id)) = cal.pop() {
+            popped.push((t, id));
+        }
+        // The reference order: stable sort by time (insertion order is the
+        // payload, which strictly increases).
+        reference.sort_by_key(|&(t, id)| (t, id));
+        prop_assert_eq!(popped, reference);
+    }
+
+    /// Welford matches the two-pass mean/variance on any data.
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((w.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((w.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+    }
+
+    /// Utilization equals the directly integrated busy fraction for any
+    /// alternating busy/idle schedule.
+    #[test]
+    fn utilization_matches_direct_integration(
+        segments in proptest::collection::vec(1u64..10_000, 1..40),
+    ) {
+        let mut u = Utilization::new();
+        let mut t = SimTime::ZERO;
+        let mut busy = false;
+        let mut busy_total = 0u64;
+        for (i, &len) in segments.iter().enumerate() {
+            busy = i % 2 == 0;
+            u.set_busy(t, busy);
+            if busy {
+                busy_total += len;
+            }
+            t += SimDuration(len);
+        }
+        u.set_busy(t, false);
+        let total: u64 = segments.iter().sum();
+        let expect = busy_total as f64 / total as f64;
+        prop_assert!((u.utilization(t) - expect).abs() < 1e-12);
+        let _ = busy;
+    }
+
+    /// The rate tracker's total equals the sum of recorded bytes, and the
+    /// peak is at least the mean.
+    #[test]
+    fn rate_tracker_total_and_peak(
+        adds in proptest::collection::vec((0u64..5_000_000, 1u64..1_000_000), 1..100),
+    ) {
+        let mut r = RateTracker::new(SimDuration::from_secs(1));
+        let mut t = SimTime::ZERO;
+        let mut total = 0u64;
+        for &(dt, bytes) in &adds {
+            t += SimDuration(dt * 1_000);
+            r.add(t, bytes);
+            total += bytes;
+        }
+        prop_assert_eq!(r.total_bytes(), total);
+        let end = t + SimDuration::from_secs(1);
+        prop_assert!(r.peak_bytes_per_sec() + 1e-9 >= r.mean_bytes_per_sec(end));
+    }
+}

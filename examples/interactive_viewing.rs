@@ -1,0 +1,162 @@
+//! Interactive viewing: pause, fast-forward and rewind (§8.1 of the paper).
+//!
+//! Drives one terminal through a scripted VCR session against a real video
+//! title, using the same public API the simulator uses: priming, playback,
+//! a pause (buffers keep filling), a fast-forward seek (re-prime at the new
+//! position), and a rewind. "The procedure for the terminal is the same
+//! regardless of where in the video it begins playback."
+//!
+//! Run with: `cargo run --release --example interactive_viewing`
+
+use spiffi_vod::core::{PlayState, Terminal};
+use spiffi_vod::mpeg::{Video, VideoId, VideoParams};
+use spiffi_vod::prelude::*;
+
+const BLOCK: u64 = 512 * 1024;
+
+/// A toy "server" that satisfies every request after a fixed service time.
+/// (The full queueing server lives in `VodSystem`; here the point is the
+/// terminal-side mechanics.)
+struct InstantServer {
+    latency: SimDuration,
+}
+
+impl InstantServer {
+    /// Deliver all requested blocks and pump the terminal at `now`.
+    fn satisfy(
+        &self,
+        term: &mut Terminal,
+        video: &Video,
+        requests: &[u32],
+        mut now: SimTime,
+    ) -> SimTime {
+        for &b in requests {
+            now += self.latency;
+            term.on_block_arrival(video, BLOCK, b, term.epoch());
+        }
+        now
+    }
+}
+
+fn state_name(s: PlayState) -> &'static str {
+    match s {
+        PlayState::Idle => "idle",
+        PlayState::Priming => "priming",
+        PlayState::Playing { .. } => "playing",
+        PlayState::Paused { .. } => "paused",
+        PlayState::Finished => "finished",
+    }
+}
+
+fn main() {
+    let video = Video::generate(
+        VideoId(0),
+        VideoParams {
+            duration: SimDuration::from_secs(300), // a 5-minute short
+            ..VideoParams::default()
+        },
+        2026,
+    );
+    println!(
+        "title: {:.1} MB, {} frames, {:.2} Mbit/s realized",
+        video.total_bytes() as f64 / 1e6,
+        video.num_frames(),
+        video.actual_bit_rate_bps() / 1e6
+    );
+
+    let server = InstantServer {
+        latency: SimDuration::from_millis(40),
+    };
+    let mut term = Terminal::new(0, 2 * 1024 * 1024);
+    let mut now = SimTime::ZERO;
+
+    // -- press PLAY, with a scheduled pause 20 s in, lasting 10 s ---------
+    let pause_frame = 20 * 30;
+    term.start_video(
+        &video,
+        BLOCK,
+        0,
+        vec![(pause_frame, SimDuration::from_secs(10))],
+    );
+    let p = term.pump(&video, BLOCK, now);
+    println!(
+        "[{now}] PLAY pressed: primes with {} block requests",
+        p.requests.len()
+    );
+    now = server.satisfy(&mut term, &video, &p.requests, now);
+    let mut p = term.pump(&video, BLOCK, now);
+    assert!(matches!(term.state(), PlayState::Playing { .. }));
+    println!("[{now}] primed -> {}", state_name(term.state()));
+
+    // -- stream until the pause engages ------------------------------------
+    let mut paused_at = None;
+    while paused_at.is_none() {
+        let wake = p.wake_at.expect("playback always schedules a wake");
+        now = wake;
+        p = term.pump(&video, BLOCK, now);
+        now = server.satisfy(&mut term, &video, &p.requests, now);
+        if p.paused {
+            paused_at = Some(now);
+        }
+        assert!(!p.glitched, "instant server must not glitch");
+    }
+    println!("[{now}] PAUSE engaged at ~20 s of content; buffers keep filling");
+    println!(
+        "        buffered while paused: {:.2} MB of {:.2} MB",
+        term.buffered_bytes() as f64 / 1e6,
+        2.0
+    );
+
+    // -- resume fires automatically at the scheduled time ------------------
+    let wake = p.wake_at.expect("paused terminal wakes at resume");
+    now = wake;
+    term.pump(&video, BLOCK, now);
+    println!("[{now}] RESUME: state {}", state_name(term.state()));
+    assert!(matches!(term.state(), PlayState::Playing { .. }));
+
+    // -- fast-forward: jump to 4 minutes in, re-prime ----------------------
+    now += SimDuration::from_secs(5);
+    let target_frame = 240 * 30;
+    term.start_video(&video, BLOCK, target_frame, vec![]);
+    let pf = term.pump(&video, BLOCK, now);
+    println!(
+        "[{now}] FAST-FORWARD to 4:00 (frame {target_frame}): re-prime with blocks {:?}…",
+        &pf.requests[..pf.requests.len().min(2)]
+    );
+    now = server.satisfy(&mut term, &video, &pf.requests, now);
+    term.pump(&video, BLOCK, now);
+    assert!(matches!(term.state(), PlayState::Playing { .. }));
+    println!("[{now}] playing from the new position");
+
+    // -- rewind to 1 minute ----------------------------------------------
+    now += SimDuration::from_secs(3);
+    term.start_video(&video, BLOCK, 60 * 30, vec![]);
+    let pr = term.pump(&video, BLOCK, now);
+    now = server.satisfy(&mut term, &video, &pr.requests, now);
+    p = term.pump(&video, BLOCK, now);
+    assert!(matches!(term.state(), PlayState::Playing { .. }));
+    println!(
+        "[{now}] REWIND to 1:00: playing again after a {} block re-prime",
+        pr.requests.len()
+    );
+
+    // -- let the title run out -------------------------------------------
+    let mut guard = 0;
+    while !matches!(term.state(), PlayState::Finished) {
+        let wake = match p.wake_at {
+            Some(w) => w,
+            None => break,
+        };
+        now = wake;
+        p = term.pump(&video, BLOCK, now);
+        now = server.satisfy(&mut term, &video, &p.requests, now);
+        guard += 1;
+        assert!(guard < 10_000, "session did not converge");
+        assert!(!p.glitched, "instant server must not glitch");
+    }
+    println!(
+        "[{now}] credits roll: {} glitches across the whole session",
+        term.glitches_total()
+    );
+    assert_eq!(term.glitches_total(), 0);
+}

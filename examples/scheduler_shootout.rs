@@ -1,0 +1,70 @@
+//! Scheduler shoot-out: drive the same near-saturation workload through
+//! all six disk schedulers and compare glitches, I/O latency and deadline
+//! misses — the observability extensions on top of the paper's metrics.
+//!
+//! Run with: `cargo run --release --example scheduler_shootout`
+
+use spiffi_vod::prelude::*;
+
+fn main() {
+    // A single node with two disks at ~90% of its capacity.
+    let mut cfg = SystemConfig::small_test();
+    cfg.topology = Topology {
+        nodes: 1,
+        disks_per_node: 2,
+    };
+    cfg.n_videos = 40;
+    cfg.access = AccessPattern::Uniform;
+    cfg.server_memory_bytes = 24 * 1024 * 1024;
+    cfg.initial_position = spiffi_vod::core::config::InitialPosition::UniformWithinVideo;
+    cfg.n_terminals = 26;
+    cfg.timing = RunTiming {
+        stagger: SimDuration::from_secs(5),
+        warmup: SimDuration::from_secs(20),
+        measure: SimDuration::from_secs(120),
+    };
+
+    println!(
+        "{} terminals on {} disks (~{:.0}% of raw bandwidth), per scheduler:\n",
+        cfg.n_terminals,
+        cfg.topology.total_disks(),
+        cfg.n_terminals as f64 * 0.5 / (2.0 * 7.4) * 100.0
+    );
+    println!(
+        "{:<18} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "scheduler", "glitches", "io mean ms", "io p95 ms", "io max ms", "ddl misses"
+    );
+    println!("{}", "-".repeat(72));
+
+    for kind in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Edf,
+        SchedulerKind::Elevator,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Gss { groups: 4 },
+        SchedulerKind::RealTime {
+            classes: 3,
+            spacing: SimDuration::from_secs(4),
+        },
+    ] {
+        let c = cfg.clone().with_scheduler(kind);
+        let r = run_once(&c);
+        println!(
+            "{:<18} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10}",
+            kind.label(),
+            r.glitches,
+            r.io_latency_mean_ms,
+            r.io_latency_p95_ms,
+            r.io_latency_max_ms,
+            r.deadline_misses,
+        );
+    }
+
+    println!(
+        "\nSeek-aware sweeps (elevator, gss) keep demand latency tails short; \
+         round-robin pays full positioning costs; the deadline-aware \
+         schedulers deliberately let lazy demand reads wait behind urgent \
+         prefetches, which is invisible to subscribers as long as deadline \
+         misses stay at zero."
+    );
+}

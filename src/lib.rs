@@ -1,0 +1,75 @@
+//! # spiffi-vod — the SPIFFI scalable video-on-demand system, reproduced
+//!
+//! A production-quality Rust reproduction of *"The SPIFFI Scalable
+//! Video-on-Demand System"* (Craig S. Freedman and David J. DeWitt,
+//! SIGMOD 1995): a deterministic discrete-event simulation of a
+//! shared-nothing video server — striped storage, real-time disk
+//! scheduling, love-prefetch buffer management, and delayed prefetching —
+//! together with every baseline the paper compares against and a harness
+//! that regenerates every table and figure of its evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under one
+//! roof. Depend on it for everything, or on the individual crates
+//! (`spiffi-core`, `spiffi-sched`, …) for narrower needs.
+//!
+//! ## Layered architecture
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | kernel | [`simcore`] | event calendar, clock, RNG, distributions, statistics |
+//! | workload | [`mpeg`] | MPEG I/P/B frame streams, video library, Zipfian selection |
+//! | storage | [`layout`] | Figure-3 striping, fragments, the non-striped baseline |
+//! | hardware | [`disk`], [`cpu`], [`net`] | Seagate ST15150N mechanics, 40 MIPS FCFS CPUs, the wire |
+//! | server | [`sched`], [`bufferpool`], [`prefetch`] | the five disk schedulers, two replacement policies, three prefetchers |
+//! | system | [`core`] | terminals, nodes, the event loop, capacity search |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use spiffi_vod::core::{run_once, SystemConfig};
+//!
+//! // A 2-node × 2-disk server with sixteen 2-minute titles.
+//! let mut cfg = SystemConfig::small_test();
+//! cfg.n_terminals = 8;
+//! let report = run_once(&cfg);
+//! assert!(report.glitch_free());
+//! println!("{}", report.summary());
+//! ```
+//!
+//! The paper's primary metric — the maximum number of terminals a
+//! configuration supports with zero glitches — is one call:
+//!
+//! ```no_run
+//! use spiffi_vod::core::{max_glitch_free_terminals, CapacitySearch, SystemConfig};
+//!
+//! let cfg = SystemConfig::paper_base(); // 4×4 disks, 64 videos, 512 KB stripes
+//! let result = max_glitch_free_terminals(&cfg, &CapacitySearch::default());
+//! println!("max glitch-free terminals: {}", result.max_terminals);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use spiffi_bufferpool as bufferpool;
+pub use spiffi_core as core;
+pub use spiffi_cpu as cpu;
+pub use spiffi_disk as disk;
+pub use spiffi_layout as layout;
+pub use spiffi_mpeg as mpeg;
+pub use spiffi_net as net;
+pub use spiffi_prefetch as prefetch;
+pub use spiffi_sched as sched;
+pub use spiffi_simcore as simcore;
+
+/// The most commonly used types, for `use spiffi_vod::prelude::*`.
+pub mod prelude {
+    pub use spiffi_bufferpool::PolicyKind;
+    pub use spiffi_core::{
+        max_glitch_free_terminals, run_once, CapacityResult, CapacitySearch, PauseConfig,
+        RunReport, RunTiming, SystemConfig, VodSystem,
+    };
+    pub use spiffi_layout::{Placement, Topology};
+    pub use spiffi_mpeg::AccessPattern;
+    pub use spiffi_prefetch::PrefetchKind;
+    pub use spiffi_sched::SchedulerKind;
+    pub use spiffi_simcore::{SimDuration, SimTime};
+}

@@ -1,0 +1,699 @@
+//! End-to-end integration tests spanning every crate: configurations are
+//! assembled exactly as the experiment harness does, run through the full
+//! event loop, and checked against the paper's qualitative claims.
+
+use spiffi_vod::core::config::InitialPosition;
+use spiffi_vod::prelude::*;
+
+/// One node, two disks, memory far below the working set, uniform access
+/// over enough titles that streams rarely coincide.
+fn disk_bound_config() -> SystemConfig {
+    let mut c = SystemConfig::small_test();
+    c.topology = Topology {
+        nodes: 1,
+        disks_per_node: 2,
+    };
+    c.n_videos = 40;
+    c.access = AccessPattern::Uniform;
+    c.server_memory_bytes = 24 * 1024 * 1024;
+    c.initial_position = InitialPosition::UniformWithinVideo;
+    c.timing = RunTiming {
+        stagger: SimDuration::from_secs(5),
+        warmup: SimDuration::from_secs(15),
+        measure: SimDuration::from_secs(45),
+    };
+    c
+}
+
+#[test]
+fn light_load_streams_glitch_free() {
+    let mut c = disk_bound_config();
+    c.n_terminals = 6;
+    let r = run_once(&c);
+    assert!(r.glitch_free(), "{}", r.summary());
+    assert!(
+        r.blocks_delivered > 100,
+        "too little data moved: {}",
+        r.summary()
+    );
+}
+
+#[test]
+fn heavy_load_glitches() {
+    let mut c = disk_bound_config();
+    c.n_terminals = 60; // two disks stream ~25-30 at 4 Mbit/s
+    let r = run_once(&c);
+    assert!(!r.glitch_free(), "60 terminals on 2 disks cannot be clean");
+    assert!(
+        r.glitching_terminals > 1,
+        "overload should spread across terminals"
+    );
+}
+
+#[test]
+fn identical_seeds_reproduce_bit_identical_reports() {
+    let mut c = disk_bound_config();
+    c.n_terminals = 20;
+    let a = run_once(&c);
+    let b = run_once(&c);
+    assert_eq!(a.glitches, b.glitches);
+    assert_eq!(a.blocks_delivered, b.blocks_delivered);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.pool.lookups, b.pool.lookups);
+    assert_eq!(a.net_peak_bytes_per_sec, b.net_peak_bytes_per_sec);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut c = disk_bound_config();
+    c.n_terminals = 20;
+    let a = run_once(&c);
+    c.seed ^= 0xdead_beef;
+    let b = run_once(&c);
+    assert_ne!(
+        (a.blocks_delivered, a.events_processed),
+        (b.blocks_delivered, b.events_processed)
+    );
+}
+
+#[test]
+fn utilizations_and_rates_are_sane() {
+    let mut c = disk_bound_config();
+    c.n_terminals = 20;
+    let r = run_once(&c);
+    for &u in &r.disk_utilizations {
+        assert!((0.0..=1.0).contains(&u), "disk util {u}");
+    }
+    assert!(r.max_disk_utilization >= r.avg_disk_utilization);
+    assert!(r.avg_disk_utilization >= r.min_disk_utilization);
+    assert!((0.0..=1.0).contains(&r.avg_cpu_utilization));
+    assert!(r.net_peak_bytes_per_sec >= r.net_mean_bytes_per_sec * 0.99);
+    // 20 terminals at 4 Mbit/s = 10 MB/s of video payload; the network
+    // must at least carry that.
+    assert!(
+        r.net_mean_bytes_per_sec > 9.5e6,
+        "mean network rate {:.1} MB/s too low",
+        r.net_mean_bytes_per_sec / 1e6
+    );
+}
+
+#[test]
+fn every_scheduler_runs_clean_under_light_load() {
+    for k in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Elevator,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Gss { groups: 1 },
+        SchedulerKind::Gss { groups: 4 },
+        SchedulerKind::RealTime {
+            classes: 3,
+            spacing: SimDuration::from_secs(4),
+        },
+        SchedulerKind::RealTime {
+            classes: 2,
+            spacing: SimDuration::from_secs(4),
+        },
+    ] {
+        let mut c = disk_bound_config().with_scheduler(k);
+        c.n_terminals = 8;
+        let r = run_once(&c);
+        assert!(r.glitch_free(), "{} glitched: {}", k.label(), r.summary());
+    }
+}
+
+#[test]
+fn both_policies_and_all_prefetchers_run_clean() {
+    for policy in [PolicyKind::GlobalLru, PolicyKind::LovePrefetch] {
+        for prefetch in [
+            PrefetchKind::Off,
+            PrefetchKind::Standard { processes: 2 },
+            PrefetchKind::RealTime { processes: 4 },
+            PrefetchKind::Delayed {
+                processes: 4,
+                max_advance: SimDuration::from_secs(8),
+            },
+        ] {
+            let mut c = disk_bound_config();
+            c.policy = policy;
+            c.prefetch = prefetch;
+            c.n_terminals = 8;
+            let r = run_once(&c);
+            assert!(
+                r.glitch_free(),
+                "{}/{} glitched: {}",
+                policy.label(),
+                prefetch.label(),
+                r.summary()
+            );
+        }
+    }
+}
+
+#[test]
+fn non_striped_layout_skews_disk_load() {
+    // Figure 14's mechanism: under a skewed workload the non-striped
+    // layout overloads the disks holding popular titles while others
+    // idle; striping balances them.
+    let mut striped = disk_bound_config();
+    striped.topology = Topology {
+        nodes: 2,
+        disks_per_node: 2,
+    };
+    striped.n_videos = 16;
+    striped.access = AccessPattern::Zipf(1.0);
+    striped.n_terminals = 16;
+
+    let mut non_striped = striped.clone();
+    non_striped.placement = Placement::NonStriped;
+
+    let rs = run_once(&striped);
+    let rn = run_once(&non_striped);
+
+    let spread_s = rs.max_disk_utilization - rs.min_disk_utilization;
+    let spread_n = rn.max_disk_utilization - rn.min_disk_utilization;
+    assert!(
+        spread_n > spread_s + 0.1,
+        "non-striped spread {spread_n:.2} should far exceed striped {spread_s:.2}"
+    );
+}
+
+#[test]
+fn skewed_access_increases_shared_references() {
+    // Figure 16's mechanism: more skew -> more terminals watching the same
+    // titles -> more buffer-pool pages re-referenced by another terminal.
+    let mut base = disk_bound_config();
+    base.topology = Topology {
+        nodes: 2,
+        disks_per_node: 2,
+    };
+    base.n_videos = 16;
+    base.n_terminals = 24;
+    base.server_memory_bytes = 512 * 1024 * 1024;
+
+    let mut uniform = base.clone();
+    uniform.access = AccessPattern::Uniform;
+    let mut skewed = base.clone();
+    skewed.access = AccessPattern::Zipf(1.5);
+
+    let ru = run_once(&uniform);
+    let rk = run_once(&skewed);
+    assert!(
+        rk.pool.shared_reference_rate() > ru.pool.shared_reference_rate(),
+        "zipf {:.3} should exceed uniform {:.3}",
+        rk.pool.shared_reference_rate(),
+        ru.pool.shared_reference_rate()
+    );
+}
+
+#[test]
+fn pauses_do_not_hurt_capacity() {
+    // Figure 19: "performance is essentially unaffected by the pausing."
+    let mut plain = disk_bound_config();
+    plain.n_terminals = 20;
+    let mut pausing = plain.clone();
+    pausing.pause = Some(PauseConfig::default());
+
+    let rp = run_once(&plain);
+    let rq = run_once(&pausing);
+    assert!(rp.glitch_free(), "baseline run glitched");
+    assert!(
+        rq.glitches <= 1,
+        "pausing should not introduce glitches: {}",
+        rq.summary()
+    );
+    // Paused terminals consume slightly less, never more.
+    assert!(rq.blocks_delivered <= rp.blocks_delivered + rp.blocks_delivered / 10);
+}
+
+#[test]
+fn piggybacking_reduces_server_load_for_aligned_starts() {
+    let mut c = disk_bound_config();
+    c.n_videos = 8;
+    c.access = AccessPattern::Zipf(1.5);
+    c.initial_position = InitialPosition::Start;
+    c.n_terminals = 24;
+
+    let plain = run_once(&c);
+    let mut batched_cfg = c.clone();
+    batched_cfg.piggyback_delay = Some(SimDuration::from_secs(20));
+    let batched = run_once(&batched_cfg);
+
+    assert!(batched.terminals_piggybacked > 0, "no batching happened");
+    assert!(
+        batched.avg_disk_utilization < plain.avg_disk_utilization,
+        "piggybacking should lower disk load: {:.2} vs {:.2}",
+        batched.avg_disk_utilization,
+        plain.avg_disk_utilization
+    );
+}
+
+#[test]
+fn delayed_prefetch_bounds_memory_residency() {
+    // Delayed prefetching exists to keep prefetched pages from sitting in
+    // memory; with a small pool it must waste fewer prefetches than the
+    // unconstrained real-time prefetcher under global LRU.
+    let rt = SchedulerKind::RealTime {
+        classes: 3,
+        spacing: SimDuration::from_secs(4),
+    };
+    let mut eager = disk_bound_config().with_scheduler(rt);
+    eager.policy = PolicyKind::GlobalLru;
+    eager.prefetch = PrefetchKind::RealTime { processes: 6 };
+    eager.server_memory_bytes = 12 * 1024 * 1024;
+    eager.n_terminals = 16;
+
+    let mut delayed = eager.clone();
+    delayed.prefetch = PrefetchKind::Delayed {
+        processes: 6,
+        max_advance: SimDuration::from_secs(4),
+    };
+
+    let re = run_once(&eager);
+    let rd = run_once(&delayed);
+    let waste = |r: &RunReport| {
+        if r.pool.prefetch_inserts == 0 {
+            0.0
+        } else {
+            r.pool.prefetch_wasted as f64 / r.pool.prefetch_inserts as f64
+        }
+    };
+    assert!(
+        waste(&rd) <= waste(&re) + 0.02,
+        "delayed waste {:.3} vs eager waste {:.3}",
+        waste(&rd),
+        waste(&re)
+    );
+}
+
+#[test]
+fn terminals_rotate_through_titles() {
+    // Closed-loop behaviour: with short titles, terminals finish and pick
+    // new ones, so completions accumulate.
+    let mut c = disk_bound_config();
+    c.video.duration = SimDuration::from_secs(30);
+    c.n_videos = 40;
+    c.n_terminals = 6;
+    let r = run_once(&c);
+    assert!(
+        r.videos_completed >= 6,
+        "expected rollovers, got {}",
+        r.videos_completed
+    );
+    assert!(r.glitch_free());
+}
+
+#[test]
+fn cpu_is_never_the_bottleneck_at_paper_scale_ratios() {
+    // Figure 17's claim at small scale: disks saturate long before CPUs.
+    let mut c = disk_bound_config();
+    c.n_terminals = 30;
+    let r = run_once(&c);
+    assert!(
+        r.avg_cpu_utilization < 0.2,
+        "CPU should be nearly idle: {:.2}",
+        r.avg_cpu_utilization
+    );
+    assert!(r.avg_disk_utilization > r.avg_cpu_utilization * 2.0);
+}
+
+#[test]
+fn tiny_pool_exercises_allocation_retry_without_deadlock() {
+    // Force the §7.3 "ran out of free pages" path: a pool barely larger
+    // than the in-flight set. Requests must still all complete via the
+    // pending-read retry path.
+    let mut c = disk_bound_config();
+    c.server_memory_bytes = 4 * 1024 * 1024; // 8 frames per... 1 node = 8 frames
+    c.n_terminals = 10;
+    c.prefetch = PrefetchKind::Standard { processes: 2 };
+    let r = run_once(&c);
+    assert!(r.blocks_delivered > 100, "starved: {}", r.summary());
+    assert!(
+        r.pool.alloc_failures > 0,
+        "expected allocation pressure: {:?}",
+        r.pool
+    );
+}
+
+#[test]
+fn prefetching_raises_the_pool_hit_rate() {
+    let mut off = disk_bound_config();
+    off.n_terminals = 12;
+    off.prefetch = PrefetchKind::Off;
+    let mut on = off.clone();
+    on.prefetch = PrefetchKind::Standard { processes: 2 };
+
+    let r_off = run_once(&off);
+    let r_on = run_once(&on);
+    assert!(r_on.pool.prefetch_inserts > 0);
+    assert!(
+        r_on.pool.hit_rate() > r_off.pool.hit_rate() + 0.2,
+        "prefetch hit rate {:.2} vs {:.2}",
+        r_on.pool.hit_rate(),
+        r_off.pool.hit_rate()
+    );
+}
+
+#[test]
+fn delayed_prefetch_release_timers_fire() {
+    // With a large advance window the delayed prefetcher must hold
+    // requests back and still complete them via release timers.
+    let rt = SchedulerKind::RealTime {
+        classes: 3,
+        spacing: SimDuration::from_secs(4),
+    };
+    let mut c = disk_bound_config().with_scheduler(rt);
+    // The advance window must exceed the terminals' ~4.2 s request lead
+    // (2 MB buffers) or demand reads supersede every held-back prefetch —
+    // the failure mode §7.3 reports for delayed(4 s).
+    c.prefetch = PrefetchKind::Delayed {
+        processes: 4,
+        max_advance: SimDuration::from_secs(5),
+    };
+    c.n_terminals = 10;
+    let r = run_once(&c);
+    assert!(r.glitch_free(), "{}", r.summary());
+    assert!(
+        r.prefetch.issued > 0,
+        "no prefetches issued: {:?}",
+        r.prefetch
+    );
+    assert!(
+        r.prefetch.completed + r.prefetch.aborted <= r.prefetch.issued,
+        "{:?}",
+        r.prefetch
+    );
+}
+
+#[test]
+fn too_small_advance_window_loses_to_demand() {
+    // The inverse case: with an advance window below the terminals'
+    // request lead, demand reads cancel the held-back prefetches.
+    let rt = SchedulerKind::RealTime {
+        classes: 3,
+        spacing: SimDuration::from_secs(4),
+    };
+    let mut c = disk_bound_config().with_scheduler(rt);
+    c.prefetch = PrefetchKind::Delayed {
+        processes: 4,
+        max_advance: SimDuration::from_secs(2),
+    };
+    c.n_terminals = 10;
+    let r = run_once(&c);
+    assert!(
+        r.prefetch.cancelled > r.prefetch.issued,
+        "demand should supersede most held-back prefetches: {:?}",
+        r.prefetch
+    );
+}
+
+#[test]
+fn gss_group_count_spans_elevator_to_round_robin() {
+    // §5.2.2: GSS with one group ≈ elevator; with many groups ≈
+    // round-robin. All points must at least run cleanly at light load and
+    // deliver the same data volume.
+    let mut base = disk_bound_config();
+    base.n_terminals = 10;
+    let mut volumes = Vec::new();
+    for groups in [1u32, 4, 16, 64] {
+        let c = base.clone().with_scheduler(SchedulerKind::Gss { groups });
+        let r = run_once(&c);
+        assert!(r.glitch_free(), "gss({groups}): {}", r.summary());
+        volumes.push(r.blocks_delivered);
+    }
+    let min = volumes.iter().min().unwrap();
+    let max = volumes.iter().max().unwrap();
+    assert!(
+        (max - min) * 20 < *max,
+        "group count changed light-load volume too much: {volumes:?}"
+    );
+}
+
+#[test]
+fn io_latency_statistics_are_populated_and_ordered() {
+    let mut c = disk_bound_config();
+    c.n_terminals = 20;
+    let r = run_once(&c);
+    assert!(r.io_latency_mean_ms > 0.0);
+    assert!(r.io_latency_p95_ms >= r.io_latency_mean_ms * 0.5);
+    assert!(r.io_latency_max_ms >= r.io_latency_p95_ms);
+    // A 512 KB read takes at least ~68 ms of pure transfer.
+    assert!(
+        r.io_latency_mean_ms > 50.0,
+        "mean latency {:.1} ms implausibly low",
+        r.io_latency_mean_ms
+    );
+}
+
+#[test]
+fn deadline_aware_scheduling_reduces_deadline_misses() {
+    // Near saturation, FCFS lets urgent requests languish behind old ones;
+    // the real-time scheduler reorders by deadline and must miss fewer.
+    let mut fcfs = disk_bound_config().with_scheduler(SchedulerKind::Fcfs);
+    fcfs.n_terminals = 26;
+    let mut rt = disk_bound_config().with_scheduler(SchedulerKind::RealTime {
+        classes: 3,
+        spacing: SimDuration::from_secs(4),
+    });
+    rt.n_terminals = 26;
+
+    let r_fcfs = run_once(&fcfs);
+    let r_rt = run_once(&rt);
+    assert!(
+        r_rt.deadline_misses <= r_fcfs.deadline_misses,
+        "real-time missed {} deadlines vs fcfs {}",
+        r_rt.deadline_misses,
+        r_fcfs.deadline_misses
+    );
+}
+
+#[test]
+fn edf_runs_clean_at_light_load_and_misses_under_overload() {
+    let mut c = disk_bound_config().with_scheduler(SchedulerKind::Edf);
+    c.n_terminals = 8;
+    let light = run_once(&c);
+    assert!(light.glitch_free(), "{}", light.summary());
+    c.n_terminals = 60;
+    let heavy = run_once(&c);
+    assert!(
+        heavy.deadline_misses > 0,
+        "EDF under overload must miss deadlines"
+    );
+}
+
+#[test]
+fn stripe_group_width_interpolates_between_layouts() {
+    // Width 1 behaves like non-striped (skewed load); width = all disks
+    // behaves like full striping (balanced load).
+    let mut base = disk_bound_config();
+    base.topology = Topology {
+        nodes: 2,
+        disks_per_node: 2,
+    };
+    base.n_videos = 16;
+    base.access = AccessPattern::Zipf(1.2);
+    base.n_terminals = 16;
+
+    let spread = |placement| {
+        let mut c = base.clone();
+        c.placement = placement;
+        let r = run_once(&c);
+        r.max_disk_utilization - r.min_disk_utilization
+    };
+    let narrow = spread(Placement::StripeGroup { width: 1 });
+    let wide = spread(Placement::StripeGroup { width: 4 });
+    let full = spread(Placement::Striped);
+    assert!(
+        narrow > wide + 0.1,
+        "narrow groups should skew load: {narrow:.2} vs {wide:.2}"
+    );
+    assert!(
+        (wide - full).abs() < 0.1,
+        "width=all should match full striping: {wide:.2} vs {full:.2}"
+    );
+}
+
+#[test]
+fn user_seeks_mid_run_are_serviced_without_disruption() {
+    // §8.1: fast-forward/rewind are just seeks plus a re-prime; the rest
+    // of the population must be unaffected and the seeking terminal must
+    // keep streaming from its new positions.
+    use spiffi_vod::core::VodSystem;
+
+    let mut c = disk_bound_config();
+    c.n_terminals = 8;
+    let mut sys = VodSystem::new(c.clone());
+    // A burst of fast-forwards and rewinds on terminal 3 during the run.
+    for (i, &frame) in [3000u64, 120, 2500, 60].iter().enumerate() {
+        sys.schedule_user_seek(SimTime::from_secs_f64(20.0 + 8.0 * i as f64), 3, frame);
+    }
+    let r = sys.run();
+    assert!(r.glitch_free(), "seeking caused glitches: {}", r.summary());
+    assert!(r.blocks_delivered > 100);
+
+    // Determinism still holds with scheduled seeks.
+    let mut sys2 = VodSystem::new(c);
+    for (i, &frame) in [3000u64, 120, 2500, 60].iter().enumerate() {
+        sys2.schedule_user_seek(SimTime::from_secs_f64(20.0 + 8.0 * i as f64), 3, frame);
+    }
+    let r2 = sys2.run();
+    assert_eq!(r.blocks_delivered, r2.blocks_delivered);
+}
+
+#[test]
+fn capacity_scales_with_disk_count() {
+    // The §7.6 property at miniature scale: doubling disks (and videos,
+    // and memory) roughly doubles the glitch-free capacity.
+    let search = CapacitySearch {
+        lo: 4,
+        hi: 80,
+        step: 2,
+        replications: 1,
+    };
+    let mut one = disk_bound_config();
+    one.topology = Topology {
+        nodes: 1,
+        disks_per_node: 1,
+    };
+    one.n_videos = 20;
+    one.server_memory_bytes = 12 * 1024 * 1024;
+    let mut two = one.clone();
+    two.topology = Topology {
+        nodes: 1,
+        disks_per_node: 2,
+    };
+    two.n_videos = 40;
+    two.server_memory_bytes = 24 * 1024 * 1024;
+
+    let c1 = max_glitch_free_terminals(&one, &search).max_terminals;
+    let c2 = max_glitch_free_terminals(&two, &search).max_terminals;
+    assert!(
+        c2 as f64 >= 1.6 * c1 as f64,
+        "2 disks supported {c2} vs {c1} on one disk"
+    );
+}
+
+#[test]
+fn visual_search_fast_forwards_through_the_title() {
+    // §8.1 skip-based search: show 2 s, skip 8 s. Over a 30 s search the
+    // terminal should traverse ~5x as much content as normal playback,
+    // without loading the server proportionally.
+    use spiffi_vod::core::{VisualSearch, VodSystem};
+
+    let mut c = disk_bound_config();
+    c.n_terminals = 6;
+    c.video.duration = SimDuration::from_secs(300);
+    c.n_videos = 40;
+    // Aligned start at frame 0 so traversal is measurable.
+    c.initial_position = InitialPosition::Start;
+
+    let search = VisualSearch {
+        show: SimDuration::from_secs(2),
+        skip: SimDuration::from_secs(8),
+        forward: true,
+    };
+    let build = |with_search: bool| {
+        let mut sys = VodSystem::new(c.clone());
+        if with_search {
+            sys.schedule_visual_search(
+                SimTime::from_secs_f64(20.0),
+                0,
+                search,
+                SimDuration::from_secs(30),
+            );
+        }
+        sys
+    };
+
+    let plain = build(false);
+    let searched = build(true);
+    let r_plain = plain.run();
+    let r_search = searched.run();
+    assert!(r_search.glitch_free(), "search caused glitches: {}", r_search.summary());
+
+    // The claim to verify is §8.1's: "the skipped video segments need not
+    // be read". Over 30 s at show=2/skip=8 the search traverses ~150 s of
+    // content; reading it all would cost ~120 extra blocks over the plain
+    // run. The actual overhead is only the per-jump re-prime (~4 blocks ×
+    // 15 jumps ≈ 60 blocks), well under half of that.
+    let extra = r_search.blocks_delivered.saturating_sub(r_plain.blocks_delivered);
+    assert!(
+        extra < 100,
+        "search read skipped segments: {extra} extra blocks ({} vs {})",
+        r_search.blocks_delivered,
+        r_plain.blocks_delivered
+    );
+    // And the searching terminal finishes its title sooner, reflected in
+    // more completions across the run.
+    assert!(r_search.videos_completed >= r_plain.videos_completed);
+}
+
+#[test]
+fn smooth_search_versions_fast_forward_smoothly() {
+    // §8.1's second scheme: dedicated search versions give a smooth
+    // constant-rate preview stream; a 10 s search at 8x traverses ~80 s of
+    // content, after which normal playback resumes from the new position.
+    use spiffi_vod::core::VodSystem;
+
+    let mut c = disk_bound_config();
+    c.n_terminals = 6;
+    c.n_videos = 20;
+    c.video.duration = SimDuration::from_secs(240);
+    c.search_speedup = Some(8);
+    c.initial_position = InitialPosition::Start;
+
+    let build = |with_search: bool| {
+        let mut sys = VodSystem::new(c.clone());
+        if with_search {
+            sys.schedule_smooth_search(
+                SimTime::from_secs_f64(20.0),
+                0,
+                true,
+                SimDuration::from_secs(10),
+            );
+        }
+        sys
+    };
+
+    let r_plain = build(false).run();
+    let r_search = build(true).run();
+    assert!(r_search.glitch_free(), "{}", r_search.summary());
+    // The searching terminal skips ahead ~70 s of content, finishing its
+    // 240 s title sooner; across the run completions can only go up.
+    assert!(r_search.videos_completed >= r_plain.videos_completed);
+    // The preview stream runs at the same 4 Mbit/s, so server load is
+    // essentially unchanged (within a re-prime or two).
+    let extra = r_search
+        .blocks_delivered
+        .abs_diff(r_plain.blocks_delivered);
+    assert!(
+        extra < 60,
+        "smooth search changed load too much: {} vs {}",
+        r_search.blocks_delivered,
+        r_plain.blocks_delivered
+    );
+}
+
+#[test]
+fn search_versions_cost_the_advertised_disk_space() {
+    use spiffi_vod::mpeg::Library;
+    let plain = Library::generate(
+        8,
+        spiffi_vod::mpeg::VideoParams {
+            duration: SimDuration::from_secs(120),
+            ..Default::default()
+        },
+        9,
+    );
+    let with = Library::generate_with_search_versions(
+        8,
+        spiffi_vod::mpeg::VideoParams {
+            duration: SimDuration::from_secs(120),
+            ..Default::default()
+        },
+        9,
+        8,
+    );
+    let overhead = with.total_bytes() as f64 / plain.total_bytes() as f64;
+    // "a small amount of additional disk space": 1/8 ≈ 12.5 %.
+    assert!((1.10..1.16).contains(&overhead), "overhead {overhead}");
+}
