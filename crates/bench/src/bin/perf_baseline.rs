@@ -1,0 +1,241 @@
+//! Wall-clock performance harness for the scheduler/disk hot path.
+//!
+//! Runs a standard capacity-search workload — a bracketed bisection over
+//! terminal counts on a 4-disk node, each probe a full deterministic
+//! simulation — entirely on one thread, and reports wall seconds and
+//! events per second. Results are written to `BENCH_perf.json` at the
+//! repo root so speedups are tracked in-tree.
+//!
+//! Usage:
+//!   perf_baseline --record-baseline   # store this build as the baseline
+//!   perf_baseline                     # measure and compare to baseline
+//!
+//! The workload is seeded and single-threaded, so `events_processed` must
+//! be identical run-to-run and build-to-build; the harness asserts this
+//! against the recorded baseline, making it a coarse determinism check as
+//! well as a throughput meter.
+
+use std::time::Instant;
+
+use spiffi_core::{SystemConfig, VodSystem};
+use spiffi_mpeg::{AccessPattern, Library};
+use spiffi_sched::SchedulerKind;
+use spiffi_simcore::SimDuration;
+
+/// The fixed workload configuration: one node, four disks, uniform access
+/// over 64 one-minute titles, memory far below the working set.
+fn workload_config() -> SystemConfig {
+    let mut c = SystemConfig::small_test();
+    c.topology = spiffi_layout::Topology {
+        nodes: 1,
+        disks_per_node: 4,
+    };
+    c.n_videos = 64;
+    c.access = AccessPattern::Uniform;
+    c.video.duration = SimDuration::from_secs(60);
+    c.server_memory_bytes = 32 * 1024 * 1024;
+    c.timing.stagger = SimDuration::from_secs(5);
+    c.timing.warmup = SimDuration::from_secs(10);
+    c.timing.measure = SimDuration::from_secs(120);
+    c.seed = 0x005b_1ff1_9e4f;
+    c
+}
+
+/// Measured repetitions of the whole bisection; the wall clock is averaged
+/// over these so a ~15% throughput change is well above run-to-run noise.
+const ITERS: u32 = 3;
+
+/// Bisection brackets on the terminal-count grid.
+const LO: u32 = 4;
+const HI: u32 = 96;
+const STEP: u32 = 4;
+
+/// The schedulers exercised per probe (the hot paths under optimisation).
+fn schedulers() -> [SchedulerKind; 3] {
+    [
+        SchedulerKind::Elevator,
+        SchedulerKind::Gss { groups: 4 },
+        SchedulerKind::RealTime {
+            classes: 3,
+            spacing: SimDuration::from_secs(4),
+        },
+    ]
+}
+
+/// One probe: run every scheduler at `n` terminals; returns (total
+/// glitches, total events processed). The seed is fixed across the whole
+/// workload, so every run shares one pre-generated `library`.
+fn probe(n: u32, library: &Library) -> (u64, u64) {
+    let mut glitches = 0;
+    let mut events = 0;
+    for sched in schedulers() {
+        let mut c = workload_config();
+        c.scheduler = sched;
+        c.n_terminals = n;
+        let r = VodSystem::with_library(c, library.clone()).run();
+        glitches += r.glitches;
+        events += r.events_processed;
+    }
+    (glitches, events)
+}
+
+/// The standard capacity-search bisection, accumulating events.
+fn run_workload(library: &Library) -> (u32, u64) {
+    let grid = |x: u32| (x / STEP).max(1) * STEP;
+    let mut events = 0;
+    let mut lo = grid(LO);
+    let mut hi = grid(HI);
+    let (g, e) = probe(lo, library);
+    events += e;
+    assert_eq!(g, 0, "lower bracket {lo} must be feasible");
+    let (g, e) = probe(hi, library);
+    events += e;
+    assert!(g > 0, "upper bracket {hi} must be infeasible");
+    while hi - lo > STEP {
+        let mid = grid(lo + (hi - lo) / 2);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        let (g, e) = probe(mid, library);
+        events += e;
+        if g == 0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo, events)
+}
+
+/// One measured sample of the harness.
+struct Sample {
+    wall_seconds: f64,
+    events_processed: u64,
+    events_per_sec: f64,
+    capacity: u32,
+}
+
+fn measure() -> Sample {
+    let library = VodSystem::generate_library(&workload_config());
+    // Warm-up pass (page in code, touch allocator arenas), then the
+    // measured passes.
+    run_workload(&library);
+    let start = Instant::now();
+    let mut events = 0;
+    let mut capacity = 0;
+    for _ in 0..ITERS {
+        let (cap, e) = run_workload(&library);
+        events += e;
+        capacity = cap;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    Sample {
+        wall_seconds: wall,
+        events_processed: events,
+        events_per_sec: events as f64 / wall,
+        capacity,
+    }
+}
+
+fn sample_json(s: &Sample, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"wall_seconds\": {:.4},\n{indent}  \"events_processed\": {},\n{indent}  \"events_per_sec\": {:.1},\n{indent}  \"capacity_terminals\": {}\n{indent}}}",
+        s.wall_seconds, s.events_processed, s.events_per_sec, s.capacity
+    )
+}
+
+/// Extract `"key": <number>` from a flat JSON section. Good enough for the
+/// file this binary itself writes; no external JSON crate is available.
+fn extract_number(section: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = section.find(&pat)? + pat.len();
+    let rest = section[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pull the `"baseline": {...}` object out of an existing BENCH_perf.json.
+fn read_baseline(path: &std::path::Path) -> Option<Sample> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let at = text.find("\"baseline\":")?;
+    let open = text[at..].find('{')? + at;
+    let close = text[open..].find('}')? + open;
+    let section = &text[open..=close];
+    Some(Sample {
+        wall_seconds: extract_number(section, "wall_seconds")?,
+        events_processed: extract_number(section, "events_processed")? as u64,
+        events_per_sec: extract_number(section, "events_per_sec")?,
+        capacity: extract_number(section, "capacity_terminals")? as u32,
+    })
+}
+
+fn main() {
+    let record_baseline = std::env::args().any(|a| a == "--record-baseline");
+    let out = std::path::Path::new("BENCH_perf.json");
+
+    println!("== perf_baseline: scheduler/disk hot-path throughput ==");
+    println!(
+        "workload: capacity bisection [{LO}, {HI}] step {STEP}, 4 disks, \
+         elevator+gss+real-time per probe\n"
+    );
+
+    let current = measure();
+    println!(
+        "wall: {:.3} s   events: {}   throughput: {:.0} events/s   capacity: {} terminals",
+        current.wall_seconds, current.events_processed, current.events_per_sec, current.capacity
+    );
+
+    let baseline = if record_baseline {
+        None
+    } else {
+        read_baseline(out)
+    };
+
+    let mut json = String::from("{\n  \"benchmark\": \"perf_baseline\",\n");
+    json.push_str(
+        "  \"workload\": {\n    \"description\": \"single-threaded capacity bisection, 3 schedulers per probe\",\n",
+    );
+    json.push_str(&format!(
+        "    \"disks\": 4,\n    \"videos\": 64,\n    \"search\": [{LO}, {HI}],\n    \"step\": {STEP},\n    \"seed\": {}\n  }},\n",
+        workload_config().seed
+    ));
+    match (&baseline, record_baseline) {
+        (Some(b), false) => {
+            // Determinism cross-check against the recorded baseline.
+            if b.events_processed != current.events_processed {
+                eprintln!(
+                    "WARNING: events_processed drifted from baseline ({} -> {}); \
+                     the simulation itself changed, not just its speed",
+                    b.events_processed, current.events_processed
+                );
+            }
+            let improvement = current.events_per_sec / b.events_per_sec - 1.0;
+            println!(
+                "baseline: {:.0} events/s -> improvement: {:+.1}%",
+                b.events_per_sec,
+                improvement * 100.0
+            );
+            json.push_str(&format!("  \"baseline\": {},\n", sample_json(b, "  ")));
+            json.push_str(&format!(
+                "  \"current\": {},\n",
+                sample_json(&current, "  ")
+            ));
+            json.push_str(&format!(
+                "  \"events_per_sec_improvement\": {:.4},\n  \"deterministic_vs_baseline\": {}\n}}\n",
+                improvement,
+                b.events_processed == current.events_processed
+            ));
+        }
+        _ => {
+            println!("recorded as baseline");
+            json.push_str(&format!(
+                "  \"baseline\": {}\n}}\n",
+                sample_json(&current, "  ")
+            ));
+        }
+    }
+    std::fs::write(out, json).expect("write BENCH_perf.json");
+    println!("wrote {}", out.display());
+}

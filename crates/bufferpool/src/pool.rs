@@ -1,8 +1,7 @@
 //! The buffer pool proper: page table, pinning, in-flight merging, stats.
 
-use std::collections::HashMap;
-
 use spiffi_layout::BlockAddr;
+use spiffi_simcore::FastHashMap;
 
 use crate::policy::{PolicyKind, ReplacementPolicy};
 
@@ -98,7 +97,8 @@ impl PoolStats {
 pub struct BufferPool {
     frames: Vec<Frame>,
     free: Vec<FrameId>,
-    map: HashMap<BlockAddr, FrameId>,
+    // Never iterated, so the deterministic fast hasher is safe here.
+    map: FastHashMap<BlockAddr, FrameId>,
     policy: Box<dyn ReplacementPolicy>,
     stats: PoolStats,
 }
@@ -110,7 +110,7 @@ impl BufferPool {
         BufferPool {
             frames: Vec::with_capacity(capacity),
             free: (0..capacity as u32).rev().map(FrameId).collect(),
-            map: HashMap::with_capacity(capacity),
+            map: FastHashMap::with_capacity_and_hasher(capacity, Default::default()),
             policy: policy.build(capacity),
             stats: PoolStats::default(),
         }

@@ -1,14 +1,15 @@
-//! Property-based tests of the buffer pool against a reference model:
+//! Randomized property tests of the buffer pool against a reference model:
 //! capacity is never exceeded, pinned pages never vanish, the page table
 //! stays consistent under arbitrary operation sequences, and the two
-//! replacement policies never evict a pinned or in-flight page.
+//! replacement policies never evict a pinned or in-flight page. Driven by
+//! the deterministic [`SimRng`] so failures reproduce from the seed.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 use spiffi_bufferpool::{BufferPool, FrameId, LookupResult, PolicyKind};
 use spiffi_layout::BlockAddr;
 use spiffi_mpeg::VideoId;
+use spiffi_simcore::SimRng;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -20,18 +21,18 @@ enum Op {
     Reference { block: u8, terminal: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<bool>()).prop_map(|(block, prefetch)| Op::Fetch {
-            block: block % 64,
-            prefetch
-        }),
-        Just(Op::CompleteOldest),
-        (any::<u8>(), any::<u8>()).prop_map(|(block, terminal)| Op::Reference {
-            block: block % 64,
-            terminal: terminal % 8
-        }),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.u64_below(3) {
+        0 => Op::Fetch {
+            block: rng.u64_below(64) as u8,
+            prefetch: rng.chance(0.5),
+        },
+        1 => Op::CompleteOldest,
+        _ => Op::Reference {
+            block: rng.u64_below(64) as u8,
+            terminal: rng.u64_below(8) as u8,
+        },
+    }
 }
 
 fn key(block: u8) -> BlockAddr {
@@ -41,16 +42,13 @@ fn key(block: u8) -> BlockAddr {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn pool_invariants_hold_under_arbitrary_ops(
-        ops in proptest::collection::vec(op_strategy(), 1..200),
-        policy_love in any::<bool>(),
-    ) {
+#[test]
+fn pool_invariants_hold_under_arbitrary_ops() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::stream(0xb00f, seed);
+        let n_ops = 1 + rng.index(200);
         let capacity = 8usize;
-        let policy = if policy_love {
+        let policy = if rng.chance(0.5) {
             PolicyKind::LovePrefetch
         } else {
             PolicyKind::GlobalLru
@@ -60,18 +58,21 @@ proptest! {
         let mut inflight: Vec<(u8, FrameId)> = Vec::new();
         let mut resident: HashMap<u8, FrameId> = HashMap::new();
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Fetch { block, prefetch } => {
                     match pool.lookup(key(block), Some(0)) {
                         LookupResult::Resident(f) => {
-                            prop_assert_eq!(resident.get(&block), Some(&f));
+                            assert_eq!(resident.get(&block), Some(&f), "seed {seed}");
                         }
                         LookupResult::InFlight(f) => {
-                            prop_assert!(inflight.iter().any(|&(b, g)| b == block && g == f));
+                            assert!(
+                                inflight.iter().any(|&(b, g)| b == block && g == f),
+                                "seed {seed}"
+                            );
                         }
                         LookupResult::Miss => {
-                            prop_assert!(!resident.contains_key(&block));
+                            assert!(!resident.contains_key(&block), "seed {seed}");
                             if let Some(f) = pool.allocate(key(block), prefetch) {
                                 // Allocation may have evicted a resident,
                                 // unpinned block (frame id reuse);
@@ -84,16 +85,17 @@ proptest! {
                                     .collect();
                                 for b in evicted {
                                     resident.remove(&b);
-                                    prop_assert_eq!(
+                                    assert_eq!(
                                         pool.lookup(key(b), None),
-                                        LookupResult::Miss
+                                        LookupResult::Miss,
+                                        "seed {seed}"
                                     );
                                 }
                                 inflight.push((block, f));
                             } else {
                                 // Every frame pinned: in-flight count must
                                 // equal capacity.
-                                prop_assert_eq!(inflight.len(), capacity);
+                                assert_eq!(inflight.len(), capacity, "seed {seed}");
                             }
                         }
                     }
@@ -112,33 +114,41 @@ proptest! {
                 }
             }
             // Global invariants after every step.
-            prop_assert!(pool.in_use() <= capacity, "pool over capacity");
-            prop_assert_eq!(
+            assert!(pool.in_use() <= capacity, "seed {seed}: pool over capacity");
+            assert_eq!(
                 pool.in_use(),
                 inflight.len() + resident.len(),
-                "page-table drift"
+                "seed {seed}: page-table drift"
             );
             // Every in-flight block must still be reachable (pinned pages
             // cannot be evicted).
             for &(b, f) in &inflight {
-                prop_assert_eq!(pool.lookup(key(b), None), LookupResult::InFlight(f));
+                assert_eq!(
+                    pool.lookup(key(b), None),
+                    LookupResult::InFlight(f),
+                    "seed {seed}"
+                );
             }
         }
     }
+}
 
-    /// Waiters attached to an in-flight page are returned exactly once,
-    /// in attachment order, on completion.
-    #[test]
-    fn waiters_are_exact(tokens in proptest::collection::vec(any::<u64>(), 0..20)) {
+/// Waiters attached to an in-flight page are returned exactly once, in
+/// attachment order, on completion.
+#[test]
+fn waiters_are_exact() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::stream(0x3a17, seed);
+        let tokens: Vec<u64> = (0..rng.index(20)).map(|_| rng.next_u64_raw()).collect();
         let mut pool = BufferPool::new(4, PolicyKind::LovePrefetch);
         let f = pool.allocate(key(1), true).expect("empty pool");
         for &t in &tokens {
             pool.add_waiter(f, t);
         }
         let drained = pool.complete_io(f);
-        prop_assert_eq!(drained, tokens);
+        assert_eq!(drained, tokens, "seed {seed}");
         // A second completion cycle starts empty.
         let g = pool.allocate(key(2), false).expect("space");
-        prop_assert!(pool.complete_io(g).is_empty());
+        assert!(pool.complete_io(g).is_empty(), "seed {seed}");
     }
 }

@@ -14,6 +14,8 @@
 //! glitch-free. Replications run on OS threads — the simulator itself is
 //! single-threaded and deterministic, so parallelism across *runs* is free.
 
+use spiffi_mpeg::Library;
+
 use crate::config::SystemConfig;
 use crate::metrics::RunReport;
 use crate::system::VodSystem;
@@ -21,6 +23,19 @@ use crate::system::VodSystem;
 /// Run one configuration to completion.
 pub fn run_once(cfg: &SystemConfig) -> RunReport {
     VodSystem::new(cfg.clone()).run()
+}
+
+/// The seed for replication `r` of an experiment with base seed `base`.
+///
+/// Every replication loop in the driver derives its per-replication seeds
+/// through this one function so they stay decorrelated the same way
+/// everywhere. The multiplier is the full 64-bit golden-ratio constant
+/// (SplitMix64's increment), which spreads consecutive replication indices
+/// across the whole seed space; all arithmetic wraps so no replication
+/// count can overflow. `r = 0` maps to a seed different from `base`, so a
+/// replication never silently repeats the un-replicated experiment.
+pub fn replication_seed(base: u64, r: u32) -> u64 {
+    base.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(r as u64 + 1))
 }
 
 /// Parameters of the capacity search.
@@ -60,22 +75,31 @@ pub struct CapacityResult {
 }
 
 /// Is `n` terminals glitch-free across all replications? Returns total
-/// glitches observed.
-fn probe(cfg: &SystemConfig, n: u32, replications: u32) -> u64 {
-    let runs: Vec<SystemConfig> = (0..replications)
-        .map(|r| {
+/// glitches observed. `libraries[r]` must be the library for replication
+/// `r`'s seed (see [`replication_libraries`]) — the library depends on the
+/// seed but not on `n`, so one search generates each replication's library
+/// once and every probe reuses them.
+fn probe(cfg: &SystemConfig, n: u32, libraries: &[Library]) -> u64 {
+    let runs: Vec<(SystemConfig, &Library)> = libraries
+        .iter()
+        .enumerate()
+        .map(|(r, lib)| {
             let mut c = cfg.clone();
             c.n_terminals = n;
-            // Decorrelate replications; the multiplier keeps seeds far
-            // apart in SplitMix64 space.
-            c.seed = cfg.seed.wrapping_add(0x9e37_79b9 * (r as u64 + 1));
-            c
+            c.seed = replication_seed(cfg.seed, r as u32);
+            (c, lib)
         })
         .collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = runs
             .iter()
-            .map(|c| s.spawn(move || run_once(c).glitches))
+            .map(|(c, lib)| {
+                s.spawn(move || {
+                    VodSystem::with_library(c.clone(), (*lib).clone())
+                        .run()
+                        .glitches
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -84,25 +108,40 @@ fn probe(cfg: &SystemConfig, n: u32, replications: u32) -> u64 {
     })
 }
 
+/// Pre-generate the library each replication of `cfg` will use. Library
+/// generation is the most expensive part of system construction and is
+/// independent of the probed terminal count, so a capacity search pays it
+/// once per replication instead of once per run.
+fn replication_libraries(cfg: &SystemConfig, replications: u32) -> Vec<Library> {
+    (0..replications)
+        .map(|r| {
+            let mut c = cfg.clone();
+            c.seed = replication_seed(cfg.seed, r);
+            VodSystem::generate_library(&c)
+        })
+        .collect()
+}
+
 /// Find the maximum glitch-free terminal count for `cfg` (its
 /// `n_terminals` field is ignored).
 pub fn max_glitch_free_terminals(cfg: &SystemConfig, search: &CapacitySearch) -> CapacityResult {
     assert!(search.step > 0 && search.lo <= search.hi);
     let grid = |x: u32| (x / search.step).max(1) * search.step;
     let mut probes = Vec::new();
+    let libraries = replication_libraries(cfg, search.replications);
 
     let mut lo = grid(search.lo);
     let mut hi = grid(search.hi).max(lo);
 
     // Confirm the brackets. If even `lo` glitches, walk down; if `hi` is
     // glitch-free, it is the answer (capacity beyond the bracket).
-    let lo_glitches = probe(cfg, lo, search.replications);
+    let lo_glitches = probe(cfg, lo, &libraries);
     probes.push((lo, lo_glitches));
     if lo_glitches > 0 {
         let mut n = lo;
         while n > search.step {
             n -= search.step;
-            let g = probe(cfg, n, search.replications);
+            let g = probe(cfg, n, &libraries);
             probes.push((n, g));
             if g == 0 {
                 return CapacityResult {
@@ -116,7 +155,7 @@ pub fn max_glitch_free_terminals(cfg: &SystemConfig, search: &CapacitySearch) ->
             probes,
         };
     }
-    let hi_glitches = probe(cfg, hi, search.replications);
+    let hi_glitches = probe(cfg, hi, &libraries);
     probes.push((hi, hi_glitches));
     if hi_glitches == 0 {
         return CapacityResult {
@@ -131,7 +170,7 @@ pub fn max_glitch_free_terminals(cfg: &SystemConfig, search: &CapacitySearch) ->
         if mid <= lo || mid >= hi {
             break;
         }
-        let g = probe(cfg, mid, search.replications);
+        let g = probe(cfg, mid, &libraries);
         probes.push((mid, g));
         if g == 0 {
             lo = mid;
@@ -171,6 +210,32 @@ mod tests {
         c.timing.warmup = SimDuration::from_secs(10);
         c.timing.measure = SimDuration::from_secs(30);
         c
+    }
+
+    #[test]
+    fn replication_seeds_spread_across_the_full_seed_space() {
+        // Regression: the capacity-search probe used to decorrelate with a
+        // *truncated* 32-bit golden-ratio constant while the confidence
+        // loop used the full 64-bit one, so the two replication schemes
+        // produced unrelated (and in the probe's case, weakly spread)
+        // seeds. The shared helper must use the full 64-bit constant.
+        assert!(
+            replication_seed(0, 0) > u32::MAX as u64,
+            "seed {:#x} fits in 32 bits — truncated multiplier",
+            replication_seed(0, 0)
+        );
+        // Distinct replications map to distinct seeds, none equal to the
+        // base (a replication must never repeat the un-replicated run).
+        let base = 0x5b1ff1;
+        let seeds: Vec<u64> = (0..8).map(|r| replication_seed(base, r)).collect();
+        for (i, &a) in seeds.iter().enumerate() {
+            assert_ne!(a, base);
+            for &b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Wrapping, not panicking, at the top of the seed space.
+        let _ = replication_seed(u64::MAX, u32::MAX);
     }
 
     #[test]
@@ -323,7 +388,7 @@ pub fn capacity_with_confidence(
     let mut converged = false;
     for rep in 0..params.max_replications {
         let mut c = cfg.clone();
-        c.seed = cfg.seed.wrapping_add(0x517c_c1b7_2722_0a95u64.wrapping_mul(rep as u64 + 1));
+        c.seed = replication_seed(cfg.seed, rep);
         let r = max_glitch_free_terminals(&c, &params.search);
         estimates.push(r.max_terminals);
         w.add(r.max_terminals as f64);

@@ -30,8 +30,8 @@ pub mod terminal;
 
 pub use config::{default_prefetch_for, PauseConfig, RunTiming, SystemConfig, KB, MB};
 pub use driver::{
-    capacity_with_confidence, max_glitch_free_terminals, run_once, CapacityResult,
-    CapacitySearch, ConfidentCapacity, ConfidentCapacityResult,
+    capacity_with_confidence, max_glitch_free_terminals, replication_seed, run_once,
+    CapacityResult, CapacitySearch, ConfidentCapacity, ConfidentCapacityResult,
 };
 pub use metrics::RunReport;
 pub use piggyback::{Piggyback, StartDecision};

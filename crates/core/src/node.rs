@@ -5,7 +5,7 @@
 //! need not pass through any intermediate nodes and there is no need to
 //! consult a global page mapping database before each disk access").
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use spiffi_bufferpool::{BufferPool, FrameId, PolicyKind};
 use spiffi_cpu::{Cpu, CpuParams};
@@ -13,7 +13,7 @@ use spiffi_disk::{Disk, DiskParams};
 use spiffi_layout::BlockAddr;
 use spiffi_prefetch::{PrefetchKind, PrefetchQueue};
 use spiffi_sched::{DiskRequest, DiskScheduler, RequestId, SchedulerKind};
-use spiffi_simcore::{SimRng, SimTime};
+use spiffi_simcore::{FastHashMap, SimRng, SimTime};
 
 /// Work items processed by a node's FCFS CPU. Each carries the continuation
 /// the system runs when the CPU cost has been paid.
@@ -95,10 +95,11 @@ pub struct DiskUnit {
     pub rng: SimRng,
     /// The request currently being serviced by the drive.
     pub current: Option<RequestId>,
-    /// All requests handed to the scheduler or drive, by id.
-    pub inflight: HashMap<RequestId, IoCtx>,
+    /// All requests handed to the scheduler or drive, by id. Never
+    /// iterated, so the deterministic fast hasher is safe.
+    pub inflight: FastHashMap<RequestId, IoCtx>,
     /// Reverse index for prefetch escalation (block → queued request).
-    pub by_block: HashMap<BlockAddr, RequestId>,
+    pub by_block: FastHashMap<BlockAddr, RequestId>,
     /// Generation counter deduplicating delayed-prefetch release timers.
     pub release_gen: u64,
     /// Release instant of the currently armed delayed-prefetch timer, if
@@ -120,8 +121,8 @@ impl DiskUnit {
             prefetch: PrefetchQueue::new(prefetch),
             rng,
             current: None,
-            inflight: HashMap::new(),
-            by_block: HashMap::new(),
+            inflight: FastHashMap::default(),
+            by_block: FastHashMap::default(),
             release_gen: 0,
             release_timer: None,
         }

@@ -193,11 +193,21 @@ impl VodSystem {
     /// # Panics
     /// If the configuration fails [`SystemConfig::validate`].
     pub fn new(cfg: SystemConfig) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid configuration: {e}");
-        }
-        let mut rng_workload = SimRng::stream(cfg.seed, 0x17e2);
-        let library = match cfg.search_speedup {
+        let library = Self::generate_library(&cfg);
+        Self::with_library(cfg, library)
+    }
+
+    /// The video library [`VodSystem::new`] would generate for `cfg`.
+    ///
+    /// Generation draws an exponential frame-size sample per frame of every
+    /// title, which dominates construction cost. The library depends only
+    /// on `cfg.seed`, `cfg.n_videos`, `cfg.video`, and `cfg.search_speedup`
+    /// — callers running many simulations that agree on those fields (a
+    /// capacity search at one replication seed, a scheduler comparison)
+    /// should generate once and hand clones to
+    /// [`VodSystem::with_library`].
+    pub fn generate_library(cfg: &SystemConfig) -> Library {
+        match cfg.search_speedup {
             None => Library::generate(cfg.n_videos, cfg.video, cfg.seed ^ 0x11b),
             Some(speedup) => Library::generate_with_search_versions(
                 cfg.n_videos,
@@ -205,7 +215,22 @@ impl VodSystem {
                 cfg.seed ^ 0x11b,
                 speedup,
             ),
-        };
+        }
+    }
+
+    /// Build the system described by `cfg` around a pre-generated
+    /// `library`. Behaviour is bit-identical to [`VodSystem::new`] when
+    /// `library` equals [`VodSystem::generate_library`]`(&cfg)`; passing
+    /// any other library is a logic error (the layout and workload would
+    /// disagree with the seed-derived titles).
+    ///
+    /// # Panics
+    /// If the configuration fails [`SystemConfig::validate`].
+    pub fn with_library(cfg: SystemConfig, library: Library) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid configuration: {e}");
+        }
+        let mut rng_workload = SimRng::stream(cfg.seed, 0x17e2);
         let layout = match cfg.placement {
             Placement::Striped => Layout::striped(cfg.topology, cfg.stripe_bytes, &library),
             Placement::NonStriped => {
@@ -237,7 +262,10 @@ impl VodSystem {
             .collect();
         let selector = TitleSelector::new(cfg.access, cfg.n_videos);
 
-        let mut cal = Calendar::new();
+        // Steady state holds a few pending events per terminal (wake,
+        // in-flight I/O, prefetch); pre-size the heap to skip its early
+        // growth reallocations.
+        let mut cal = Calendar::with_capacity(8 * cfg.n_terminals as usize);
         // Staggered starts (§6): "the terminals start movies at random
         // intervals."
         for t in 0..cfg.n_terminals {
@@ -401,7 +429,8 @@ impl VodSystem {
                 started: false,
             },
         );
-        self.cal.schedule_at(at, Event::SearchStep { term, session });
+        self.cal
+            .schedule_at(at, Event::SearchStep { term, session });
     }
 
     fn search_step(&mut self, term: u32, session: u64) {
@@ -423,11 +452,8 @@ impl VodSystem {
         };
         let v = self.library.get(video);
         let fps = v.params().fps as u64;
-        let here = self.terminals[term as usize]
-            .current_frame()
-            .unwrap_or(0);
-        let skip_frames =
-            (state.search.skip.0 as u128 * fps as u128 / 1_000_000_000) as u64;
+        let here = self.terminals[term as usize].current_frame().unwrap_or(0);
+        let skip_frames = (state.search.skip.0 as u128 * fps as u128 / 1_000_000_000) as u64;
         let target = if state.started {
             if state.search.forward {
                 here.saturating_add(skip_frames)
@@ -502,7 +528,8 @@ impl VodSystem {
         let _ = forward;
         self.terminals[term as usize].start_video(sv, self.cfg.stripe_bytes, target, Vec::new());
         self.pump_terminal(term);
-        self.cal.schedule_at(end_at, Event::SmoothSearchEnd { term });
+        self.cal
+            .schedule_at(end_at, Event::SmoothSearchEnd { term });
     }
 
     fn smooth_search_end(&mut self, term: u32) {

@@ -1,0 +1,151 @@
+//! Golden-report regression test.
+//!
+//! Determinism is sacred: for a fixed seed and configuration, the
+//! simulator must produce a byte-identical [`RunReport`] across code
+//! changes that claim to be behavior-preserving (e.g. the allocation-free
+//! scheduler/disk hot-path rewrites). These constants were captured from
+//! the pre-rewrite implementation; any drift in them means the observable
+//! simulation changed, not just its speed.
+//!
+//! Float fields are compared by `to_bits()` — "byte-identical" means
+//! exactly that, not approximately equal.
+
+use spiffi_core::{run_once, SystemConfig};
+use spiffi_mpeg::AccessPattern;
+use spiffi_sched::SchedulerKind;
+use spiffi_simcore::SimDuration;
+
+fn tiny(scheduler: SchedulerKind, n_terminals: u32) -> SystemConfig {
+    let mut c = SystemConfig::small_test();
+    c.topology = spiffi_layout::Topology {
+        nodes: 1,
+        disks_per_node: 2,
+    };
+    c.n_videos = 40;
+    c.access = AccessPattern::Uniform;
+    c.video.duration = SimDuration::from_secs(60);
+    c.server_memory_bytes = 16 * 1024 * 1024;
+    c.timing.stagger = SimDuration::from_secs(5);
+    c.timing.warmup = SimDuration::from_secs(10);
+    c.timing.measure = SimDuration::from_secs(30);
+    c.scheduler = scheduler;
+    c.n_terminals = n_terminals;
+    c.seed = 0x5b1ff1;
+    c
+}
+
+/// One golden row: the integer core of the report plus bit-exact floats.
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    glitches: u64,
+    blocks_delivered: u64,
+    videos_completed: u64,
+    events_processed: u64,
+    deadline_misses: u64,
+    avg_disk_utilization_bits: u64,
+    net_peak_bits: u64,
+    io_latency_mean_bits: u64,
+}
+
+fn capture(scheduler: SchedulerKind, n_terminals: u32) -> Golden {
+    let r = run_once(&tiny(scheduler, n_terminals));
+    Golden {
+        glitches: r.glitches,
+        blocks_delivered: r.blocks_delivered,
+        videos_completed: r.videos_completed,
+        events_processed: r.events_processed,
+        deadline_misses: r.deadline_misses,
+        avg_disk_utilization_bits: r.avg_disk_utilization.to_bits(),
+        net_peak_bits: r.net_peak_bytes_per_sec.to_bits(),
+        io_latency_mean_bits: r.io_latency_mean_ms.to_bits(),
+    }
+}
+
+#[test]
+fn golden_realtime() {
+    let g = capture(
+        SchedulerKind::RealTime {
+            classes: 3,
+            spacing: SimDuration::from_secs(4),
+        },
+        8,
+    );
+    println!("GOLDEN realtime: {g:?}");
+    assert_eq!(
+        g,
+        Golden {
+            glitches: 0,
+            blocks_delivered: 227,
+            videos_completed: 0,
+            events_processed: 2295,
+            deadline_misses: 0,
+            avg_disk_utilization_bits: 4596046562552118446,
+            net_peak_bits: 4707390259288080384,
+            io_latency_mean_bits: 0,
+        }
+    );
+}
+
+#[test]
+fn golden_elevator() {
+    let g = capture(SchedulerKind::Elevator, 40);
+    println!("GOLDEN elevator: {g:?}");
+    assert_eq!(
+        g,
+        Golden {
+            glitches: 135,
+            blocks_delivered: 996,
+            videos_completed: 0,
+            events_processed: 9724,
+            deadline_misses: 152,
+            avg_disk_utilization_bits: 4607177121074662944,
+            net_peak_bits: 4715974971199848448,
+            io_latency_mean_bits: 4652888396672545099,
+        }
+    );
+}
+
+#[test]
+fn golden_gss() {
+    let g = capture(SchedulerKind::Gss { groups: 4 }, 40);
+    println!("GOLDEN gss: {g:?}");
+    assert_eq!(
+        g,
+        Golden {
+            glitches: 58,
+            blocks_delivered: 999,
+            videos_completed: 0,
+            events_processed: 9794,
+            deadline_misses: 88,
+            avg_disk_utilization_bits: 4607178679334245293,
+            net_peak_bits: 4715975108638801920,
+            io_latency_mean_bits: 4652996071136580818,
+        }
+    );
+}
+
+#[test]
+fn golden_overloaded_realtime() {
+    // Over capacity: glitches must be non-zero and still byte-stable.
+    let g = capture(
+        SchedulerKind::RealTime {
+            classes: 3,
+            spacing: SimDuration::from_secs(4),
+        },
+        40,
+    );
+    println!("GOLDEN overloaded: {g:?}");
+    assert_eq!(
+        g,
+        Golden {
+            glitches: 131,
+            blocks_delivered: 984,
+            videos_completed: 0,
+            events_processed: 9722,
+            deadline_misses: 159,
+            avg_disk_utilization_bits: 4607170870533543956,
+            net_peak_bits: 4715974833760894976,
+            io_latency_mean_bits: 4652883206505385707,
+        }
+    );
+}

@@ -1,14 +1,14 @@
-//! Property-based tests of the terminal state machine under adversarial
-//! block-delivery schedules: memory bounds are respected, requests are
-//! never duplicated or lost, consumption is monotone, and a terminal that
-//! is served promptly never glitches.
+//! Randomized property tests of the terminal state machine under
+//! adversarial block-delivery schedules: memory bounds are respected,
+//! requests are never duplicated or lost, consumption is monotone, and a
+//! terminal that is served promptly never glitches. Driven by the
+//! deterministic [`SimRng`] so failures reproduce from the printed seed.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 use spiffi_core::terminal::{PlayState, Terminal};
 use spiffi_mpeg::{Video, VideoId, VideoParams};
-use spiffi_simcore::{SimDuration, SimTime};
+use spiffi_simcore::{SimDuration, SimRng, SimTime};
 
 const BB: u64 = 512 * 1024;
 
@@ -23,20 +23,20 @@ fn video(secs: u64, seed: u64) -> Video {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Drive a terminal with randomized delivery delays and reordering.
+/// Whatever the server does, the terminal must (a) never request a block
+/// twice, (b) never exceed its buffer memory with buffered + outstanding
+/// data, (c) consume monotonically.
+#[test]
+fn memory_and_request_invariants() {
+    for case in 0..48u64 {
+        let mut rng = SimRng::stream(0x7e44, case);
+        let vseed = rng.next_u64_raw();
+        let n_delays = 4 + rng.index(116);
+        let delays_ms: Vec<u64> = (0..n_delays).map(|_| 1 + rng.u64_below(2999)).collect();
+        let reorder = rng.chance(0.5);
 
-    /// Drive a terminal with randomized delivery delays and reordering.
-    /// Whatever the server does, the terminal must (a) never request a
-    /// block twice, (b) never exceed its buffer memory with
-    /// buffered + outstanding data, (c) consume monotonically.
-    #[test]
-    fn memory_and_request_invariants(
-        seed in any::<u64>(),
-        delays_ms in proptest::collection::vec(1u64..3000, 4..120),
-        reorder in any::<bool>(),
-    ) {
-        let v = video(45, seed);
+        let v = video(45, vseed);
         let total_blocks = v.total_bytes().div_ceil(BB) as u32;
         let capacity = 2 * 1024 * 1024u64;
         let mut term = Terminal::new(0, capacity);
@@ -47,23 +47,19 @@ proptest! {
         let mut requested = vec![false; total_blocks as usize];
         let mut delivered = 0u32;
 
-        let absorb = |requests: &[u32],
-                          pending: &mut VecDeque<u32>,
-                          requested: &mut Vec<bool>|
-         -> Result<(), TestCaseError> {
+        let absorb = |requests: &[u32], pending: &mut VecDeque<u32>, requested: &mut Vec<bool>| {
             for &r in requests {
-                prop_assert!(
+                assert!(
                     !requested[r as usize],
-                    "block {r} requested twice"
+                    "case {case}: block {r} requested twice"
                 );
                 requested[r as usize] = true;
                 pending.push_back(r);
             }
-            Ok(())
         };
 
         let p = term.pump(&v, BB, now);
-        absorb(&p.requests, &mut pending, &mut requested)?;
+        absorb(&p.requests, &mut pending, &mut requested);
         let mut next_wake = p.wake_at;
 
         for (i, &d) in delays_ms.iter().enumerate() {
@@ -73,7 +69,7 @@ proptest! {
                 if w <= now {
                     // Honour the wake first, at its exact instant.
                     let p = term.pump(&v, BB, w);
-                    absorb(&p.requests, &mut pending, &mut requested)?;
+                    absorb(&p.requests, &mut pending, &mut requested);
                     next_wake = p.wake_at;
                 }
             }
@@ -84,27 +80,35 @@ proptest! {
                 pending.pop_front()
             };
             if let Some(b) = take {
-                prop_assert!(term.on_block_arrival(&v, BB, b, term.epoch()));
+                assert!(
+                    term.on_block_arrival(&v, BB, b, term.epoch()),
+                    "case {case}"
+                );
                 delivered += 1;
                 let p = term.pump(&v, BB, now.max(SimTime::ZERO));
-                absorb(&p.requests, &mut pending, &mut requested)?;
+                absorb(&p.requests, &mut pending, &mut requested);
                 next_wake = p.wake_at;
             }
             // Invariant: buffered data never exceeds terminal memory.
-            prop_assert!(
+            assert!(
                 term.buffered_bytes() <= capacity,
-                "buffered {} > capacity {capacity}",
+                "case {case}: buffered {} > capacity {capacity}",
                 term.buffered_bytes()
             );
         }
-        prop_assert_eq!(term.blocks_received(), delivered as u64);
+        assert_eq!(term.blocks_received(), delivered as u64, "case {case}");
     }
+}
 
-    /// A terminal whose every request is satisfied instantly never
-    /// glitches and finishes exactly at the title length.
-    #[test]
-    fn instant_service_never_glitches(seed in any::<u64>(), secs in 4u64..30) {
-        let v = video(secs, seed);
+/// A terminal whose every request is satisfied instantly never glitches
+/// and finishes exactly at the title length.
+#[test]
+fn instant_service_never_glitches() {
+    for case in 0..48u64 {
+        let mut rng = SimRng::stream(0x1457, case);
+        let vseed = rng.next_u64_raw();
+        let secs = 4 + rng.u64_below(26);
+        let v = video(secs, vseed);
         let mut term = Terminal::new(0, 2 * 1024 * 1024);
         term.start_video(&v, BB, 0, vec![]);
         let mut now = SimTime::ZERO;
@@ -112,7 +116,10 @@ proptest! {
         let mut guard = 0;
         loop {
             for b in p.requests.clone() {
-                prop_assert!(term.on_block_arrival(&v, BB, b, term.epoch()));
+                assert!(
+                    term.on_block_arrival(&v, BB, b, term.epoch()),
+                    "case {case}"
+                );
             }
             if !p.requests.is_empty() {
                 p = term.pump(&v, BB, now);
@@ -126,33 +133,47 @@ proptest! {
                 }
             }
             guard += 1;
-            prop_assert!(guard < 100_000, "did not terminate");
+            assert!(guard < 100_000, "case {case}: did not terminate");
         }
-        prop_assert_eq!(term.glitches_total(), 0);
-        prop_assert_eq!(term.videos_completed(), 1);
-        prop_assert_eq!(term.state(), PlayState::Finished);
+        assert_eq!(term.glitches_total(), 0, "case {case}");
+        assert_eq!(term.videos_completed(), 1, "case {case}");
+        assert_eq!(term.state(), PlayState::Finished, "case {case}");
         // Playback of an N-second title takes at least N seconds.
-        prop_assert!(now.as_secs_f64() >= secs as f64);
+        assert!(now.as_secs_f64() >= secs as f64, "case {case}");
         // …and no more than N seconds plus the priming instant.
-        prop_assert!(now.as_secs_f64() <= secs as f64 + 1.0);
+        assert!(now.as_secs_f64() <= secs as f64 + 1.0, "case {case}");
     }
+}
 
-    /// With a pause plan, total wall time extends by at least the pause
-    /// durations that fall within the title, and still no glitch occurs
-    /// under instant service.
-    #[test]
-    fn pauses_extend_wall_time(seed in any::<u64>(), pause_at_sec in 1u64..5, pause_secs in 1u64..20) {
+/// With a pause plan, total wall time extends by at least the pause
+/// durations that fall within the title, and still no glitch occurs under
+/// instant service.
+#[test]
+fn pauses_extend_wall_time() {
+    for case in 0..48u64 {
+        let mut rng = SimRng::stream(0x9a05e, case);
+        let vseed = rng.next_u64_raw();
+        let pause_at_sec = 1 + rng.u64_below(4);
+        let pause_secs = 1 + rng.u64_below(19);
         let secs = 10u64;
-        let v = video(secs, seed);
+        let v = video(secs, vseed);
         let mut term = Terminal::new(0, 2 * 1024 * 1024);
         let pause_frame = pause_at_sec * 30;
-        term.start_video(&v, BB, 0, vec![(pause_frame, SimDuration::from_secs(pause_secs))]);
+        term.start_video(
+            &v,
+            BB,
+            0,
+            vec![(pause_frame, SimDuration::from_secs(pause_secs))],
+        );
         let mut now = SimTime::ZERO;
         let mut p = term.pump(&v, BB, now);
         let mut guard = 0;
         loop {
             for b in p.requests.clone() {
-                prop_assert!(term.on_block_arrival(&v, BB, b, term.epoch()));
+                assert!(
+                    term.on_block_arrival(&v, BB, b, term.epoch()),
+                    "case {case}"
+                );
             }
             if !p.requests.is_empty() {
                 p = term.pump(&v, BB, now);
@@ -166,13 +187,13 @@ proptest! {
                 }
             }
             guard += 1;
-            prop_assert!(guard < 100_000);
+            assert!(guard < 100_000, "case {case}");
         }
-        prop_assert_eq!(term.glitches_total(), 0);
-        prop_assert_eq!(term.videos_completed(), 1);
-        prop_assert!(
+        assert_eq!(term.glitches_total(), 0, "case {case}");
+        assert_eq!(term.videos_completed(), 1, "case {case}");
+        assert!(
             now.as_secs_f64() >= (secs + pause_secs) as f64,
-            "finished at {now} despite a {pause_secs}s pause"
+            "case {case}: finished at {now} despite a {pause_secs}s pause"
         );
     }
 }

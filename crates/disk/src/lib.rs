@@ -141,8 +141,13 @@ impl ServiceBreakdown {
 pub struct Disk {
     params: DiskParams,
     head_cylinder: u32,
-    /// End byte addresses of active sequential streams, most recent last.
-    contexts: Vec<u64>,
+    /// End byte addresses of active sequential streams, each paired with
+    /// the stamp of its last use. Slots are unordered; recency lives in
+    /// the stamps, so eviction picks the minimum stamp and no read ever
+    /// shifts the array (the old `Vec::remove(0)` LRU rotation).
+    contexts: Vec<(u64, u64)>,
+    /// Monotone use counter backing the context LRU stamps.
+    context_stamp: u64,
     busy: SimDuration,
     window_start: SimTime,
     reads: Counter,
@@ -157,6 +162,7 @@ impl Disk {
             params,
             head_cylinder: 0,
             contexts: Vec::with_capacity(params.cache_contexts),
+            context_stamp: 0,
             busy: SimDuration::ZERO,
             window_start: SimTime::ZERO,
             reads: Counter::new(),
@@ -238,8 +244,8 @@ impl Disk {
 
     /// True and consumes the context if `start` continues a cached stream.
     fn take_context(&mut self, start: u64) -> bool {
-        if let Some(pos) = self.contexts.iter().position(|&end| end == start) {
-            self.contexts.remove(pos);
+        if let Some(pos) = self.contexts.iter().position(|&(end, _)| end == start) {
+            self.contexts.swap_remove(pos);
             true
         } else {
             false
@@ -247,11 +253,22 @@ impl Disk {
     }
 
     fn push_context(&mut self, end: u64) {
-        if self.contexts.len() == self.params.cache_contexts {
-            // Evict the least recently used stream (front).
-            self.contexts.remove(0);
+        self.context_stamp += 1;
+        let entry = (end, self.context_stamp);
+        if self.contexts.len() < self.params.cache_contexts {
+            self.contexts.push(entry);
+            return;
         }
-        self.contexts.push(end);
+        // Evict the least recently used stream: the minimum stamp (stamps
+        // are unique, so the victim is unambiguous).
+        let victim = self
+            .contexts
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(_, stamp))| stamp)
+            .map(|(i, _)| i)
+            .expect("cache_contexts >= 1");
+        self.contexts[victim] = entry;
     }
 
     /// Begin a fresh measurement window at `now`; the drive is assumed idle

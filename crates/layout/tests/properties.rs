@@ -1,19 +1,19 @@
-//! Property-based tests of the storage layout: the striping map must be a
-//! bijection onto non-overlapping disk extents for any topology and stripe
-//! size, and prefetch strides must stay on-disk.
+//! Randomized property tests of the storage layout: the striping map must
+//! be a bijection onto non-overlapping disk extents for any topology and
+//! stripe size, and prefetch strides must stay on-disk. Driven by the
+//! deterministic [`SimRng`] so failures reproduce from the printed seed.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 use spiffi_layout::{BlockAddr, Layout, Topology};
 use spiffi_mpeg::{Library, VideoId, VideoParams};
 use spiffi_simcore::{SimDuration, SimRng};
 
-fn topo_strategy() -> impl Strategy<Value = Topology> {
-    (1u32..5, 1u32..5).prop_map(|(nodes, disks_per_node)| Topology {
-        nodes,
-        disks_per_node,
-    })
+fn random_topo(rng: &mut SimRng) -> Topology {
+    Topology {
+        nodes: 1 + rng.u64_below(4) as u32,
+        disks_per_node: 1 + rng.u64_below(4) as u32,
+    }
 }
 
 fn library(n: usize, secs: u64) -> Library {
@@ -27,17 +27,17 @@ fn library(n: usize, secs: u64) -> Library {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const STRIPE_CHOICES: [u64; 4] = [128, 256, 512, 1024];
 
-    /// No two stripe blocks of any videos ever map to overlapping byte
-    /// ranges of the same disk.
-    #[test]
-    fn striped_extents_never_overlap(
-        topo in topo_strategy(),
-        stripe_kb in prop::sample::select(vec![128u64, 256, 512, 1024]),
-        n_videos in 1usize..5,
-    ) {
+/// No two stripe blocks of any videos ever map to overlapping byte ranges
+/// of the same disk.
+#[test]
+fn striped_extents_never_overlap() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::stream(0x5741, seed);
+        let topo = random_topo(&mut rng);
+        let stripe_kb = STRIPE_CHOICES[rng.index(STRIPE_CHOICES.len())];
+        let n_videos = 1 + rng.index(4);
         let lib = library(n_videos, 8);
         let l = Layout::striped(topo, stripe_kb * 1024, &lib);
         // (disk, byte) -> block, for every block of every video.
@@ -49,57 +49,77 @@ proptest! {
                 let loc = l.locate(addr);
                 let g = topo.global_index(loc.disk);
                 let prev = seen.insert((g, loc.disk_byte), addr);
-                prop_assert!(prev.is_none(), "{addr:?} collides with {prev:?}");
+                assert!(
+                    prev.is_none(),
+                    "seed {seed}: {addr:?} collides with {prev:?}"
+                );
                 // Extents are stripe-aligned, so distinct starts suffice.
-                prop_assert_eq!(loc.disk_byte % (stripe_kb * 1024), 0);
+                assert_eq!(loc.disk_byte % (stripe_kb * 1024), 0, "seed {seed}");
             }
         }
     }
+}
 
-    /// Blocks of one video spread evenly: any two disks' block counts
-    /// differ by at most one.
-    #[test]
-    fn striped_balance(topo in topo_strategy(), stripe_kb in prop::sample::select(vec![256u64, 512])) {
+/// Blocks of one video spread evenly: any two disks' block counts differ
+/// by at most one.
+#[test]
+fn striped_balance() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::stream(0xba1a, seed);
+        let topo = random_topo(&mut rng);
+        let stripe_kb = if rng.chance(0.5) { 256 } else { 512 };
         let lib = library(1, 20);
         let l = Layout::striped(topo, stripe_kb * 1024, &lib);
         let mut counts = vec![0u32; topo.total_disks() as usize];
         for i in 0..l.num_blocks(VideoId(0)) {
-            let loc = l.locate(BlockAddr { video: VideoId(0), index: i });
+            let loc = l.locate(BlockAddr {
+                video: VideoId(0),
+                index: i,
+            });
             counts[topo.global_index(loc.disk) as usize] += 1;
         }
         let min = counts.iter().min().unwrap();
         let max = counts.iter().max().unwrap();
-        prop_assert!(max - min <= 1, "imbalanced: {counts:?}");
+        assert!(max - min <= 1, "seed {seed}: imbalanced: {counts:?}");
     }
+}
 
-    /// The prefetch stride always lands on the same disk, strictly later
-    /// in the stream.
-    #[test]
-    fn prefetch_stride_stays_on_disk(
-        topo in topo_strategy(),
-        sel in any::<prop::sample::Index>(),
-    ) {
+/// The prefetch stride always lands on the same disk, strictly later in
+/// the stream.
+#[test]
+fn prefetch_stride_stays_on_disk() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::stream(0x57a1d, seed);
+        let topo = random_topo(&mut rng);
         let lib = library(2, 8);
         let l = Layout::striped(topo, 512 * 1024, &lib);
         let nblocks = l.num_blocks(VideoId(1));
-        let i = sel.index(nblocks as usize) as u32;
-        let addr = BlockAddr { video: VideoId(1), index: i };
+        let i = rng.u64_below(nblocks as u64) as u32;
+        let addr = BlockAddr {
+            video: VideoId(1),
+            index: i,
+        };
         if let Some(next) = l.next_block_same_disk(addr) {
-            prop_assert!(next.index > i);
-            prop_assert_eq!(l.locate(next).disk, l.locate(addr).disk);
+            assert!(next.index > i, "seed {seed}");
+            assert_eq!(l.locate(next).disk, l.locate(addr).disk, "seed {seed}");
         } else {
             // Only blocks within one stride of the end lack a successor.
-            prop_assert!(i + topo.total_disks() >= nblocks);
+            assert!(i + topo.total_disks() >= nblocks, "seed {seed}");
         }
     }
+}
 
-    /// Non-striped layouts keep each video whole on one disk with
-    /// non-overlapping extents, regardless of the shuffle seed.
-    #[test]
-    fn non_striped_extents_never_overlap(seed in any::<u64>()) {
-        let topo = Topology { nodes: 2, disks_per_node: 2 };
+/// Non-striped layouts keep each video whole on one disk with
+/// non-overlapping extents, regardless of the shuffle seed.
+#[test]
+fn non_striped_extents_never_overlap() {
+    for seed in 0..48u64 {
+        let topo = Topology {
+            nodes: 2,
+            disks_per_node: 2,
+        };
         let lib = library(8, 8);
-        let mut rng = SimRng::new(seed);
+        let mut rng = SimRng::stream(0x4057, seed);
         let l = Layout::non_striped(topo, 512 * 1024, &lib, &mut rng);
         let mut extents: Vec<(u32, u64, u64)> = Vec::new();
         for v in 0..8u32 {
@@ -108,14 +128,18 @@ proptest! {
             let g = topo.global_index(first.disk);
             let len = l.num_blocks(video) as u64 * 512 * 1024;
             for i in 1..l.num_blocks(video) {
-                prop_assert_eq!(l.locate(BlockAddr { video, index: i }).disk, first.disk);
+                assert_eq!(
+                    l.locate(BlockAddr { video, index: i }).disk,
+                    first.disk,
+                    "seed {seed}"
+                );
             }
             extents.push((g, first.disk_byte, first.disk_byte + len));
         }
         for (i, a) in extents.iter().enumerate() {
             for b in extents.iter().skip(i + 1) {
                 if a.0 == b.0 {
-                    prop_assert!(a.2 <= b.1 || b.2 <= a.1, "overlap {a:?} {b:?}");
+                    assert!(a.2 <= b.1 || b.2 <= a.1, "seed {seed}: overlap {a:?} {b:?}");
                 }
             }
         }

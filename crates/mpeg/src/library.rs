@@ -78,9 +78,8 @@ impl Library {
             duration: params.duration / speedup as u64,
             ..params
         };
-        videos.extend(
-            (0..n).map(|i| Video::generate(VideoId((n + i) as u32), search_params, seed)),
-        );
+        videos
+            .extend((0..n).map(|i| Video::generate(VideoId((n + i) as u32), search_params, seed)));
         Library {
             videos,
             normal_titles: n,
@@ -299,10 +298,7 @@ mod search_version_tests {
             let normal = lib.get(VideoId(i));
             let search = lib.get(lib.search_version_of(VideoId(i)).unwrap());
             // Duration exactly 1/8; bytes approximately (stochastic sizes).
-            assert_eq!(
-                search.params().duration,
-                normal.params().duration / 8
-            );
+            assert_eq!(search.params().duration, normal.params().duration / 8);
             let ratio = search.total_bytes() as f64 / normal.total_bytes() as f64;
             assert!((0.10..0.16).contains(&ratio), "ratio {ratio}");
         }

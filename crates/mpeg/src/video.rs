@@ -60,6 +60,11 @@ pub struct Video {
     /// `gop_cum[g]` = total bytes of all frames before GOP `g`;
     /// `gop_cum[ngops]` = total title bytes.
     gop_cum: Vec<u64>,
+    /// `frame_cum[f]` = total bytes of frames `[0, f)`;
+    /// `frame_cum[num_frames]` = total title bytes. Precomputed once so the
+    /// per-frame lookups on the simulation hot path (deadlines, wake times,
+    /// glitch checks) never regenerate a GOP's frame sizes.
+    frame_cum: Vec<u64>,
     num_frames: u64,
 }
 
@@ -76,23 +81,30 @@ impl Video {
         let num_frames = params.num_frames();
         let ngops = num_frames.div_ceil(GOP_LEN as u64);
         let mut gop_cum = Vec::with_capacity(ngops as usize + 1);
+        let mut frame_cum = Vec::with_capacity(num_frames as usize + 1);
         let mut acc = 0u64;
         gop_cum.push(0);
+        frame_cum.push(0);
         let mut v = Video {
             id,
             seed,
             params,
             pattern,
             gop_cum: Vec::new(),
+            frame_cum: Vec::new(),
             num_frames,
         };
         for g in 0..ngops {
             let sizes = v.gop_frame_sizes(g);
             let frames_in_gop = gop_frames(num_frames, g);
-            acc += sizes[..frames_in_gop].iter().sum::<u64>();
+            for &s in &sizes[..frames_in_gop] {
+                acc += s;
+                frame_cum.push(acc);
+            }
             gop_cum.push(acc);
         }
         v.gop_cum = gop_cum;
+        v.frame_cum = frame_cum;
         v
     }
 
@@ -141,15 +153,7 @@ impl Video {
 
     /// Bytes occupied by frames `[0, f)`.
     pub fn cum_bytes_at_frame(&self, f: u64) -> u64 {
-        let f = f.min(self.num_frames);
-        let g = f / GOP_LEN as u64;
-        let rem = (f % GOP_LEN as u64) as usize;
-        let mut total = self.gop_cum[g as usize];
-        if rem > 0 {
-            let sizes = self.gop_frame_sizes(g);
-            total += sizes[..rem].iter().sum::<u64>();
-        }
-        total
+        self.frame_cum[f.min(self.num_frames) as usize]
     }
 
     /// The frame containing byte offset `byte` (clamped to the last frame
@@ -158,18 +162,8 @@ impl Video {
         if byte >= self.total_bytes() {
             return self.num_frames.saturating_sub(1);
         }
-        // partition_point over GOP boundaries: first GOP whose cumulative
-        // start exceeds `byte`, minus one.
-        let g = self.gop_cum.partition_point(|&c| c <= byte) as u64 - 1;
-        let sizes = self.gop_frame_sizes(g);
-        let mut acc = self.gop_cum[g as usize];
-        for (i, &s) in sizes[..gop_frames(self.num_frames, g)].iter().enumerate() {
-            acc += s;
-            if acc > byte {
-                return g * GOP_LEN as u64 + i as u64;
-            }
-        }
-        unreachable!("byte {byte} not inside GOP {g} of video {:?}", self.id)
+        // First frame whose through-frame cumulative exceeds `byte`.
+        self.frame_cum.partition_point(|&c| c <= byte) as u64 - 1
     }
 
     /// Display instant of frame `f`, as an offset from playback start.
@@ -229,12 +223,21 @@ impl PlayCursor {
     }
 
     fn load_gop(&mut self, video: &Video, g: u64) {
-        let sizes = video.gop_frame_sizes(g);
-        self.within_cum[0] = 0;
-        for (i, &size) in sizes.iter().enumerate() {
-            self.within_cum[i + 1] = self.within_cum[i] + size;
-        }
+        // Slice the precomputed per-frame index instead of regenerating
+        // the GOP's sizes. A partial final GOP has no entries past the
+        // last real frame; pad with the last value (those slots are never
+        // read while the cursor is in bounds).
+        let start = (g * GOP_LEN as u64) as usize;
+        let present = gop_frames(video.num_frames, g);
         self.gop_base = video.gop_cum[g as usize];
+        self.within_cum[0] = 0;
+        for i in 1..=GOP_LEN {
+            self.within_cum[i] = if i <= present {
+                video.frame_cum[start + i] - self.gop_base
+            } else {
+                self.within_cum[present]
+            };
+        }
         self.gop_idx = g;
     }
 

@@ -1,109 +1,138 @@
-//! Property-based tests of the video model: the GOP byte index and the
-//! frame-level lookups must agree for every title, and the cursor must
-//! track random-access queries exactly.
-
-use proptest::prelude::*;
+//! Randomized property tests of the video model: the GOP byte index and
+//! the frame-level lookups must agree for every title, and the cursor must
+//! track random-access queries exactly. Driven by the deterministic
+//! [`SimRng`] so failures reproduce from the printed seed.
 
 use spiffi_mpeg::{PlayCursor, Video, VideoId, VideoParams};
-use spiffi_simcore::SimDuration;
+use spiffi_simcore::{SimDuration, SimRng};
 
-fn video_strategy() -> impl Strategy<Value = (Video, u64)> {
+fn random_video(rng: &mut SimRng) -> (Video, u64) {
     // Titles from 2 to 90 seconds, arbitrary seeds and ids.
-    (2u64..90, any::<u64>(), 0u32..1000).prop_map(|(secs, seed, id)| {
-        let v = Video::generate(
-            VideoId(id),
-            VideoParams {
-                duration: SimDuration::from_secs(secs),
-                ..VideoParams::default()
-            },
-            seed,
-        );
-        let frames = v.num_frames();
-        (v, frames)
-    })
+    let secs = 2 + rng.u64_below(88);
+    let seed = rng.next_u64_raw();
+    let id = rng.u64_below(1000) as u32;
+    let v = Video::generate(
+        VideoId(id),
+        VideoParams {
+            duration: SimDuration::from_secs(secs),
+            ..VideoParams::default()
+        },
+        seed,
+    );
+    let frames = v.num_frames();
+    (v, frames)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// frame_at_byte is the exact inverse of cum_bytes_at_frame.
-    #[test]
-    fn frame_byte_round_trip((video, frames) in video_strategy(), sel in any::<prop::sample::Index>()) {
-        let f = sel.index(frames as usize) as u64;
+/// frame_at_byte is the exact inverse of cum_bytes_at_frame.
+#[test]
+fn frame_byte_round_trip() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::stream(0xf4a3e, seed);
+        let (video, frames) = random_video(&mut rng);
+        let f = rng.u64_below(frames);
         let start = video.cum_bytes_at_frame(f);
         let end = video.cum_bytes_at_frame(f + 1);
-        prop_assert!(end > start, "frames have positive size");
-        prop_assert_eq!(video.frame_at_byte(start), f);
-        prop_assert_eq!(video.frame_at_byte(end - 1), f);
+        assert!(end > start, "seed {seed}: frames have positive size");
+        assert_eq!(video.frame_at_byte(start), f, "seed {seed}");
+        assert_eq!(video.frame_at_byte(end - 1), f, "seed {seed}");
     }
+}
 
-    /// The cumulative index is strictly increasing and ends at the total.
-    #[test]
-    fn cumulative_index_is_strictly_monotone((video, frames) in video_strategy()) {
+/// The cumulative index is strictly increasing and ends at the total.
+#[test]
+fn cumulative_index_is_strictly_monotone() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::stream(0x1dc5, seed);
+        let (video, frames) = random_video(&mut rng);
         let mut prev = 0;
         for f in 1..=frames {
             let c = video.cum_bytes_at_frame(f);
-            prop_assert!(c > prev, "frame {} has non-positive size", f - 1);
+            assert!(
+                c > prev,
+                "seed {seed}: frame {} has non-positive size",
+                f - 1
+            );
             prev = c;
         }
-        prop_assert_eq!(prev, video.total_bytes());
+        assert_eq!(prev, video.total_bytes(), "seed {seed}");
     }
+}
 
-    /// A cursor seeked anywhere agrees with random access, and advancing
-    /// from there stays in agreement.
-    #[test]
-    fn cursor_agrees_with_random_access(
-        (video, frames) in video_strategy(),
-        sel in any::<prop::sample::Index>(),
-        steps in 0usize..40,
-    ) {
-        let start = sel.index(frames as usize) as u64;
+/// A cursor seeked anywhere agrees with random access, and advancing from
+/// there stays in agreement.
+#[test]
+fn cursor_agrees_with_random_access() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::stream(0xc0450, seed);
+        let (video, frames) = random_video(&mut rng);
+        let start = rng.u64_below(frames);
+        let steps = rng.u64_below(40);
         let mut cursor = PlayCursor::new(&video, start);
-        for f in start..start + steps as u64 {
+        for f in start..start + steps {
             if cursor.at_end(&video) {
                 break;
             }
-            prop_assert_eq!(cursor.bytes_before_frame(), video.cum_bytes_at_frame(f));
-            prop_assert_eq!(cursor.bytes_through_frame(), video.cum_bytes_at_frame(f + 1));
+            assert_eq!(
+                cursor.bytes_before_frame(),
+                video.cum_bytes_at_frame(f),
+                "seed {seed}"
+            );
+            assert_eq!(
+                cursor.bytes_through_frame(),
+                video.cum_bytes_at_frame(f + 1),
+                "seed {seed}"
+            );
             cursor.advance(&video);
         }
     }
+}
 
-    /// Regeneration is deterministic: any (seed, id) pair always yields
-    /// identical GOP sizes.
-    #[test]
-    fn regeneration_deterministic(secs in 2u64..30, seed in any::<u64>(), gop_sel in any::<prop::sample::Index>()) {
-        let make = || Video::generate(
-            VideoId(1),
-            VideoParams {
-                duration: SimDuration::from_secs(secs),
-                ..VideoParams::default()
-            },
-            seed,
-        );
+/// Regeneration is deterministic: any (seed, id) pair always yields
+/// identical GOP sizes.
+#[test]
+fn regeneration_deterministic() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::stream(0x4e6e4, seed);
+        let secs = 2 + rng.u64_below(28);
+        let vseed = rng.next_u64_raw();
+        let make = || {
+            Video::generate(
+                VideoId(1),
+                VideoParams {
+                    duration: SimDuration::from_secs(secs),
+                    ..VideoParams::default()
+                },
+                vseed,
+            )
+        };
         let a = make();
         let b = make();
-        prop_assert_eq!(a.total_bytes(), b.total_bytes());
-        let g = gop_sel.index(a.num_gops() as usize) as u64;
-        prop_assert_eq!(a.gop_frame_sizes(g), b.gop_frame_sizes(g));
+        assert_eq!(a.total_bytes(), b.total_bytes(), "seed {seed}");
+        let g = rng.u64_below(a.num_gops());
+        assert_eq!(a.gop_frame_sizes(g), b.gop_frame_sizes(g), "seed {seed}");
     }
+}
 
-    /// Realized bit rate stays within 15% of nominal even for short clips
-    /// (law of large numbers over exponential frames).
-    #[test]
-    fn bit_rate_within_tolerance(secs in 30u64..90, seed in any::<u64>()) {
+/// Realized bit rate stays within 15% of nominal even for short clips (law
+/// of large numbers over exponential frames).
+#[test]
+fn bit_rate_within_tolerance() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::stream(0xb17, seed);
+        let secs = 30 + rng.u64_below(60);
+        let vseed = rng.next_u64_raw();
         let v = Video::generate(
             VideoId(0),
             VideoParams {
                 duration: SimDuration::from_secs(secs),
                 ..VideoParams::default()
             },
-            seed,
+            vseed,
         );
         let rate = v.actual_bit_rate_bps();
-        prop_assert!(
+        assert!(
             (rate - 4_000_000.0).abs() < 600_000.0,
-            "rate {rate} for {secs}s clip"
+            "seed {seed}: rate {rate} for {secs}s clip"
         );
     }
 }

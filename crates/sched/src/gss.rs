@@ -20,6 +20,11 @@ use crate::{scan_select, DiskRequest, DiskScheduler, RequestId, StreamId};
 pub struct Gss {
     groups: u32,
     pending: BTreeMap<StreamId, VecDeque<DiskRequest>>,
+    /// Streams with pending requests, partitioned by group and kept
+    /// sorted, so a batch refill touches only the chosen group's members
+    /// instead of walking the whole `pending` map. Invariant: a stream is
+    /// listed here iff it has a non-empty queue in `pending`.
+    members: Vec<Vec<StreamId>>,
     /// The group whose batch is currently being serviced.
     current_group: u32,
     batch: Vec<DiskRequest>,
@@ -37,6 +42,7 @@ impl Gss {
         Gss {
             groups,
             pending: BTreeMap::new(),
+            members: vec![Vec::new(); groups as usize],
             current_group: 0,
             batch: Vec::new(),
             direction_up: true,
@@ -53,30 +59,36 @@ impl Gss {
         stream.0 % self.groups
     }
 
+    /// Drop `stream` from its group's member list (it no longer has
+    /// pending requests).
+    fn retire_member(&mut self, stream: StreamId) {
+        let g = self.group_of(stream) as usize;
+        if let Ok(pos) = self.members[g].binary_search(&stream) {
+            self.members[g].remove(pos);
+        }
+    }
+
     /// Fill the batch from the next group (in round-robin order) that has
-    /// pending requests: one request per stream.
+    /// pending requests: one request per stream. O(size of that group) —
+    /// the member lists make the other groups' streams invisible here.
     fn refill_batch(&mut self) {
         debug_assert!(self.batch.is_empty());
         for step in 0..self.groups {
-            let g = (self.current_group + step) % self.groups;
-            let members: Vec<StreamId> = self
-                .pending
-                .iter()
-                .filter(|(s, q)| self.group_of(**s) == g && !q.is_empty())
-                .map(|(&s, _)| s)
-                .collect();
-            if members.is_empty() {
+            let g = ((self.current_group + step) % self.groups) as usize;
+            if self.members[g].is_empty() {
                 continue;
             }
-            for s in members {
+            // Sorted member order matches the old whole-map walk.
+            for &s in &self.members[g] {
                 let q = self.pending.get_mut(&s).expect("member stream");
                 self.batch.push(q.pop_front().expect("non-empty"));
                 if q.is_empty() {
                     self.pending.remove(&s);
                 }
             }
+            self.members[g].retain(|s| self.pending.contains_key(s));
             // After this batch drains, the *next* group gets the next turn.
-            self.current_group = (g + 1) % self.groups;
+            self.current_group = (g as u32 + 1) % self.groups;
             return;
         }
     }
@@ -85,7 +97,15 @@ impl Gss {
 impl DiskScheduler for Gss {
     fn push(&mut self, req: DiskRequest) {
         let stream = req.stream.unwrap_or(BACKGROUND);
-        self.pending.entry(stream).or_default().push_back(req);
+        let g = self.group_of(stream) as usize;
+        let q = self.pending.entry(stream).or_default();
+        if q.is_empty() {
+            // Stream (re-)activated: register it with its group.
+            if let Err(pos) = self.members[g].binary_search(&stream) {
+                self.members[g].insert(pos, stream);
+            }
+        }
+        q.push_back(req);
         self.len += 1;
     }
 
@@ -119,6 +139,7 @@ impl DiskScheduler for Gss {
         let req = q.remove(pos).expect("index in range");
         if q.is_empty() {
             self.pending.remove(&s);
+            self.retire_member(s);
         }
         self.len -= 1;
         Some(req)

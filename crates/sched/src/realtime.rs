@@ -3,7 +3,7 @@
 
 use spiffi_simcore::{SimDuration, SimTime};
 
-use crate::{scan_select, DiskRequest, DiskScheduler, RequestId};
+use crate::{DiskRequest, DiskScheduler, RequestId};
 
 /// Real-time scheduling: each request's deadline maps to one of a fixed set
 /// of priority classes via uniformly spaced cutoffs; the highest-priority
@@ -74,26 +74,54 @@ impl DiskScheduler for RealTime {
         if self.queue.is_empty() {
             return None;
         }
-        // Recompute every request's priority from the current clock and
-        // keep only the best class.
-        let best_class = self
-            .queue
-            .iter()
-            .map(|r| self.class_of(r, now))
-            .min()
-            .expect("queue non-empty");
-        let candidate_indices: Vec<usize> = self
-            .queue
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| self.class_of(r, now) == best_class)
-            .map(|(i, _)| i)
-            .collect();
-        let candidates: Vec<DiskRequest> =
-            candidate_indices.iter().map(|&i| self.queue[i]).collect();
-        let (pick, dir) = scan_select(&candidates, head, self.direction_up);
+        // Single allocation-free pass: recompute each request's priority
+        // exactly once, tracking the best class seen so far and, within
+        // it, the nearest candidate in each sweep direction (ties broken
+        // by arrival id, exactly as [`scan_select`] does).
+        let mut best_class = u32::MAX;
+        let mut best_up: Option<(u32, RequestId, usize)> = None;
+        let mut best_down: Option<(u32, RequestId, usize)> = None;
+        for (i, r) in self.queue.iter().enumerate() {
+            let class = self.class_of(r, now);
+            if class > best_class {
+                continue;
+            }
+            if class < best_class {
+                best_class = class;
+                best_up = None;
+                best_down = None;
+            }
+            let dist = r.cylinder.abs_diff(head);
+            if r.cylinder >= head {
+                let better = match best_up {
+                    None => true,
+                    Some((bd, bid, _)) => (dist, r.id) < (bd, bid),
+                };
+                if better {
+                    best_up = Some((dist, r.id, i));
+                }
+            }
+            if r.cylinder <= head {
+                let better = match best_down {
+                    None => true,
+                    Some((bd, bid, _)) => (dist, r.id) < (bd, bid),
+                };
+                if better {
+                    best_down = Some((dist, r.id, i));
+                }
+            }
+        }
+        // Continue the current sweep if it has a candidate; otherwise
+        // reverse (the same fallback as [`scan_select`]).
+        let (idx, dir) = match (self.direction_up, best_up, best_down) {
+            (true, Some((_, _, i)), _) => (i, true),
+            (true, None, Some((_, _, i))) => (i, false),
+            (false, _, Some((_, _, i))) => (i, false),
+            (false, Some((_, _, i)), None) => (i, true),
+            (_, None, None) => unreachable!("queue non-empty"),
+        };
         self.direction_up = dir;
-        Some(self.queue.swap_remove(candidate_indices[pick]))
+        Some(self.queue.swap_remove(idx))
     }
 
     fn remove(&mut self, id: RequestId) -> Option<DiskRequest> {

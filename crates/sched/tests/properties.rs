@@ -1,12 +1,15 @@
-//! Property-based tests: invariants every disk scheduler must uphold
-//! regardless of algorithm — conservation (each pushed request pops exactly
-//! once), length consistency under interleaved push/pop/remove, and
-//! bounded-pass fairness for the per-stream schedulers.
-
-use proptest::prelude::*;
+//! Randomized property tests: invariants every disk scheduler must uphold
+//! regardless of algorithm — conservation (each pushed request pops or
+//! removes exactly once), length consistency under interleaved
+//! push/pop/remove, no foreign requests, and bounded-pass fairness for the
+//! per-stream schedulers.
+//!
+//! Driven by the deterministic [`SimRng`] rather than an external
+//! property-testing framework, so failures are reproducible from the
+//! printed seed alone.
 
 use spiffi_sched::{DiskRequest, RequestId, SchedulerKind, StreamId};
-use spiffi_simcore::{SimDuration, SimTime};
+use spiffi_simcore::{SimDuration, SimRng, SimTime};
 
 fn all_kinds() -> Vec<SchedulerKind> {
     vec![
@@ -23,122 +26,183 @@ fn all_kinds() -> Vec<SchedulerKind> {
     ]
 }
 
-#[derive(Clone, Debug)]
-struct ReqSpec {
-    cylinder: u32,
-    deadline_ms: Option<u32>,
-    stream: Option<u8>,
-    is_prefetch: bool,
-}
-
-fn req_strategy() -> impl Strategy<Value = ReqSpec> {
-    (
-        0u32..2000,
-        proptest::option::of(0u32..20_000),
-        proptest::option::of(0u8..16),
-        any::<bool>(),
-    )
-        .prop_map(|(cylinder, deadline_ms, stream, is_prefetch)| ReqSpec {
-            cylinder,
-            deadline_ms,
-            stream,
-            is_prefetch,
-        })
-}
-
-fn build(spec: &ReqSpec, id: u64) -> DiskRequest {
+/// Draw a random request with id `id`: arbitrary cylinder, optional
+/// deadline, optional stream, and a prefetch flag.
+fn random_req(rng: &mut SimRng, id: u64) -> DiskRequest {
     DiskRequest {
         id: RequestId(id),
-        cylinder: spec.cylinder,
-        deadline: spec
-            .deadline_ms
-            .map(|ms| SimTime::ZERO + SimDuration::from_millis(ms as u64)),
-        stream: spec.stream.map(|s| StreamId(s as u32)),
-        is_prefetch: spec.is_prefetch,
+        cylinder: rng.u64_below(2000) as u32,
+        deadline: if rng.chance(0.5) {
+            Some(SimTime::ZERO + SimDuration::from_millis(rng.u64_below(20_000)))
+        } else {
+            None
+        },
+        stream: if rng.chance(0.7) {
+            Some(StreamId(rng.u64_below(16) as u32))
+        } else {
+            None
+        },
+        is_prefetch: rng.chance(0.5),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every request pushed is popped exactly once, in some order.
-    #[test]
-    fn conservation(specs in proptest::collection::vec(req_strategy(), 1..60)) {
+/// Every request pushed is popped exactly once, in some order.
+#[test]
+fn conservation() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::stream(0xc0de, seed);
+        let n = 1 + rng.index(60);
+        let specs: Vec<DiskRequest> = (0..n).map(|i| random_req(&mut rng, i as u64)).collect();
         for kind in all_kinds() {
             let mut s = kind.build();
-            for (i, spec) in specs.iter().enumerate() {
-                s.push(build(spec, i as u64));
+            for r in &specs {
+                s.push(*r);
             }
-            prop_assert_eq!(s.len(), specs.len());
+            assert_eq!(s.len(), specs.len(), "seed {seed} under {}", s.name());
             let mut seen = vec![false; specs.len()];
             let mut now = SimTime::ZERO;
             let mut head = 0;
             while let Some(r) = s.pop_next(now, head) {
                 let idx = r.id.0 as usize;
-                prop_assert!(!seen[idx], "request popped twice under {}", s.name());
+                assert!(idx < specs.len(), "foreign request under {}", s.name());
+                assert!(!seen[idx], "seed {seed}: popped twice under {}", s.name());
+                assert_eq!(r, specs[idx], "seed {seed}: mutated under {}", s.name());
                 seen[idx] = true;
                 head = r.cylinder;
                 now += SimDuration::from_millis(10);
             }
-            prop_assert!(seen.iter().all(|&b| b), "requests lost under {}", s.name());
-            prop_assert_eq!(s.len(), 0);
+            assert!(
+                seen.iter().all(|&b| b),
+                "seed {seed}: requests lost under {}",
+                s.name()
+            );
+            assert_eq!(s.len(), 0);
         }
     }
+}
 
-    /// Interleaved pushes and pops keep the length invariant and never
-    /// duplicate or drop requests.
-    #[test]
-    fn interleaved_push_pop(
-        specs in proptest::collection::vec(req_strategy(), 2..40),
-        ops in proptest::collection::vec(any::<bool>(), 2..80),
-    ) {
+/// Differential workload over all six schedulers: an identical random
+/// push/pop/remove trace must conserve requests — every id popped or
+/// removed exactly once, `len()` consistent after every step — and never
+/// yield a request that was not pushed.
+#[test]
+fn differential_push_pop_remove() {
+    for seed in 0..48u64 {
+        let mut trace_rng = SimRng::stream(0xd1ff, seed);
+        let n_reqs = 4 + trace_rng.index(48);
+        let specs: Vec<DiskRequest> = (0..n_reqs)
+            .map(|i| random_req(&mut trace_rng, i as u64))
+            .collect();
+        // Op trace: 0 = push next, 1 = pop, 2 = remove a random known id.
+        let ops: Vec<u8> = (0..3 * n_reqs)
+            .map(|_| trace_rng.u64_below(4).min(2) as u8)
+            .collect();
+        let removal_picks: Vec<usize> = (0..ops.len()).map(|_| trace_rng.index(n_reqs)).collect();
+
         for kind in all_kinds() {
             let mut s = kind.build();
             let mut next = 0usize;
-            let mut popped = Vec::new();
+            // Per-id lifecycle: 0 = not pushed, 1 = queued, 2 = gone.
+            let mut state = vec![0u8; n_reqs];
+            let mut expected_len = 0usize;
             let mut now = SimTime::ZERO;
             let mut head = 0;
-            let mut expected_len = 0usize;
-            for &push in &ops {
-                if push && next < specs.len() {
-                    s.push(build(&specs[next], next as u64));
-                    next += 1;
-                    expected_len += 1;
-                } else if let Some(r) = s.pop_next(now, head) {
-                    popped.push(r.id.0);
-                    head = r.cylinder;
-                    expected_len -= 1;
+            for (step, &op) in ops.iter().enumerate() {
+                match op {
+                    0 if next < n_reqs => {
+                        s.push(specs[next]);
+                        state[next] = 1;
+                        next += 1;
+                        expected_len += 1;
+                    }
+                    1 => {
+                        if let Some(r) = s.pop_next(now, head) {
+                            let idx = r.id.0 as usize;
+                            assert!(idx < n_reqs, "foreign request under {}", s.name());
+                            assert_eq!(
+                                state[idx],
+                                1,
+                                "seed {seed} step {step}: popped id {idx} not queued under {}",
+                                s.name()
+                            );
+                            state[idx] = 2;
+                            head = r.cylinder;
+                            expected_len -= 1;
+                        } else {
+                            assert_eq!(expected_len, 0, "empty pop with queued requests");
+                        }
+                    }
+                    _ => {
+                        let victim = removal_picks[step];
+                        let removed = s.remove(RequestId(victim as u64));
+                        if state[victim] == 1 {
+                            let r = removed.unwrap_or_else(|| {
+                                panic!("seed {seed}: remove lost queued id under {}", s.name())
+                            });
+                            assert_eq!(r.id.0 as usize, victim);
+                            state[victim] = 2;
+                            expected_len -= 1;
+                        } else {
+                            assert!(
+                                removed.is_none(),
+                                "seed {seed}: removed unqueued id under {}",
+                                s.name()
+                            );
+                        }
+                    }
                 }
                 now += SimDuration::from_millis(5);
-                prop_assert_eq!(s.len(), expected_len, "len drift under {}", s.name());
+                assert_eq!(
+                    s.len(),
+                    expected_len,
+                    "seed {seed} step {step}: len drift under {}",
+                    s.name()
+                );
+                assert_eq!(s.is_empty(), expected_len == 0);
             }
+            // Drain and check total conservation.
             while let Some(r) = s.pop_next(now, head) {
-                popped.push(r.id.0);
+                let idx = r.id.0 as usize;
+                assert_eq!(
+                    state[idx],
+                    1,
+                    "seed {seed}: drain duplicate under {}",
+                    s.name()
+                );
+                state[idx] = 2;
                 head = r.cylinder;
+                now += SimDuration::from_millis(5);
             }
-            popped.sort_unstable();
-            let expect: Vec<u64> = (0..next as u64).collect();
-            prop_assert_eq!(popped, expect, "conservation under {}", s.name());
+            for (idx, &st) in state.iter().enumerate() {
+                assert_ne!(st, 1, "seed {seed}: id {idx} stranded under {}", s.name());
+            }
+            assert_eq!(s.len(), 0);
         }
     }
+}
 
-    /// `remove` extracts exactly the requested id and leaves the rest
-    /// serviceable.
-    #[test]
-    fn remove_is_precise(
-        specs in proptest::collection::vec(req_strategy(), 2..30),
-        victim_sel in any::<prop::sample::Index>(),
-    ) {
+/// `remove` extracts exactly the requested id and leaves the rest
+/// serviceable.
+#[test]
+fn remove_is_precise() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::stream(0x4e40, seed);
+        let n = 2 + rng.index(28);
+        let specs: Vec<DiskRequest> = (0..n).map(|i| random_req(&mut rng, i as u64)).collect();
+        let victim = rng.index(n) as u64;
         for kind in all_kinds() {
             let mut s = kind.build();
-            for (i, spec) in specs.iter().enumerate() {
-                s.push(build(spec, i as u64));
+            for r in &specs {
+                s.push(*r);
             }
-            let victim = victim_sel.index(specs.len()) as u64;
             let removed = s.remove(RequestId(victim));
-            prop_assert!(removed.is_some(), "remove lost id under {}", s.name());
-            prop_assert_eq!(removed.unwrap().id.0, victim);
-            prop_assert_eq!(s.remove(RequestId(victim)), None);
+            assert!(
+                removed.is_some(),
+                "seed {seed}: remove lost id under {}",
+                s.name()
+            );
+            assert_eq!(removed.unwrap().id.0, victim);
+            assert_eq!(s.remove(RequestId(victim)), None);
             let mut rest = Vec::new();
             let mut head = 0;
             while let Some(r) = s.pop_next(SimTime::ZERO, head) {
@@ -146,19 +210,26 @@ proptest! {
                 head = r.cylinder;
             }
             rest.sort_unstable();
-            let expect: Vec<u64> =
-                (0..specs.len() as u64).filter(|&i| i != victim).collect();
-            prop_assert_eq!(rest, expect, "residue wrong under {}", s.name());
+            let expect: Vec<u64> = (0..n as u64).filter(|&i| i != victim).collect();
+            assert_eq!(
+                rest,
+                expect,
+                "seed {seed}: residue wrong under {}",
+                s.name()
+            );
         }
     }
+}
 
-    /// Under GSS, between two consecutive services of the same stream no
-    /// other stream is serviced twice from the batch the stream was waiting
-    /// in — i.e. at most one request per stream per group pass.
-    #[test]
-    fn gss_single_service_per_pass(
-        streams in proptest::collection::vec(0u32..6, 5..40),
-    ) {
+/// Under GSS, between two consecutive services of the same stream no other
+/// stream is serviced twice from the batch the stream was waiting in —
+/// i.e. at most one request per stream per group pass.
+#[test]
+fn gss_single_service_per_pass() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::stream(0x6550, seed);
+        let n = 5 + rng.index(35);
+        let streams: Vec<u32> = (0..n).map(|_| rng.u64_below(6) as u32).collect();
         let mut s = SchedulerKind::Gss { groups: 1 }.build();
         for (i, &st) in streams.iter().enumerate() {
             s.push(DiskRequest {
@@ -194,6 +265,6 @@ proptest! {
                 seen.insert(st);
             }
         }
-        prop_assert_eq!(pass_count, passes);
+        assert_eq!(pass_count, passes, "seed {seed}");
     }
 }

@@ -68,8 +68,16 @@ impl<E> Default for Calendar<E> {
 impl<E> Calendar<E> {
     /// An empty calendar with the clock at t = 0.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty calendar whose heap is pre-sized for `capacity` pending
+    /// events, so a caller that knows its steady-state event population
+    /// (roughly a handful per active terminal) avoids the heap's early
+    /// growth reallocations.
+    pub fn with_capacity(capacity: usize) -> Self {
         Calendar {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             now: SimTime::ZERO,
             seq: 0,
             scheduled_total: 0,

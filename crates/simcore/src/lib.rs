@@ -24,10 +24,12 @@
 
 pub mod calendar;
 pub mod dist;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use calendar::Calendar;
+pub use hash::{FastHashMap, FastHashSet};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -6,12 +6,8 @@
 //! requires replaying the exact run. We therefore implement xoshiro256**
 //! (Blackman & Vigna) with SplitMix64 seeding directly, rather than relying
 //! on `rand`'s `SmallRng`, whose algorithm is explicitly unstable across
-//! versions and platforms.
-//!
-//! [`SimRng`] also implements [`rand::RngCore`] so the `rand` distribution
-//! adaptors remain usable.
-
-use rand::RngCore;
+//! versions and platforms. The crate has no external dependencies, so the
+//! stream is pinned by this file alone.
 
 /// A deterministic xoshiro256** generator.
 #[derive(Clone, Debug)]
@@ -125,16 +121,9 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64_raw() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.next_u64_raw()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+impl SimRng {
+    /// Fill `dest` with pseudorandom bytes (little-endian u64 draws).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next_u64_raw().to_le_bytes());
@@ -144,11 +133,6 @@ impl RngCore for SimRng {
             let bytes = self.next_u64_raw().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

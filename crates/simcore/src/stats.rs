@@ -214,9 +214,16 @@ impl RateTracker {
     }
 
     /// Record `bytes` transferred at time `now`.
+    ///
+    /// Buckets only ever roll *forward*: an observation stamped earlier
+    /// than the current bucket (a straggler delivered across a window
+    /// reset, or any out-of-order caller) is credited to the current
+    /// bucket rather than resetting it — resetting would both lose the
+    /// open bucket's bytes from the peak and double-count a bucket roll
+    /// when time moves forward again.
     pub fn add(&mut self, now: SimTime, bytes: u64) {
         let idx = now.saturating_since(self.window_start).0 / self.bucket.0;
-        if idx != self.current_bucket {
+        if idx > self.current_bucket {
             self.peak_bytes = self.peak_bytes.max(self.current_bytes);
             self.current_bucket = idx;
             self.current_bytes = 0;
@@ -354,6 +361,12 @@ impl Histogram {
             return 0.0;
         }
         let target = (q * self.count as f64).ceil() as u64;
+        if target == 0 {
+            // q = 0 is the infimum of the distribution; every observation
+            // is ≥ 0, so the answer is 0, not the first bin's upper edge
+            // (which `acc >= 0` would otherwise return unconditionally).
+            return 0.0;
+        }
         let mut acc = 0;
         for (i, &b) in self.bins.iter().enumerate() {
             acc += b;
@@ -486,6 +499,38 @@ mod tests {
     }
 
     #[test]
+    fn rate_tracker_ignores_backwards_time() {
+        // Regression: an observation stamped before the current bucket
+        // used to *reset* the open bucket (losing its bytes from the
+        // peak), and the next in-order observation reset it again. The
+        // straggler must be credited to the open bucket instead.
+        let mut r = RateTracker::new(SimDuration::from_secs(1));
+        r.add(SimTime::from_secs_f64(5.5), 100);
+        // Straggler stamped long before the open bucket (e.g. delivered
+        // across a window reset).
+        r.add(SimTime::from_secs_f64(0.2), 50);
+        r.add(SimTime::from_secs_f64(5.9), 10);
+        assert_eq!(r.total_bytes(), 160);
+        assert!(
+            (r.peak_bytes_per_sec() - 160.0).abs() < 1e-9,
+            "peak {} — backwards add reset the open bucket",
+            r.peak_bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn rate_tracker_straggler_before_window_start() {
+        // saturating_since clamps pre-window stamps to bucket 0; with the
+        // open bucket also at 0 the bytes merge quietly.
+        let mut r = RateTracker::new(SimDuration::from_secs(1));
+        r.reset_window(SimTime::from_secs_f64(10.0));
+        r.add(SimTime::from_secs_f64(10.2), 30);
+        r.add(SimTime::from_secs_f64(9.0), 20); // before window start
+        assert_eq!(r.total_bytes(), 50);
+        assert!((r.peak_bytes_per_sec() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn counter_basics() {
         let mut c = Counter::new();
         c.incr();
@@ -506,6 +551,39 @@ mod tests {
         assert!((h.quantile(0.5) - 5.0).abs() < 1e-12);
         assert!((h.quantile(1.0) - 10.0).abs() < 1e-12);
         assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn histogram_quantile_zero_is_zero() {
+        // Regression: q = 0 used to return the first bin's upper edge
+        // (`width`) because an accumulator of 0 satisfied `acc >= 0` at
+        // the first bin unconditionally.
+        let mut h = Histogram::new(1.0, 10);
+        h.add(3.5);
+        h.add(7.5);
+        assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantile_of_empty_is_zero() {
+        let h = Histogram::new(1.0, 10);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantile_all_mass_in_overflow() {
+        // Every observation beyond the binned range: any positive
+        // quantile walks off the bins and reports the observed maximum.
+        let mut h = Histogram::new(1.0, 2);
+        h.add(10.0);
+        h.add(20.0);
+        h.add(30.0);
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.5), 30.0);
+        assert_eq!(h.quantile(1.0), 30.0);
     }
 
     #[test]

@@ -1,28 +1,25 @@
-//! Property-based tests of the simulation kernel: the calendar is a
+//! Randomized property tests of the simulation kernel: the calendar is a
 //! faithful stable priority queue under arbitrary interleavings, and the
-//! statistics accumulators match naive reference computations.
-
-use proptest::prelude::*;
+//! statistics accumulators match naive reference computations. Driven by
+//! the deterministic [`SimRng`] so every failure reproduces from its seed.
 
 use spiffi_simcore::stats::{RateTracker, Utilization, Welford};
-use spiffi_simcore::{Calendar, SimDuration, SimTime};
+use spiffi_simcore::{Calendar, SimDuration, SimRng, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Popping always yields events in (time, insertion) order, whatever
-    /// the interleaving of schedules and pops.
-    #[test]
-    fn calendar_is_a_stable_priority_queue(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..1000), 1..200),
-    ) {
+/// Popping always yields events in (time, insertion) order, whatever the
+/// interleaving of schedules and pops.
+#[test]
+fn calendar_is_a_stable_priority_queue() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::stream(0xca1, seed);
+        let n_ops = 1 + rng.index(200);
         let mut cal: Calendar<usize> = Calendar::new();
         let mut reference: Vec<(SimTime, usize)> = Vec::new();
         let mut seq = 0usize;
         let mut popped: Vec<(SimTime, usize)> = Vec::new();
-        for (push, dt) in ops {
-            if push {
-                let at = cal.now() + SimDuration(dt);
+        for _ in 0..n_ops {
+            if rng.chance(0.5) {
+                let at = cal.now() + SimDuration(rng.u64_below(1000));
                 cal.schedule_at(at, seq);
                 reference.push((at, seq));
                 seq += 1;
@@ -36,12 +33,17 @@ proptest! {
         // The reference order: stable sort by time (insertion order is the
         // payload, which strictly increases).
         reference.sort_by_key(|&(t, id)| (t, id));
-        prop_assert_eq!(popped, reference);
+        assert_eq!(popped, reference, "seed {seed}");
     }
+}
 
-    /// Welford matches the two-pass mean/variance on any data.
-    #[test]
-    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+/// Welford matches the two-pass mean/variance on any data.
+#[test]
+fn welford_matches_two_pass() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::stream(0x3e1f, seed);
+        let n = 2 + rng.index(98);
+        let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
         let mut w = Welford::new();
         for &x in &xs {
             w.add(x);
@@ -49,22 +51,30 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((w.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
-        prop_assert!((w.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+        assert!(
+            (w.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0),
+            "seed {seed}"
+        );
+        assert!(
+            (w.variance() - var).abs() <= 1e-5 * var.abs().max(1.0),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Utilization equals the directly integrated busy fraction for any
-    /// alternating busy/idle schedule.
-    #[test]
-    fn utilization_matches_direct_integration(
-        segments in proptest::collection::vec(1u64..10_000, 1..40),
-    ) {
+/// Utilization equals the directly integrated busy fraction for any
+/// alternating busy/idle schedule.
+#[test]
+fn utilization_matches_direct_integration() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::stream(0x0711, seed);
+        let n = 1 + rng.index(40);
+        let segments: Vec<u64> = (0..n).map(|_| 1 + rng.u64_below(9_999)).collect();
         let mut u = Utilization::new();
         let mut t = SimTime::ZERO;
-        let mut busy = false;
         let mut busy_total = 0u64;
         for (i, &len) in segments.iter().enumerate() {
-            busy = i % 2 == 0;
+            let busy = i % 2 == 0;
             u.set_busy(t, busy);
             if busy {
                 busy_total += len;
@@ -74,26 +84,31 @@ proptest! {
         u.set_busy(t, false);
         let total: u64 = segments.iter().sum();
         let expect = busy_total as f64 / total as f64;
-        prop_assert!((u.utilization(t) - expect).abs() < 1e-12);
-        let _ = busy;
+        assert!((u.utilization(t) - expect).abs() < 1e-12, "seed {seed}");
     }
+}
 
-    /// The rate tracker's total equals the sum of recorded bytes, and the
-    /// peak is at least the mean.
-    #[test]
-    fn rate_tracker_total_and_peak(
-        adds in proptest::collection::vec((0u64..5_000_000, 1u64..1_000_000), 1..100),
-    ) {
+/// The rate tracker's total equals the sum of recorded bytes, and the peak
+/// is at least the mean.
+#[test]
+fn rate_tracker_total_and_peak() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::stream(0x4a7e, seed);
+        let n = 1 + rng.index(100);
         let mut r = RateTracker::new(SimDuration::from_secs(1));
         let mut t = SimTime::ZERO;
         let mut total = 0u64;
-        for &(dt, bytes) in &adds {
-            t += SimDuration(dt * 1_000);
+        for _ in 0..n {
+            t += SimDuration(rng.u64_below(5_000_000) * 1_000);
+            let bytes = 1 + rng.u64_below(999_999);
             r.add(t, bytes);
             total += bytes;
         }
-        prop_assert_eq!(r.total_bytes(), total);
+        assert_eq!(r.total_bytes(), total, "seed {seed}");
         let end = t + SimDuration::from_secs(1);
-        prop_assert!(r.peak_bytes_per_sec() + 1e-9 >= r.mean_bytes_per_sec(end));
+        assert!(
+            r.peak_bytes_per_sec() + 1e-9 >= r.mean_bytes_per_sec(end),
+            "seed {seed}"
+        );
     }
 }

@@ -608,14 +608,20 @@ fn visual_search_fast_forwards_through_the_title() {
     let searched = build(true);
     let r_plain = plain.run();
     let r_search = searched.run();
-    assert!(r_search.glitch_free(), "search caused glitches: {}", r_search.summary());
+    assert!(
+        r_search.glitch_free(),
+        "search caused glitches: {}",
+        r_search.summary()
+    );
 
     // The claim to verify is §8.1's: "the skipped video segments need not
     // be read". Over 30 s at show=2/skip=8 the search traverses ~150 s of
     // content; reading it all would cost ~120 extra blocks over the plain
     // run. The actual overhead is only the per-jump re-prime (~4 blocks ×
     // 15 jumps ≈ 60 blocks), well under half of that.
-    let extra = r_search.blocks_delivered.saturating_sub(r_plain.blocks_delivered);
+    let extra = r_search
+        .blocks_delivered
+        .saturating_sub(r_plain.blocks_delivered);
     assert!(
         extra < 100,
         "search read skipped segments: {extra} extra blocks ({} vs {})",
@@ -662,9 +668,7 @@ fn smooth_search_versions_fast_forward_smoothly() {
     assert!(r_search.videos_completed >= r_plain.videos_completed);
     // The preview stream runs at the same 4 Mbit/s, so server load is
     // essentially unchanged (within a re-prime or two).
-    let extra = r_search
-        .blocks_delivered
-        .abs_diff(r_plain.blocks_delivered);
+    let extra = r_search.blocks_delivered.abs_diff(r_plain.blocks_delivered);
     assert!(
         extra < 60,
         "smooth search changed load too much: {} vs {}",
