@@ -8,41 +8,50 @@
 //! prefetching." This ablation justifies the per-scheduler defaults in
 //! `spiffi_core::default_prefetch_for`.
 
-use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 use spiffi_bufferpool::PolicyKind;
 use spiffi_prefetch::PrefetchKind;
 use spiffi_sched::SchedulerKind;
 use spiffi_simcore::SimDuration;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner("Ablation — prefetch aggressiveness per scheduler", preset);
 
     // A tight-memory configuration so wasted prefetches cost something.
     let processes = [0u32, 1, 2, 4, 8];
+    let scheds = [
+        SchedulerKind::Elevator,
+        SchedulerKind::RealTime {
+            classes: 3,
+            spacing: SimDuration::from_secs(4),
+        },
+    ];
+
+    let grid: Vec<(u32, SchedulerKind)> = processes
+        .iter()
+        .flat_map(|&p| scheds.iter().map(move |&s| (p, s)))
+        .collect();
+    let caps = h.sweep(grid, |inner, &(p, sched)| {
+        let mut c = base_16_disk(preset).with_scheduler(sched);
+        c.policy = PolicyKind::LovePrefetch;
+        c.server_memory_bytes = 256 * 1024 * 1024;
+        c.prefetch = if p == 0 {
+            PrefetchKind::Off
+        } else if sched.is_deadline_aware() {
+            PrefetchKind::RealTime { processes: p }
+        } else {
+            PrefetchKind::Standard { processes: p }
+        };
+        inner.capacity(&c).max_terminals
+    });
 
     let t = Table::new(&["processes", "elevator", "real-time"], &[10, 10, 10]);
-    for p in processes {
+    for (i, p) in processes.iter().enumerate() {
         let mut cells = vec![p.to_string()];
-        for sched in [
-            SchedulerKind::Elevator,
-            SchedulerKind::RealTime {
-                classes: 3,
-                spacing: SimDuration::from_secs(4),
-            },
-        ] {
-            let mut c = base_16_disk(preset).with_scheduler(sched);
-            c.policy = PolicyKind::LovePrefetch;
-            c.server_memory_bytes = 256 * 1024 * 1024;
-            c.prefetch = if p == 0 {
-                PrefetchKind::Off
-            } else if sched.is_deadline_aware() {
-                PrefetchKind::RealTime { processes: p }
-            } else {
-                PrefetchKind::Standard { processes: p }
-            };
-            let cap = capacity(&c, preset);
-            cells.push(cap.max_terminals.to_string());
+        for cap in &caps[i * scheds.len()..(i + 1) * scheds.len()] {
+            cells.push(cap.to_string());
         }
         t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
     }

@@ -7,12 +7,13 @@
 //! were set there was little variation in the performance of the system."
 //! This ablation sweeps both parameters to verify that flatness.
 
-use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 use spiffi_sched::SchedulerKind;
 use spiffi_simcore::SimDuration;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner("Ablation — real-time priority classes × spacing", preset);
 
     let classes = [2u32, 3, 5, 8];
@@ -26,15 +27,22 @@ fn main() {
         &[8, 11, 11, 11, 11],
     );
 
-    for cl in classes {
+    let grid: Vec<(u32, u64)> = classes
+        .iter()
+        .flat_map(|&cl| spacings.iter().map(move |&sp| (cl, sp)))
+        .collect();
+    let caps = h.sweep(grid, |inner, &(cl, sp)| {
+        let cfg = base_16_disk(preset).with_scheduler(SchedulerKind::RealTime {
+            classes: cl,
+            spacing: SimDuration::from_secs(sp),
+        });
+        inner.capacity(&cfg).max_terminals
+    });
+
+    for (i, cl) in classes.iter().enumerate() {
         let mut cells = vec![cl.to_string()];
-        for sp in spacings {
-            let cfg = base_16_disk(preset).with_scheduler(SchedulerKind::RealTime {
-                classes: cl,
-                spacing: SimDuration::from_secs(sp),
-            });
-            let cap = capacity(&cfg, preset);
-            cells.push(cap.max_terminals.to_string());
+        for cap in &caps[i * spacings.len()..(i + 1) * spacings.len()] {
+            cells.push(cap.to_string());
         }
         t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
     }

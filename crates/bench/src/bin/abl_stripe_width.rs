@@ -7,20 +7,53 @@
 //! paper's full striping), under both Zipfian and uniform access, and
 //! shows where load balance recovers.
 
-use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 use spiffi_bufferpool::PolicyKind;
-use spiffi_core::run_once;
 use spiffi_layout::Placement;
 use spiffi_mpeg::AccessPattern;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner(
         "Ablation — stripe-group width (1 = non-striped … 16 = full)",
         preset,
     );
 
     let widths = [1u32, 2, 4, 8, 16];
+    let accesses = [AccessPattern::Zipf(1.0), AccessPattern::Uniform];
+
+    let grid: Vec<(u32, AccessPattern)> = widths
+        .iter()
+        .flat_map(|&w| accesses.iter().map(move |&a| (w, a)))
+        .collect();
+    let cells = h.sweep(grid, |inner, &(w, access)| {
+        let mut c = base_16_disk(preset);
+        c.policy = PolicyKind::LovePrefetch;
+        c.server_memory_bytes = 512 * 1024 * 1024;
+        c.access = access;
+        c.placement = if w == 16 {
+            Placement::Striped
+        } else {
+            Placement::StripeGroup { width: w }
+        };
+        let cap = inner.capacity(&c);
+        let spread = if access == AccessPattern::Zipf(1.0) {
+            // Measure load imbalance at the operating point.
+            let mut at = c.clone();
+            at.n_terminals = cap.max_terminals.max(10);
+            let r = inner.report(&at);
+            format!(
+                "{:.0}-{:.0}",
+                r.min_disk_utilization * 100.0,
+                r.max_disk_utilization * 100.0
+            )
+        } else {
+            String::new()
+        };
+        (cap.max_terminals, spread)
+    });
+
     let t = Table::new(
         &[
             "width",
@@ -30,35 +63,15 @@ fn main() {
         ],
         &[6, 17, 17, 19],
     );
-    for w in widths {
-        let mut row = vec![w.to_string()];
-        let mut spread_cell = String::new();
-        for access in [AccessPattern::Zipf(1.0), AccessPattern::Uniform] {
-            let mut c = base_16_disk(preset);
-            c.policy = PolicyKind::LovePrefetch;
-            c.server_memory_bytes = 512 * 1024 * 1024;
-            c.access = access;
-            c.placement = if w == 16 {
-                Placement::Striped
-            } else {
-                Placement::StripeGroup { width: w }
-            };
-            let cap = capacity(&c, preset);
-            row.push(cap.max_terminals.to_string());
-            if access == AccessPattern::Zipf(1.0) {
-                // Measure load imbalance at the operating point.
-                let mut at = c.clone();
-                at.n_terminals = cap.max_terminals.max(10);
-                let r = run_once(&at);
-                spread_cell = format!(
-                    "{:.0}-{:.0}",
-                    r.min_disk_utilization * 100.0,
-                    r.max_disk_utilization * 100.0
-                );
-            }
-        }
-        row.push(spread_cell);
-        t.row(&row.iter().map(String::as_str).collect::<Vec<_>>());
+    for (i, w) in widths.iter().enumerate() {
+        let (zipf_cap, ref spread) = cells[i * accesses.len()];
+        let (unif_cap, _) = cells[i * accesses.len() + 1];
+        t.row(&[
+            &w.to_string(),
+            &zipf_cap.to_string(),
+            &unif_cap.to_string(),
+            spread,
+        ]);
     }
     t.rule();
     println!(

@@ -5,31 +5,34 @@
 //! report the knee. The paper's example curve crosses zero at 220
 //! terminals for this configuration.
 
-use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
-use spiffi_core::run_once;
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
     banner(
         "Figure 9 — glitches vs. number of terminals (base config)",
-        preset,
+        h.preset(),
     );
 
-    let base = base_16_disk(preset);
+    let base = base_16_disk(h.preset());
     println!(
         "16 disks, 64 videos, 512 KB stripes, {} scheduling, {} MB server memory\n",
         base.scheduler.label(),
         base.server_memory_bytes / (1024 * 1024)
     );
 
+    let terminals: Vec<u32> = (150..=330).step_by(20).collect();
+    let reports = h.sweep(terminals.clone(), |inner, &n| {
+        let mut c = base.clone();
+        c.n_terminals = n;
+        inner.report(&c)
+    });
+
     let t = Table::new(
         &["terminals", "glitches", "glitching terms", "disk util %"],
         &[10, 10, 16, 12],
     );
-    for n in (150..=330).step_by(20) {
-        let mut c = base.clone();
-        c.n_terminals = n;
-        let r = run_once(&c);
+    for (n, r) in terminals.iter().zip(&reports) {
         t.row(&[
             &n.to_string(),
             &r.glitches.to_string(),
@@ -39,7 +42,7 @@ fn main() {
     }
     t.rule();
 
-    let cap = capacity(&base, preset);
+    let cap = h.capacity(&base);
     println!(
         "\nmax glitch-free terminals: {}   (paper's example: 220)",
         cap.max_terminals

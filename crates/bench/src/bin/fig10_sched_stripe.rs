@@ -12,12 +12,13 @@
 //! * GSS works at 512 KB but degrades at small stripes;
 //! * round-robin always loses.
 
-use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 use spiffi_sched::SchedulerKind;
 use spiffi_simcore::SimDuration;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner(
         "Figure 10 — disk scheduling algorithms vs. stripe size",
         preset,
@@ -46,13 +47,20 @@ fn main() {
         &[8, 10, 10, 12, 16, 16],
     );
 
-    for kb in stripes_kb {
+    let grid: Vec<(u64, SchedulerKind)> = stripes_kb
+        .iter()
+        .flat_map(|&kb| schedulers.iter().map(move |&s| (kb, s)))
+        .collect();
+    let caps = h.sweep(grid, |inner, &(kb, sched)| {
+        let mut c = base_16_disk(preset).with_scheduler(sched);
+        c.stripe_bytes = kb * 1024;
+        inner.capacity(&c).max_terminals
+    });
+
+    for (i, kb) in stripes_kb.iter().enumerate() {
         let mut cells = vec![format!("{kb}KB")];
-        for sched in &schedulers {
-            let mut c = base_16_disk(preset).with_scheduler(*sched);
-            c.stripe_bytes = kb * 1024;
-            let cap = capacity(&c, preset);
-            cells.push(cap.max_terminals.to_string());
+        for cap in &caps[i * schedulers.len()..(i + 1) * schedulers.len()] {
+            cells.push(cap.to_string());
         }
         t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
     }

@@ -6,27 +6,35 @@
 //! love prefetch. The paper finds global LRU declines below 512 MB while
 //! love prefetch "continues to work well with as little as 128 Mbytes".
 
-use spiffi_bench::{banner, base_16_disk, capacity, mb, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, mb, Harness, Table};
 use spiffi_bufferpool::PolicyKind;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner(
         "Figure 11 — server memory vs. max terminals (elevator)",
         preset,
     );
 
     let memories_mb: [u64; 5] = [128, 256, 512, 1024, 4096];
-    let t = Table::new(&["server MB", "global-lru", "love-prefetch"], &[10, 12, 14]);
+    let policies = [PolicyKind::GlobalLru, PolicyKind::LovePrefetch];
+    let grid: Vec<(u64, PolicyKind)> = memories_mb
+        .iter()
+        .flat_map(|&m| policies.iter().map(move |&p| (m, p)))
+        .collect();
+    let caps = h.sweep(grid, |inner, &(m, policy)| {
+        let mut c = base_16_disk(preset);
+        c.server_memory_bytes = m * 1024 * 1024;
+        c.policy = policy;
+        inner.capacity(&c).max_terminals
+    });
 
-    for m in memories_mb {
+    let t = Table::new(&["server MB", "global-lru", "love-prefetch"], &[10, 12, 14]);
+    for (i, m) in memories_mb.iter().enumerate() {
         let mut cells = vec![m.to_string()];
-        for policy in [PolicyKind::GlobalLru, PolicyKind::LovePrefetch] {
-            let mut c = base_16_disk(preset);
-            c.server_memory_bytes = m * 1024 * 1024;
-            c.policy = policy;
-            let cap = capacity(&c, preset);
-            cells.push(cap.max_terminals.to_string());
+        for cap in &caps[i * policies.len()..(i + 1) * policies.len()] {
+            cells.push(cap.to_string());
         }
         t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
     }

@@ -12,14 +12,15 @@
 //! * delayed prefetching with only 4 s is 30–40 terminals worse at every
 //!   memory size (prefetches arrive too late).
 
-use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 use spiffi_bufferpool::PolicyKind;
 use spiffi_prefetch::PrefetchKind;
 use spiffi_sched::SchedulerKind;
 use spiffi_simcore::SimDuration;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner(
         "Figure 12 — server memory vs. max terminals (real-time)",
         preset,
@@ -64,15 +65,22 @@ fn main() {
         .collect();
     let t = Table::new(&headers, &[10, 12, 10, 14, 14]);
 
-    for m in memories_mb {
+    let grid: Vec<(u64, PolicyKind, PrefetchKind)> = memories_mb
+        .iter()
+        .flat_map(|&m| variants.iter().map(move |&(_, p, pf)| (m, p, pf)))
+        .collect();
+    let caps = h.sweep(grid, |inner, &(m, policy, prefetch)| {
+        let mut c = base_16_disk(preset).with_scheduler(rt);
+        c.server_memory_bytes = m * 1024 * 1024;
+        c.policy = policy;
+        c.prefetch = prefetch;
+        inner.capacity(&c).max_terminals
+    });
+
+    for (i, m) in memories_mb.iter().enumerate() {
         let mut cells = vec![m.to_string()];
-        for (_, policy, prefetch) in &variants {
-            let mut c = base_16_disk(preset).with_scheduler(rt);
-            c.server_memory_bytes = m * 1024 * 1024;
-            c.policy = *policy;
-            c.prefetch = *prefetch;
-            let cap = capacity(&c, preset);
-            cells.push(cap.max_terminals.to_string());
+        for cap in &caps[i * variants.len()..(i + 1) * variants.len()] {
+            cells.push(cap.to_string());
         }
         t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
     }

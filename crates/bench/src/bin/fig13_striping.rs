@@ -7,13 +7,14 @@
 //! disks overload) and ~80 under uniform; striping supports ~190 under
 //! either distribution.
 
-use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 use spiffi_bufferpool::PolicyKind;
 use spiffi_layout::Placement;
 use spiffi_mpeg::AccessPattern;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner("Figure 13 — striped vs. non-striped layouts", preset);
 
     let variants: Vec<(&str, Placement, AccessPattern)> = vec![
@@ -33,16 +34,23 @@ fn main() {
         .collect();
     let t = Table::new(&headers, &[10, 14, 14, 12, 12]);
 
-    for m in memories_mb {
+    let grid: Vec<(u64, Placement, AccessPattern)> = memories_mb
+        .iter()
+        .flat_map(|&m| variants.iter().map(move |&(_, p, a)| (m, p, a)))
+        .collect();
+    let caps = h.sweep(grid, |inner, &(m, placement, access)| {
+        let mut c = base_16_disk(preset);
+        c.policy = PolicyKind::LovePrefetch;
+        c.placement = placement;
+        c.access = access;
+        c.server_memory_bytes = m * 1024 * 1024;
+        inner.capacity(&c).max_terminals
+    });
+
+    for (i, m) in memories_mb.iter().enumerate() {
         let mut cells = vec![m.to_string()];
-        for (_, placement, access) in &variants {
-            let mut c = base_16_disk(preset);
-            c.policy = PolicyKind::LovePrefetch;
-            c.placement = *placement;
-            c.access = *access;
-            c.server_memory_bytes = m * 1024 * 1024;
-            let cap = capacity(&c, preset);
-            cells.push(cap.max_terminals.to_string());
+        for cap in &caps[i * variants.len()..(i + 1) * variants.len()] {
+            cells.push(cap.to_string());
         }
         t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
     }

@@ -6,14 +6,14 @@
 //! We report average/min/max disk utilization at a load just below each
 //! layout's capacity.
 
-use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 use spiffi_bufferpool::PolicyKind;
-use spiffi_core::run_once;
 use spiffi_layout::Placement;
 use spiffi_mpeg::AccessPattern;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner(
         "Figure 14 — disk utilization: striped vs. non-striped",
         preset,
@@ -30,11 +30,7 @@ fn main() {
         ("nonstr/unif", Placement::NonStriped, AccessPattern::Uniform),
     ];
 
-    let t = Table::new(
-        &["layout", "terminals", "avg util %", "min %", "max %"],
-        &[14, 10, 11, 7, 7],
-    );
-    for (name, placement, access) in variants {
+    let rows = h.sweep(variants, |inner, &(name, placement, access)| {
         let mut c = base_16_disk(preset);
         c.policy = PolicyKind::LovePrefetch;
         c.placement = placement;
@@ -42,12 +38,19 @@ fn main() {
         c.server_memory_bytes = 512 * 1024 * 1024;
         // Operate each layout at its own glitch-free capacity, like the
         // paper's per-layout curves.
-        let cap = capacity(&c, preset);
+        let cap = inner.capacity(&c);
         c.n_terminals = cap.max_terminals.max(10);
-        let r = run_once(&c);
+        (name, c.n_terminals, inner.report(&c))
+    });
+
+    let t = Table::new(
+        &["layout", "terminals", "avg util %", "min %", "max %"],
+        &[14, 10, 11, 7, 7],
+    );
+    for (name, terminals, r) in &rows {
         t.row(&[
             name,
-            &c.n_terminals.to_string(),
+            &terminals.to_string(),
             &format!("{:.1}", r.avg_disk_utilization * 100.0),
             &format!("{:.1}", r.min_disk_utilization * 100.0),
             &format!("{:.1}", r.max_disk_utilization * 100.0),

@@ -6,12 +6,13 @@
 //! distributions pull ahead because terminals increasingly share buffered
 //! stripe blocks.
 
-use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 use spiffi_bufferpool::PolicyKind;
 use spiffi_mpeg::AccessPattern;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner(
         "Figure 15 — movie access frequencies vs. max terminals",
         preset,
@@ -30,15 +31,22 @@ fn main() {
         .collect();
     let t = Table::new(&headers, &[10, 9, 9, 9, 9]);
 
-    for m in memories_mb {
+    let grid: Vec<(u64, AccessPattern)> = memories_mb
+        .iter()
+        .flat_map(|&m| patterns.iter().map(move |&(_, a)| (m, a)))
+        .collect();
+    let caps = h.sweep(grid, |inner, &(m, access)| {
+        let mut c = base_16_disk(preset);
+        c.policy = PolicyKind::LovePrefetch;
+        c.access = access;
+        c.server_memory_bytes = m * 1024 * 1024;
+        inner.capacity(&c).max_terminals
+    });
+
+    for (i, m) in memories_mb.iter().enumerate() {
         let mut cells = vec![m.to_string()];
-        for (_, access) in &patterns {
-            let mut c = base_16_disk(preset);
-            c.policy = PolicyKind::LovePrefetch;
-            c.access = *access;
-            c.server_memory_bytes = m * 1024 * 1024;
-            let cap = capacity(&c, preset);
-            cells.push(cap.max_terminals.to_string());
+        for cap in &caps[i * patterns.len()..(i + 1) * patterns.len()] {
+            cells.push(cap.to_string());
         }
         t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
     }

@@ -8,13 +8,13 @@
 //! time, and with more memory those shared pages survive long enough to be
 //! re-used.
 
-use spiffi_bench::{banner, base_16_disk, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 use spiffi_bufferpool::PolicyKind;
-use spiffi_core::run_once;
 use spiffi_mpeg::AccessPattern;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner("Figure 16 — shared buffer-pool references (%)", preset);
 
     let patterns: Vec<(&str, AccessPattern)> = vec![
@@ -34,16 +34,23 @@ fn main() {
         .collect();
     let t = Table::new(&headers, &[10, 9, 9, 9, 9]);
 
-    for m in memories_mb {
+    let grid: Vec<(u64, AccessPattern)> = memories_mb
+        .iter()
+        .flat_map(|&m| patterns.iter().map(move |&(_, a)| (m, a)))
+        .collect();
+    let rates = h.sweep(grid, |inner, &(m, access)| {
+        let mut c = base_16_disk(preset);
+        c.policy = PolicyKind::LovePrefetch;
+        c.access = access;
+        c.server_memory_bytes = m * 1024 * 1024;
+        c.n_terminals = terminals;
+        inner.report(&c).pool.shared_reference_rate()
+    });
+
+    for (i, m) in memories_mb.iter().enumerate() {
         let mut cells = vec![m.to_string()];
-        for (_, access) in &patterns {
-            let mut c = base_16_disk(preset);
-            c.policy = PolicyKind::LovePrefetch;
-            c.access = *access;
-            c.server_memory_bytes = m * 1024 * 1024;
-            c.n_terminals = terminals;
-            let r = run_once(&c);
-            cells.push(format!("{:.1}", r.pool.shared_reference_rate() * 100.0));
+        for rate in &rates[i * patterns.len()..(i + 1) * patterns.len()] {
+            cells.push(format!("{:.1}", rate * 100.0));
         }
         t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
     }

@@ -5,30 +5,32 @@
 //! even with … 64 disks total" — the shared-nothing design could always
 //! add nodes if it were.
 
-use spiffi_bench::{
-    banner, capacity_bracketed, scaleup_brackets, scaleup_config, Preset, ScaleupVariant, Table,
-};
-use spiffi_core::run_once;
+use spiffi_bench::{banner, scaleup_brackets, scaleup_config, Harness, ScaleupVariant, Table};
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner("Figure 17 — CPU utilization vs. scale", preset);
+
+    let rows = h.sweep(vec![1u32, 2, 4], |inner, &scale| {
+        let cfg = scaleup_config(ScaleupVariant::RealTimeTuned, scale, preset);
+        let (lo, hi) = scaleup_brackets(scale);
+        let cap = inner.capacity_bracketed(&cfg, lo, hi);
+        // Measure utilization at the glitch-free operating point.
+        let mut at_cap = cfg.clone();
+        at_cap.n_terminals = cap.max_terminals.max(10);
+        let r = inner.report(&at_cap);
+        (cfg.topology.total_disks(), at_cap.n_terminals, r)
+    });
 
     let t = Table::new(
         &["disks", "terminals", "avg cpu %", "max cpu %", "avg disk %"],
         &[6, 10, 10, 10, 11],
     );
-    for scale in [1u32, 2, 4] {
-        let cfg = scaleup_config(ScaleupVariant::RealTimeTuned, scale, preset);
-        let (lo, hi) = scaleup_brackets(scale);
-        let cap = capacity_bracketed(&cfg, preset, lo, hi);
-        // Measure utilization at the glitch-free operating point.
-        let mut at_cap = cfg.clone();
-        at_cap.n_terminals = cap.max_terminals.max(10);
-        let r = run_once(&at_cap);
+    for (disks, terminals, r) in &rows {
         t.row(&[
-            &cfg.topology.total_disks().to_string(),
-            &at_cap.n_terminals.to_string(),
+            &disks.to_string(),
+            &terminals.to_string(),
             &format!("{:.1}", r.avg_cpu_utilization * 100.0),
             &format!("{:.1}", r.max_cpu_utilization * 100.0),
             &format!("{:.1}", r.avg_disk_utilization * 100.0),

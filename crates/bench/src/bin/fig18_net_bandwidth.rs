@@ -4,17 +4,25 @@
 //! aggregate network bandwidth of just over 370 Mbytes/second or about
 //! 4 Mbits/second per terminal (the compressed video bit rate)."
 
-use spiffi_bench::{
-    banner, capacity_bracketed, scaleup_brackets, scaleup_config, Preset, ScaleupVariant, Table,
-};
-use spiffi_core::run_once;
+use spiffi_bench::{banner, scaleup_brackets, scaleup_config, Harness, ScaleupVariant, Table};
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner(
         "Figure 18 — peak aggregate network bandwidth vs. scale",
         preset,
     );
+
+    let rows = h.sweep(vec![1u32, 2, 4], |inner, &scale| {
+        let cfg = scaleup_config(ScaleupVariant::RealTimeTuned, scale, preset);
+        let (lo, hi) = scaleup_brackets(scale);
+        let cap = inner.capacity_bracketed(&cfg, lo, hi);
+        let mut at_cap = cfg.clone();
+        at_cap.n_terminals = cap.max_terminals.max(10);
+        let r = inner.report(&at_cap);
+        (cfg.topology.total_disks(), at_cap.n_terminals, r)
+    });
 
     let t = Table::new(
         &[
@@ -26,17 +34,11 @@ fn main() {
         ],
         &[6, 10, 10, 10, 12],
     );
-    for scale in [1u32, 2, 4] {
-        let cfg = scaleup_config(ScaleupVariant::RealTimeTuned, scale, preset);
-        let (lo, hi) = scaleup_brackets(scale);
-        let cap = capacity_bracketed(&cfg, preset, lo, hi);
-        let mut at_cap = cfg.clone();
-        at_cap.n_terminals = cap.max_terminals.max(10);
-        let r = run_once(&at_cap);
-        let per_term_mbit = r.net_peak_bytes_per_sec * 8.0 / 1e6 / at_cap.n_terminals as f64;
+    for (disks, terminals, r) in &rows {
+        let per_term_mbit = r.net_peak_bytes_per_sec * 8.0 / 1e6 / *terminals as f64;
         t.row(&[
-            &cfg.topology.total_disks().to_string(),
-            &at_cap.n_terminals.to_string(),
+            &disks.to_string(),
+            &terminals.to_string(),
             &format!("{:.1}", r.net_peak_bytes_per_sec / 1e6),
             &format!("{:.1}", r.net_mean_bytes_per_sec / 1e6),
             &format!("{:.2}", per_term_mbit),

@@ -5,41 +5,51 @@
 //! essentially unaffected by the pausing." We compare glitch counts across
 //! the terminal sweep and the resulting capacity, with and without pauses.
 
-use spiffi_bench::{banner, base_16_disk, capacity, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 use spiffi_bufferpool::PolicyKind;
-use spiffi_core::{run_once, PauseConfig};
+use spiffi_core::PauseConfig;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner("Figure 19 — pausing vs. capacity", preset);
 
     let mut base = base_16_disk(preset);
     base.policy = PolicyKind::LovePrefetch;
     base.server_memory_bytes = 512 * 1024 * 1024;
 
+    let terminals: Vec<u32> = (160..=300).step_by(35).collect();
+    let grid: Vec<(u32, bool)> = terminals
+        .iter()
+        .flat_map(|&n| [(n, false), (n, true)])
+        .collect();
+    let base_ref = &base;
+    let glitches = h.sweep(grid, |inner, &(n, paused)| {
+        let mut c = base_ref.clone();
+        c.n_terminals = n;
+        if paused {
+            c.pause = Some(PauseConfig::default());
+        }
+        inner.report(&c).glitches
+    });
+
     let t = Table::new(
         &["terminals", "glitches (no pause)", "glitches (pausing)"],
         &[10, 20, 20],
     );
-    for n in (160..=300).step_by(35) {
-        let mut plain = base.clone();
-        plain.n_terminals = n;
-        let rp = run_once(&plain);
-        let mut pausing = plain.clone();
-        pausing.pause = Some(PauseConfig::default());
-        let rq = run_once(&pausing);
+    for (i, n) in terminals.iter().enumerate() {
         t.row(&[
             &n.to_string(),
-            &rp.glitches.to_string(),
-            &rq.glitches.to_string(),
+            &glitches[2 * i].to_string(),
+            &glitches[2 * i + 1].to_string(),
         ]);
     }
     t.rule();
 
-    let cap_plain = capacity(&base, preset);
+    let cap_plain = h.capacity(&base);
     let mut pausing = base.clone();
     pausing.pause = Some(PauseConfig::default());
-    let cap_pause = capacity(&pausing, preset);
+    let cap_pause = h.capacity(&pausing);
     println!(
         "\nmax glitch-free terminals: {} without pauses, {} with",
         cap_plain.max_terminals, cap_pause.max_terminals

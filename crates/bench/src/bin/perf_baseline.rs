@@ -15,9 +15,10 @@
 //! against the recorded baseline, making it a coarse determinism check as
 //! well as a throughput meter.
 
+use std::sync::atomic::AtomicU32;
 use std::time::Instant;
 
-use spiffi_core::{SystemConfig, VodSystem};
+use spiffi_core::{engine_threads, fan_out, Engine, SystemConfig, VodSystem};
 use spiffi_mpeg::{AccessPattern, Library};
 use spiffi_sched::SchedulerKind;
 use spiffi_simcore::SimDuration;
@@ -107,6 +108,59 @@ fn run_workload(library: &Library) -> (u32, u64) {
     (lo, events)
 }
 
+/// One engine probe: the three scheduler runs fan out across the engine's
+/// worker threads with the deterministic cancellation protocol — a run that
+/// glitches stops immediately and cancels higher-indexed runs, and only the
+/// prefix up to the first (lowest-indexed) glitching run is counted, so
+/// glitch totals and event counts are identical at every thread count.
+fn probe_engine(n: u32, engine: &Engine) -> (u64, u64) {
+    let scheds = schedulers();
+    let cancel = AtomicU32::new(u32::MAX);
+    let reports = fan_out(scheds.len(), engine.threads(), |i| {
+        let mut c = workload_config();
+        c.scheduler = scheds[i];
+        c.n_terminals = n;
+        let library = engine.cache().get(&c);
+        VodSystem::with_library(c, library).run_glitch_probe(&cancel, i as u32)
+    });
+    let counted = match reports.iter().position(|r| r.glitches > 0) {
+        Some(i) => &reports[..=i],
+        None => &reports[..],
+    };
+    (
+        counted.iter().map(|r| r.glitches).sum(),
+        counted.iter().map(|r| r.events_processed).sum(),
+    )
+}
+
+/// The same bisection as [`run_workload`], on the experiment engine.
+fn run_workload_engine(engine: &Engine) -> (u32, u64) {
+    let grid = |x: u32| (x / STEP).max(1) * STEP;
+    let mut events = 0;
+    let mut lo = grid(LO);
+    let mut hi = grid(HI);
+    let (g, e) = probe_engine(lo, engine);
+    events += e;
+    assert_eq!(g, 0, "lower bracket {lo} must be feasible");
+    let (g, e) = probe_engine(hi, engine);
+    events += e;
+    assert!(g > 0, "upper bracket {hi} must be infeasible");
+    while hi - lo > STEP {
+        let mid = grid(lo + (hi - lo) / 2);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        let (g, e) = probe_engine(mid, engine);
+        events += e;
+        if g == 0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo, events)
+}
+
 /// One measured sample of the harness.
 struct Sample {
     wall_seconds: f64,
@@ -125,6 +179,29 @@ fn measure() -> Sample {
     let mut capacity = 0;
     for _ in 0..ITERS {
         let (cap, e) = run_workload(&library);
+        events += e;
+        capacity = cap;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    Sample {
+        wall_seconds: wall,
+        events_processed: events,
+        events_per_sec: events as f64 / wall,
+        capacity,
+    }
+}
+
+/// Measure the engine-driven variant of the workload (probe fan-out with
+/// deterministic early exit, plus the shared library cache).
+fn measure_engine(threads: usize) -> Sample {
+    let engine = Engine::with_threads(threads);
+    // Warm-up also populates the library cache.
+    run_workload_engine(&engine);
+    let start = Instant::now();
+    let mut events = 0;
+    let mut capacity = 0;
+    for _ in 0..ITERS {
+        let (cap, e) = run_workload_engine(&engine);
         events += e;
         capacity = cap;
     }
@@ -187,6 +264,19 @@ fn main() {
         current.wall_seconds, current.events_processed, current.events_per_sec, current.capacity
     );
 
+    let threads = engine_threads();
+    let parallel = measure_engine(threads);
+    let speedup = current.wall_seconds / parallel.wall_seconds;
+    println!(
+        "engine ({threads} thread(s)): wall: {:.3} s   events: {}   capacity: {} terminals   \
+         speedup vs single-thread: {speedup:.2}x",
+        parallel.wall_seconds, parallel.events_processed, parallel.capacity
+    );
+    assert_eq!(
+        parallel.capacity, current.capacity,
+        "the engine's probe protocol must reproduce the sequential capacity"
+    );
+
     let baseline = if record_baseline {
         None
     } else {
@@ -223,7 +313,7 @@ fn main() {
                 sample_json(&current, "  ")
             ));
             json.push_str(&format!(
-                "  \"events_per_sec_improvement\": {:.4},\n  \"deterministic_vs_baseline\": {}\n}}\n",
+                "  \"events_per_sec_improvement\": {:.4},\n  \"deterministic_vs_baseline\": {},\n",
                 improvement,
                 b.events_processed == current.events_processed
             ));
@@ -231,11 +321,20 @@ fn main() {
         _ => {
             println!("recorded as baseline");
             json.push_str(&format!(
-                "  \"baseline\": {}\n}}\n",
+                "  \"baseline\": {},\n",
                 sample_json(&current, "  ")
             ));
         }
     }
+    json.push_str(&format!(
+        "  \"parallel\": {{\n    \"threads\": {threads},\n    \"wall_seconds\": {:.4},\n    \
+         \"events_processed\": {},\n    \"events_per_sec\": {:.1},\n    \
+         \"capacity_terminals\": {},\n    \"speedup_vs_single_thread\": {speedup:.4}\n  }}\n}}\n",
+        parallel.wall_seconds,
+        parallel.events_processed,
+        parallel.events_per_sec,
+        parallel.capacity
+    ));
     std::fs::write(out, json).expect("write BENCH_perf.json");
     println!("wrote {}", out.display());
 }

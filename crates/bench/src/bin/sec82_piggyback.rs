@@ -11,14 +11,14 @@
 //! groups every start request for the same title that lands within the
 //! 5-minute delay window — the paper's mechanism exactly.
 
-use spiffi_bench::{banner, base_16_disk, capacity_bracketed, Preset, Table};
+use spiffi_bench::{banner, base_16_disk, Harness, Table};
 use spiffi_bufferpool::PolicyKind;
 use spiffi_core::config::InitialPosition;
-use spiffi_core::run_once;
 use spiffi_simcore::SimDuration;
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner("Section 8.2 — piggybacking terminals", preset);
 
     let mut base = base_16_disk(preset);
@@ -33,6 +33,21 @@ fn main() {
 
     let delay = SimDuration::from_secs(300); // the paper's 5 minutes
 
+    let loads = [200u32, 350, 500, 650];
+    let grid: Vec<(u32, bool)> = loads
+        .iter()
+        .flat_map(|&n| [(n, false), (n, true)])
+        .collect();
+    let base_ref = &base;
+    let rows = h.sweep(grid, |inner, &(n, batched)| {
+        let mut c = base_ref.clone();
+        c.n_terminals = n;
+        if batched {
+            c.piggyback_delay = Some(delay);
+        }
+        inner.report(&c)
+    });
+
     let t = Table::new(
         &[
             "terminals",
@@ -42,13 +57,9 @@ fn main() {
         ],
         &[10, 16, 17, 12],
     );
-    for n in [200u32, 350, 500, 650] {
-        let mut plain = base.clone();
-        plain.n_terminals = n;
-        let rp = run_once(&plain);
-        let mut batched = plain.clone();
-        batched.piggyback_delay = Some(delay);
-        let rb = run_once(&batched);
+    for (i, n) in loads.iter().enumerate() {
+        let rp = &rows[2 * i];
+        let rb = &rows[2 * i + 1];
         t.row(&[
             &n.to_string(),
             &rp.glitches.to_string(),
@@ -58,10 +69,10 @@ fn main() {
     }
     t.rule();
 
-    let cap_plain = capacity_bracketed(&base, preset, 50, 800);
+    let cap_plain = h.capacity_bracketed(&base, 50, 800);
     let mut batched = base.clone();
     batched.piggyback_delay = Some(delay);
-    let cap_batch = capacity_bracketed(&batched, preset, 50, 1600);
+    let cap_batch = h.capacity_bracketed(&batched, 50, 1600);
     println!(
         "\nmax glitch-free terminals: {} without piggybacking, {} with a 5 min delay ({:.2}x)",
         cap_plain.max_terminals,

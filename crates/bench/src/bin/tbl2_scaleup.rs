@@ -10,13 +10,23 @@
 //! efficiency, computed as the paper does: capacity / (base capacity ×
 //! scale factor).
 
-use spiffi_bench::{
-    banner, capacity_bracketed, scaleup_brackets, scaleup_config, Preset, ScaleupVariant, Table,
-};
+use spiffi_bench::{banner, scaleup_brackets, scaleup_config, Harness, ScaleupVariant, Table};
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner("Table 2 — scale-up (16 -> 32 -> 64 disks)", preset);
+
+    let scales = [1u32, 2, 4];
+    let grid: Vec<(ScaleupVariant, u32)> = ScaleupVariant::all()
+        .iter()
+        .flat_map(|&v| scales.iter().map(move |&s| (v, s)))
+        .collect();
+    let all_caps = h.sweep(grid, |inner, &(variant, scale)| {
+        let cfg = scaleup_config(variant, scale, preset);
+        let (lo, hi) = scaleup_brackets(scale);
+        inner.capacity_bracketed(&cfg, lo, hi).max_terminals
+    });
 
     let t = Table::new(
         &[
@@ -30,14 +40,8 @@ fn main() {
         &[22, 9, 8, 6, 8, 6],
     );
 
-    for variant in ScaleupVariant::all() {
-        let mut caps = Vec::new();
-        for scale in [1u32, 2, 4] {
-            let cfg = scaleup_config(variant, scale, preset);
-            let (lo, hi) = scaleup_brackets(scale);
-            let cap = capacity_bracketed(&cfg, preset, lo, hi);
-            caps.push(cap.max_terminals);
-        }
+    for (v, variant) in ScaleupVariant::all().iter().enumerate() {
+        let caps = &all_caps[v * scales.len()..(v + 1) * scales.len()];
         let eff = |i: usize, scale: u32| {
             format!("{:.2}", caps[i] as f64 / (caps[0] as f64 * scale as f64))
         };

@@ -7,16 +7,24 @@
 //! each disk count (64 videos fixed, real-time tuned configuration) and
 //! combine it with the paper's 1995 street prices.
 
-use spiffi_bench::{
-    banner, capacity_bracketed, scaleup_brackets, scaleup_config, Preset, ScaleupVariant, Table,
-};
+use spiffi_bench::{banner, scaleup_brackets, scaleup_config, Harness, ScaleupVariant, Table};
 
 fn main() {
-    let preset = Preset::from_args();
+    let h = Harness::from_args();
+    let preset = h.preset();
     banner("Table 3 — disk cost per terminal (64 videos)", preset);
 
     // (disks, capacity GB/drive, $/drive) from the paper.
     let rows: [(u32, f64, u32); 3] = [(16, 9.0, 4_000), (32, 4.5, 2_500), (64, 2.2, 1_500)];
+
+    let caps = h.sweep(rows.to_vec(), |inner, &(disks, _, _)| {
+        let scale = disks / 16;
+        let mut cfg = scaleup_config(ScaleupVariant::RealTimeTuned, scale, preset);
+        // Table 3 holds the library at 64 videos regardless of disk count.
+        cfg.n_videos = 64;
+        let (lo, hi) = scaleup_brackets(scale);
+        inner.capacity_bracketed(&cfg, lo, hi)
+    });
 
     let t = Table::new(
         &[
@@ -31,13 +39,8 @@ fn main() {
         &[6, 8, 7, 6, 9, 10, 11],
     );
 
-    for (disks, gb, dollars) in rows {
-        let scale = disks / 16;
-        let mut cfg = scaleup_config(ScaleupVariant::RealTimeTuned, scale, preset);
-        // Table 3 holds the library at 64 videos regardless of disk count.
-        cfg.n_videos = 64;
-        let (lo, hi) = scaleup_brackets(scale);
-        let cap = capacity_bracketed(&cfg, preset, lo, hi);
+    for (i, (disks, gb, dollars)) in rows.into_iter().enumerate() {
+        let cap = &caps[i];
         let total = dollars * disks;
         let per_mb = dollars as f64 / (gb * 1024.0);
         let per_term = total as f64 / cap.max_terminals.max(1) as f64;

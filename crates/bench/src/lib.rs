@@ -6,6 +6,11 @@
 //! * [`Preset`] — `--fast` (short measurement windows, single replication;
 //!   minutes) vs `--full` (the defaults; paper-faithful windows and two
 //!   replications per probe).
+//! * [`Harness`] — a preset plus a [`spiffi_core::Engine`]: capacity
+//!   searches and reports run on the parallel experiment engine
+//!   (`SPIFFI_THREADS` threads), one library cache serves the whole
+//!   binary, and [`Harness::sweep`] fans independent grid points across
+//!   threads with results in grid order.
 //! * [`base_16_disk`] — §7's base configuration: 4 processors × 4 disks,
 //!   64 one-hour videos, Zipf z = 1, 512 KB stripes, 2 MB terminals.
 //! * [`Table`] — fixed-width table printing so each binary's output reads
@@ -13,8 +18,12 @@
 
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
+use spiffi_core::driver::fan_out;
 use spiffi_core::{
-    max_glitch_free_terminals, CapacityResult, CapacitySearch, RunTiming, SystemConfig,
+    max_glitch_free_terminals, CapacityResult, CapacitySearch, Engine, RunReport, RunTiming,
+    SystemConfig,
 };
 
 /// Experiment scale selected on the command line.
@@ -89,8 +98,90 @@ pub fn base_16_disk(preset: Preset) -> SystemConfig {
     c
 }
 
+/// A [`Preset`] bound to a parallel experiment [`Engine`].
+///
+/// One harness should live for a whole binary: every capacity search and
+/// report it runs shares the engine's library cache (grid points that vary
+/// schedulers, memory or stripe sizes reuse identical libraries instead of
+/// regenerating them), and [`Harness::sweep`] fans independent grid points
+/// across the engine's threads. All results are byte-identical at any
+/// thread count, so `--fast`/`--full` output is reproducible no matter
+/// what `SPIFFI_THREADS` says.
+pub struct Harness {
+    preset: Preset,
+    engine: Engine,
+}
+
+impl Harness {
+    /// A harness for the preset chosen on the command line, with the
+    /// ambient (`SPIFFI_THREADS`) thread budget.
+    pub fn from_args() -> Harness {
+        Harness::new(Preset::from_args())
+    }
+
+    /// A harness for `preset` with the ambient thread budget.
+    pub fn new(preset: Preset) -> Harness {
+        Harness {
+            preset,
+            engine: Engine::new(),
+        }
+    }
+
+    /// The preset in force.
+    pub fn preset(&self) -> Preset {
+        self.preset
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Run one configuration to completion on the engine (cached library).
+    pub fn report(&self, cfg: &SystemConfig) -> RunReport {
+        self.engine.run(cfg)
+    }
+
+    /// Capacity search with the preset's parameters and the standard
+    /// 16-disk brackets.
+    pub fn capacity(&self, cfg: &SystemConfig) -> CapacityResult {
+        self.capacity_bracketed(cfg, 20, 400)
+    }
+
+    /// Capacity search with custom brackets (scale-up experiments).
+    pub fn capacity_bracketed(&self, cfg: &SystemConfig, lo: u32, hi: u32) -> CapacityResult {
+        self.engine
+            .max_glitch_free_terminals(cfg, &self.preset.search(lo, hi))
+    }
+
+    /// Evaluate `f` at every grid point, concurrently, returning results
+    /// in grid order (so tables print exactly as the sequential loop
+    /// would).
+    ///
+    /// The closure receives a harness sharing this one's library cache but
+    /// holding a *single-threaded* engine: the parallelism budget is spent
+    /// across grid points here, not nested inside each point's searches.
+    pub fn sweep<X, R, F>(&self, points: Vec<X>, f: F) -> Vec<R>
+    where
+        X: Sync,
+        R: Send,
+        F: Fn(&Harness, &X) -> R + Sync,
+    {
+        let inner = Harness {
+            preset: self.preset,
+            engine: Engine::with_cache(1, Arc::clone(self.engine.cache())),
+        };
+        fan_out(points.len(), self.engine.threads(), |i| {
+            f(&inner, &points[i])
+        })
+    }
+}
+
 /// Run a capacity search with the preset's parameters and standard
 /// brackets for a 16-disk system.
+///
+/// Convenience wrapper over a transient engine; binaries sweeping a grid
+/// should use a [`Harness`] so the library cache persists.
 pub fn capacity(cfg: &SystemConfig, preset: Preset) -> CapacityResult {
     max_glitch_free_terminals(cfg, &preset.search(20, 400))
 }
@@ -172,6 +263,30 @@ mod tests {
     fn mb_formats_binary_megabytes() {
         assert_eq!(mb(512 * 1024 * 1024), "512");
         assert_eq!(mb(4096 * 1024 * 1024), "4096");
+    }
+
+    #[test]
+    fn sweep_preserves_grid_order_and_shares_the_cache() {
+        let h = Harness::new(Preset::Fast);
+        let mut cfg = SystemConfig::small_test();
+        cfg.n_terminals = 2;
+        // Vary a field the library does not depend on: every point must
+        // reuse one cached library.
+        let points: Vec<u64> = vec![2, 3, 4];
+        let reports = h.sweep(points.clone(), |inner, &mem_mb| {
+            let mut c = cfg.clone();
+            c.server_memory_bytes = mem_mb * 1024 * 1024;
+            inner.report(&c)
+        });
+        assert_eq!(reports.len(), 3);
+        assert_eq!(h.engine().cache().misses(), 1, "library regenerated");
+        // Grid order, not completion order.
+        let direct = {
+            let mut c = cfg.clone();
+            c.server_memory_bytes = 3 * 1024 * 1024;
+            spiffi_core::run_once(&c)
+        };
+        assert_eq!(reports[1], direct);
     }
 }
 

@@ -40,7 +40,7 @@ struct Frame {
 }
 
 /// Pool statistics over the current measurement window.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PoolStats {
     /// Terminal lookups (the denominator of Figure 16).
     pub lookups: u64,
@@ -215,14 +215,15 @@ impl BufferPool {
                 }
             }
         };
-        self.frames[f.0 as usize] = Frame {
-            key,
-            state: FrameState::InFlight { is_prefetch },
-            pins: 1,
-            ever_referenced: false,
-            last_referencer: None,
-            waiters: Vec::new(),
-        };
+        // Reset the recycled frame field by field rather than overwriting
+        // the struct: the waiter vector's capacity survives for reuse.
+        let fr = &mut self.frames[f.0 as usize];
+        fr.key = key;
+        fr.state = FrameState::InFlight { is_prefetch };
+        fr.pins = 1;
+        fr.ever_referenced = false;
+        fr.last_referencer = None;
+        fr.waiters.clear();
         self.finish_alloc(f, key, is_prefetch, true);
         Some(f)
     }
@@ -253,6 +254,17 @@ impl BufferPool {
     /// Mark the in-flight I/O on `f` complete, releasing the I/O pin and
     /// draining any waiters attached while it was in flight.
     pub fn complete_io(&mut self, f: FrameId) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.complete_io_into(f, &mut out);
+        out
+    }
+
+    /// [`BufferPool::complete_io`], draining the waiters into a
+    /// caller-owned buffer (cleared first) instead of allocating one. The
+    /// event loop hands the same buffer back on every disk completion, so
+    /// the per-I/O waiter allocation disappears; the frame keeps its own
+    /// vector's capacity for the next in-flight period.
+    pub fn complete_io_into(&mut self, f: FrameId, out: &mut Vec<u64>) {
         let frame = &mut self.frames[f.0 as usize];
         let is_prefetch = match frame.state {
             FrameState::InFlight { is_prefetch } => is_prefetch,
@@ -263,7 +275,8 @@ impl BufferPool {
         };
         debug_assert!(frame.pins >= 1);
         frame.pins -= 1;
-        std::mem::take(&mut frame.waiters)
+        out.clear();
+        out.append(&mut frame.waiters);
     }
 
     /// Attach a waiter token to an in-flight frame.
@@ -384,6 +397,41 @@ mod tests {
         p.add_waiter(f, 101);
         p.add_waiter(f, 102);
         assert_eq!(p.complete_io(f), vec![101, 102]);
+    }
+
+    #[test]
+    fn complete_io_into_reuses_the_callers_buffer() {
+        let mut p = pool(2);
+        let f0 = p.allocate(key(0, 0), false).unwrap();
+        p.add_waiter(f0, 101);
+        p.add_waiter(f0, 102);
+        let mut buf = Vec::with_capacity(16);
+        let cap = buf.capacity();
+        p.complete_io_into(f0, &mut buf);
+        assert_eq!(buf, vec![101, 102]);
+        assert_eq!(buf.capacity(), cap, "drain must not reallocate");
+        // Stale contents are cleared, not appended to.
+        let f1 = p.allocate(key(0, 1), false).unwrap();
+        p.add_waiter(f1, 7);
+        p.complete_io_into(f1, &mut buf);
+        assert_eq!(buf, vec![7]);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn recycled_frame_keeps_waiter_capacity() {
+        let mut p = pool(1);
+        let f0 = p.allocate(key(0, 0), false).unwrap();
+        for t in 0..32 {
+            p.add_waiter(f0, t);
+        }
+        assert_eq!(p.complete_io(f0).len(), 32);
+        // Evict-and-reallocate must recycle the frame's waiter vector
+        // rather than dropping it: a fresh waiter fits without growth.
+        let f1 = p.allocate(key(0, 1), false).unwrap();
+        assert_eq!(f1, f0, "single-frame pool must recycle the frame");
+        p.add_waiter(f1, 99);
+        assert_eq!(p.complete_io(f1), vec![99]);
     }
 
     #[test]

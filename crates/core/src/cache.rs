@@ -1,0 +1,155 @@
+//! Seed-keyed caching of generated video libraries.
+//!
+//! Library generation draws an exponential frame-size sample per frame of
+//! every title and dominates the cost of building a [`VodSystem`]. The
+//! library depends only on a handful of configuration fields — the seed,
+//! the title count, the per-title stream parameters, and whether §8.1
+//! search versions are stored — so every experiment grid that varies
+//! schedulers, memory sizes, stripe sizes or terminal counts regenerates
+//! the *same* libraries at every grid point. A [`LibraryCache`] shared
+//! across a sweep generates each distinct library once and hands out
+//! cheap [`Arc`] clones.
+//!
+//! The cache is `Sync`: the parallel experiment engine's workers
+//! ([`Engine`](crate::Engine)) share one cache and may race to generate
+//! the same key. That race is benign — generation is deterministic, so
+//! both racers produce identical libraries and whichever insertion loses
+//! simply drops its copy.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use spiffi_mpeg::Library;
+
+use crate::config::SystemConfig;
+use crate::system::VodSystem;
+
+/// The configuration fields [`VodSystem::generate_library`] actually reads,
+/// collapsed into a hashable identity. Two configurations with equal keys
+/// generate byte-identical libraries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LibraryKey {
+    seed: u64,
+    n_videos: usize,
+    bit_rate_bps: u64,
+    fps: u32,
+    duration_ns: u64,
+    search_speedup: Option<u32>,
+}
+
+impl LibraryKey {
+    /// The library identity of `cfg`.
+    pub fn of(cfg: &SystemConfig) -> Self {
+        LibraryKey {
+            seed: cfg.seed,
+            n_videos: cfg.n_videos,
+            bit_rate_bps: cfg.video.bit_rate_bps,
+            fps: cfg.video.fps,
+            duration_ns: cfg.video.duration.0,
+            search_speedup: cfg.search_speedup,
+        }
+    }
+}
+
+/// A thread-safe, seed-keyed cache of generated libraries.
+#[derive(Debug, Default)]
+pub struct LibraryCache {
+    map: Mutex<HashMap<LibraryKey, Arc<Library>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LibraryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        LibraryCache::default()
+    }
+
+    /// The library for `cfg`, generated on first request and shared
+    /// afterwards.
+    pub fn get(&self, cfg: &SystemConfig) -> Arc<Library> {
+        let key = LibraryKey::of(cfg);
+        if let Some(lib) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(lib);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Generate outside the lock: other keys stay serviceable while this
+        // one is built, at the cost of a benign duplicate-generation race.
+        let lib = Arc::new(VodSystem::generate_library(cfg));
+        Arc::clone(self.map.lock().unwrap().entry(key).or_insert(lib))
+    }
+
+    /// Distinct libraries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requests served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to generate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_identity_hits_different_seed_misses() {
+        let cache = LibraryCache::new();
+        let cfg = SystemConfig::small_test();
+        let a = cache.get(&cfg);
+        let b = cache.get(&cfg);
+        assert!(Arc::ptr_eq(&a, &b), "second request must share");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        let mut other = cfg.clone();
+        other.seed = cfg.seed + 1;
+        let c = cache.get(&other);
+        assert!(!Arc::ptr_eq(&a, &c), "different seed, different library");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn key_ignores_non_library_fields() {
+        let cfg = SystemConfig::small_test();
+        let mut variant = cfg.clone();
+        variant.n_terminals += 100;
+        variant.stripe_bytes *= 2;
+        variant.server_memory_bytes *= 2;
+        assert_eq!(LibraryKey::of(&cfg), LibraryKey::of(&variant));
+
+        let mut longer = cfg.clone();
+        longer.video.duration = longer.video.duration + longer.video.duration;
+        assert_ne!(LibraryKey::of(&cfg), LibraryKey::of(&longer));
+    }
+
+    #[test]
+    fn cached_library_matches_direct_generation() {
+        let cache = LibraryCache::new();
+        let cfg = SystemConfig::small_test();
+        let cached = cache.get(&cfg);
+        let direct = VodSystem::generate_library(&cfg);
+        assert_eq!(cached.len(), direct.len());
+        for i in 0..direct.len() {
+            let id = spiffi_mpeg::VideoId(i as u32);
+            assert_eq!(
+                cached.get(id).total_bytes(),
+                direct.get(id).total_bytes(),
+                "title {i} differs"
+            );
+        }
+    }
+}

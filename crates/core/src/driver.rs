@@ -11,11 +11,30 @@
 //! [`max_glitch_free_terminals`] performs that procedure as a bracketed
 //! binary search on a terminal-count grid, requiring every replication
 //! (different seeds) of a candidate count to finish its measurement window
-//! glitch-free. Replications run on OS threads — the simulator itself is
-//! single-threaded and deterministic, so parallelism across *runs* is free.
+//! glitch-free.
+//!
+//! # The experiment engine
+//!
+//! Every replication of an experiment owns its calendar, RNG and system
+//! state and shares nothing with its siblings but a base seed, so
+//! replications are embarrassingly parallel. [`Engine`] exploits that:
+//! [`Engine::run_replications`] fans runs out across OS threads and slots
+//! results by replication index, so its output is **byte-identical to the
+//! sequential loop at any thread count**. Capacity probes additionally
+//! short-circuit: when a replication glitches, higher-indexed replications
+//! of the same probe abandon their runs (see
+//! [`VodSystem::run_glitch_probe`] for why that preserves determinism).
+//! Generated libraries are shared across a sweep through the engine's
+//! [`LibraryCache`].
+//!
+//! The thread count defaults to the machine's available parallelism and
+//! can be overridden with the `SPIFFI_THREADS` environment variable
+//! (`SPIFFI_THREADS=1` selects the exact legacy sequential path).
 
-use spiffi_mpeg::Library;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
+use crate::cache::LibraryCache;
 use crate::config::SystemConfig;
 use crate::metrics::RunReport;
 use crate::system::VodSystem;
@@ -36,6 +55,278 @@ pub fn run_once(cfg: &SystemConfig) -> RunReport {
 /// replication never silently repeats the un-replicated experiment.
 pub fn replication_seed(base: u64, r: u32) -> u64 {
     base.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(r as u64 + 1))
+}
+
+/// Worker-thread budget for the experiment engine: the `SPIFFI_THREADS`
+/// environment variable when set to a positive integer (`1` = exact
+/// legacy sequential path), otherwise the machine's available parallelism.
+pub fn engine_threads() -> usize {
+    std::env::var("SPIFFI_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run `f(i)` for every `i < n` on at most `threads` OS threads, returning
+/// the results slotted by index.
+///
+/// Execution *order* is nondeterministic above one thread; the result
+/// vector never is — `out[i] == f(i)` regardless of which worker computed
+/// it or when. With `threads <= 1` or a single item this degenerates to a
+/// plain sequential map (the exact legacy path: same calls, same order, no
+/// threads spawned).
+pub fn fan_out<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        for _ in 0..threads.min(n) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n || tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, v) in rx {
+            slots[i] = Some(v);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|v| v.expect("fan_out worker dropped a slot"))
+        .collect()
+}
+
+/// The parallel experiment engine: a thread budget plus a shared
+/// [`LibraryCache`], behind every replication fan-out in the driver.
+///
+/// One engine should live as long as a sweep so every grid point reuses
+/// the cached libraries. All results are byte-identical at any thread
+/// count; see the [module docs](self) for the determinism argument.
+#[derive(Debug)]
+pub struct Engine {
+    threads: usize,
+    cache: Arc<LibraryCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with the ambient thread budget ([`engine_threads`]) and a
+    /// fresh library cache.
+    pub fn new() -> Self {
+        Engine::with_threads(engine_threads())
+    }
+
+    /// An engine with an explicit thread budget (tests of the determinism
+    /// guarantee construct several of these side by side).
+    pub fn with_threads(threads: usize) -> Self {
+        Engine {
+            threads: threads.max(1),
+            cache: Arc::new(LibraryCache::new()),
+        }
+    }
+
+    /// An engine sharing an existing library cache (e.g. across several
+    /// sweeps of one bench binary).
+    pub fn with_cache(threads: usize, cache: Arc<LibraryCache>) -> Self {
+        Engine {
+            threads: threads.max(1),
+            cache,
+        }
+    }
+
+    /// The worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The engine's library cache.
+    pub fn cache(&self) -> &Arc<LibraryCache> {
+        &self.cache
+    }
+
+    /// Run one configuration to completion, sourcing its library from the
+    /// cache. Equivalent to [`run_once`] but skips regeneration when the
+    /// sweep has already built this library.
+    pub fn run(&self, cfg: &SystemConfig) -> RunReport {
+        VodSystem::with_library(cfg.clone(), self.cache.get(cfg)).run()
+    }
+
+    /// Run `cfg` once per seed in `seeds`, in parallel, returning reports
+    /// in seed order. Byte-identical to the sequential loop
+    /// `seeds.iter().map(|&s| run_once(&{cfg with seed s}))` at any thread
+    /// count: each run owns its RNG and calendar, and results are slotted
+    /// by index.
+    pub fn run_replications(&self, cfg: &SystemConfig, seeds: &[u64]) -> Vec<RunReport> {
+        fan_out(seeds.len(), self.threads, |i| {
+            let mut c = cfg.clone();
+            c.seed = seeds[i];
+            let lib = self.cache.get(&c);
+            VodSystem::with_library(c, lib).run()
+        })
+    }
+
+    /// Is `n` terminals glitch-free across all replications? All
+    /// replications of the probe run concurrently; when one glitches, the
+    /// higher-indexed remainder short-circuit.
+    ///
+    /// Only the reports up to and including the lowest-indexed glitching
+    /// replication feed the outcome — those replications are never
+    /// interfered with (see [`VodSystem::run_glitch_probe`]), so glitch
+    /// and event totals are deterministic at any thread count.
+    fn probe(&self, cfg: &SystemConfig, n: u32, replications: u32) -> ProbeOutcome {
+        let cancel = AtomicU32::new(u32::MAX);
+        let reports = fan_out(replications as usize, self.threads, |r| {
+            let mut c = cfg.clone();
+            c.n_terminals = n;
+            c.seed = replication_seed(cfg.seed, r as u32);
+            let lib = self.cache.get(&c);
+            VodSystem::with_library(c, lib).run_glitch_probe(&cancel, r as u32)
+        });
+        let first_glitch = reports.iter().position(|r| r.glitches > 0);
+        let counted = match first_glitch {
+            Some(r) => &reports[..=r],
+            None => &reports[..],
+        };
+        ProbeOutcome {
+            glitches: counted.iter().map(|r| r.glitches).sum(),
+            events_processed: counted.iter().map(|r| r.events_processed).sum(),
+        }
+    }
+
+    /// Find the maximum glitch-free terminal count for `cfg` (its
+    /// `n_terminals` field is ignored) as a bracketed binary search on the
+    /// step grid.
+    pub fn max_glitch_free_terminals(
+        &self,
+        cfg: &SystemConfig,
+        search: &CapacitySearch,
+    ) -> CapacityResult {
+        assert!(search.step > 0 && search.lo <= search.hi);
+        let grid = |x: u32| (x / search.step).max(1) * search.step;
+        let mut probes = Vec::new();
+        let mut events = 0u64;
+        let mut probe = |n: u32, probes: &mut Vec<(u32, u64)>| {
+            let out = self.probe(cfg, n, search.replications);
+            events += out.events_processed;
+            probes.push((n, out.glitches));
+            out.glitches
+        };
+
+        let mut lo = grid(search.lo);
+        let mut hi = grid(search.hi).max(lo);
+
+        // Confirm the brackets. If even `lo` glitches, walk down; if `hi`
+        // is glitch-free, it is the answer (capacity beyond the bracket).
+        if probe(lo, &mut probes) > 0 {
+            let mut n = lo;
+            while n > search.step {
+                n -= search.step;
+                if probe(n, &mut probes) == 0 {
+                    return CapacityResult {
+                        max_terminals: n,
+                        probes,
+                        events_processed: events,
+                    };
+                }
+            }
+            return CapacityResult {
+                max_terminals: 0,
+                probes,
+                events_processed: events,
+            };
+        }
+        if probe(hi, &mut probes) == 0 {
+            return CapacityResult {
+                max_terminals: hi,
+                probes,
+                events_processed: events,
+            };
+        }
+
+        // Invariant: lo glitch-free, hi glitches. Bisect on the step grid.
+        while hi - lo > search.step {
+            let mid = grid(lo + (hi - lo) / 2);
+            if mid <= lo || mid >= hi {
+                break;
+            }
+            if probe(mid, &mut probes) == 0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        CapacityResult {
+            max_terminals: lo,
+            probes,
+            events_processed: events,
+        }
+    }
+
+    /// Estimate capacity with the paper's replication-until-confident rule
+    /// (see [`capacity_with_confidence`]). The outer loop is inherently
+    /// sequential — each replication decides whether another is needed —
+    /// but every inner search runs on the engine.
+    pub fn capacity_with_confidence(
+        &self,
+        cfg: &SystemConfig,
+        params: &ConfidentCapacity,
+    ) -> ConfidentCapacityResult {
+        use spiffi_simcore::stats::Welford;
+        assert!(params.min_replications >= 2 && params.max_replications >= params.min_replications);
+        let mut w = Welford::new();
+        let mut estimates = Vec::new();
+        let mut converged = false;
+        for rep in 0..params.max_replications {
+            let mut c = cfg.clone();
+            c.seed = replication_seed(cfg.seed, rep);
+            let r = self.max_glitch_free_terminals(&c, &params.search);
+            estimates.push(r.max_terminals);
+            w.add(r.max_terminals as f64);
+            if rep + 1 >= params.min_replications
+                && w.converged_within(params.confidence, params.tolerance)
+            {
+                converged = true;
+                break;
+            }
+        }
+        let grid = params.search.step.max(1);
+        let mean = w.mean();
+        ConfidentCapacityResult {
+            max_terminals: ((mean / grid as f64).round() as u32) * grid,
+            estimates,
+            ci_half_width: w.ci_half_width(params.confidence),
+            converged,
+        }
+    }
+}
+
+/// Deterministic outcome of one capacity probe.
+struct ProbeOutcome {
+    glitches: u64,
+    events_processed: u64,
 }
 
 /// Parameters of the capacity search.
@@ -69,119 +360,33 @@ pub struct CapacityResult {
     /// Largest probed terminal count (on the step grid) with zero glitches
     /// across all replications.
     pub max_terminals: u32,
-    /// Every probe performed: (terminal count, total glitches across
-    /// replications).
+    /// Every probe performed: (terminal count, glitches). An infeasible
+    /// probe short-circuits at its first glitch, so the count records the
+    /// deterministic glitches of the lowest-indexed glitching replication
+    /// (zero/non-zero is the capacity criterion; magnitudes beyond the
+    /// first glitch are not comparable across search strategies).
     pub probes: Vec<(u32, u64)>,
-}
-
-/// Is `n` terminals glitch-free across all replications? Returns total
-/// glitches observed. `libraries[r]` must be the library for replication
-/// `r`'s seed (see [`replication_libraries`]) — the library depends on the
-/// seed but not on `n`, so one search generates each replication's library
-/// once and every probe reuses them.
-fn probe(cfg: &SystemConfig, n: u32, libraries: &[Library]) -> u64 {
-    let runs: Vec<(SystemConfig, &Library)> = libraries
-        .iter()
-        .enumerate()
-        .map(|(r, lib)| {
-            let mut c = cfg.clone();
-            c.n_terminals = n;
-            c.seed = replication_seed(cfg.seed, r as u32);
-            (c, lib)
-        })
-        .collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = runs
-            .iter()
-            .map(|(c, lib)| {
-                s.spawn(move || {
-                    VodSystem::with_library(c.clone(), (*lib).clone())
-                        .run()
-                        .glitches
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run panicked"))
-            .sum()
-    })
-}
-
-/// Pre-generate the library each replication of `cfg` will use. Library
-/// generation is the most expensive part of system construction and is
-/// independent of the probed terminal count, so a capacity search pays it
-/// once per replication instead of once per run.
-fn replication_libraries(cfg: &SystemConfig, replications: u32) -> Vec<Library> {
-    (0..replications)
-        .map(|r| {
-            let mut c = cfg.clone();
-            c.seed = replication_seed(cfg.seed, r);
-            VodSystem::generate_library(&c)
-        })
-        .collect()
+    /// Simulation events attributable to the search — for each probe, the
+    /// replications up to and including the first glitching one. Like the
+    /// glitch counts, identical at any thread count.
+    pub events_processed: u64,
 }
 
 /// Find the maximum glitch-free terminal count for `cfg` (its
 /// `n_terminals` field is ignored).
+///
+/// Convenience wrapper constructing a transient [`Engine`] with the
+/// ambient [`engine_threads`] budget; sweeps should hold their own engine
+/// so the library cache persists across grid points.
 pub fn max_glitch_free_terminals(cfg: &SystemConfig, search: &CapacitySearch) -> CapacityResult {
-    assert!(search.step > 0 && search.lo <= search.hi);
-    let grid = |x: u32| (x / search.step).max(1) * search.step;
-    let mut probes = Vec::new();
-    let libraries = replication_libraries(cfg, search.replications);
+    Engine::new().max_glitch_free_terminals(cfg, search)
+}
 
-    let mut lo = grid(search.lo);
-    let mut hi = grid(search.hi).max(lo);
-
-    // Confirm the brackets. If even `lo` glitches, walk down; if `hi` is
-    // glitch-free, it is the answer (capacity beyond the bracket).
-    let lo_glitches = probe(cfg, lo, &libraries);
-    probes.push((lo, lo_glitches));
-    if lo_glitches > 0 {
-        let mut n = lo;
-        while n > search.step {
-            n -= search.step;
-            let g = probe(cfg, n, &libraries);
-            probes.push((n, g));
-            if g == 0 {
-                return CapacityResult {
-                    max_terminals: n,
-                    probes,
-                };
-            }
-        }
-        return CapacityResult {
-            max_terminals: 0,
-            probes,
-        };
-    }
-    let hi_glitches = probe(cfg, hi, &libraries);
-    probes.push((hi, hi_glitches));
-    if hi_glitches == 0 {
-        return CapacityResult {
-            max_terminals: hi,
-            probes,
-        };
-    }
-
-    // Invariant: lo glitch-free, hi glitches. Bisect on the step grid.
-    while hi - lo > search.step {
-        let mid = grid(lo + (hi - lo) / 2);
-        if mid <= lo || mid >= hi {
-            break;
-        }
-        let g = probe(cfg, mid, &libraries);
-        probes.push((mid, g));
-        if g == 0 {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    CapacityResult {
-        max_terminals: lo,
-        probes,
-    }
+/// Run `cfg` once per seed in `seeds`, in parallel, returning reports in
+/// seed order — a convenience wrapper over [`Engine::run_replications`]
+/// with the ambient thread budget.
+pub fn run_replications(cfg: &SystemConfig, seeds: &[u64]) -> Vec<RunReport> {
+    Engine::new().run_replications(cfg, seeds)
 }
 
 #[cfg(test)]
@@ -236,6 +441,23 @@ mod tests {
         }
         // Wrapping, not panicking, at the top of the seed space.
         let _ = replication_seed(u64::MAX, u32::MAX);
+    }
+
+    #[test]
+    fn engine_threads_respects_the_env_override() {
+        // `engine_threads` reads the environment on every call; tests that
+        // need a fixed budget use `Engine::with_threads` instead, so here
+        // we only check the parse without mutating the process env.
+        assert!(engine_threads() >= 1);
+    }
+
+    #[test]
+    fn fan_out_slots_results_by_index() {
+        for threads in [1, 2, 8] {
+            let out = fan_out(17, threads, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(fan_out(0, 4, |i| i).is_empty());
     }
 
     #[test]
@@ -297,6 +519,7 @@ mod tests {
                 assert_eq!(g, 0, "probe at {n} glitched below the answer");
             }
         }
+        assert!(r.events_processed > 0);
     }
 
     #[test]
@@ -323,6 +546,18 @@ mod tests {
         };
         let r = max_glitch_free_terminals(&c, &s);
         assert_eq!(r.max_terminals, 3, "upper bracket was feasible");
+    }
+
+    #[test]
+    fn engine_run_matches_run_once_and_caches() {
+        let mut c = tiny();
+        c.n_terminals = 3;
+        let engine = Engine::with_threads(2);
+        let a = engine.run(&c);
+        let b = engine.run(&c);
+        assert_eq!(a, b);
+        assert_eq!(a, run_once(&c));
+        assert_eq!(engine.cache().misses(), 1, "second run must hit the cache");
     }
 }
 
@@ -376,37 +611,14 @@ pub struct ConfidentCapacityResult {
     pub converged: bool,
 }
 
-/// Estimate capacity with the paper's replication-until-confident rule.
+/// Estimate capacity with the paper's replication-until-confident rule —
+/// a convenience wrapper over [`Engine::capacity_with_confidence`] with
+/// the ambient thread budget.
 pub fn capacity_with_confidence(
     cfg: &SystemConfig,
     params: &ConfidentCapacity,
 ) -> ConfidentCapacityResult {
-    use spiffi_simcore::stats::Welford;
-    assert!(params.min_replications >= 2 && params.max_replications >= params.min_replications);
-    let mut w = Welford::new();
-    let mut estimates = Vec::new();
-    let mut converged = false;
-    for rep in 0..params.max_replications {
-        let mut c = cfg.clone();
-        c.seed = replication_seed(cfg.seed, rep);
-        let r = max_glitch_free_terminals(&c, &params.search);
-        estimates.push(r.max_terminals);
-        w.add(r.max_terminals as f64);
-        if rep + 1 >= params.min_replications
-            && w.converged_within(params.confidence, params.tolerance)
-        {
-            converged = true;
-            break;
-        }
-    }
-    let grid = params.search.step.max(1);
-    let mean = w.mean();
-    ConfidentCapacityResult {
-        max_terminals: ((mean / grid as f64).round() as u32) * grid,
-        estimates,
-        ci_half_width: w.ci_half_width(params.confidence),
-        converged,
-    }
+    Engine::new().capacity_with_confidence(cfg, params)
 }
 
 #[cfg(test)]

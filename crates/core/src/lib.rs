@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod driver;
 pub mod metrics;
@@ -28,10 +29,12 @@ pub mod piggyback;
 pub mod system;
 pub mod terminal;
 
+pub use cache::{LibraryCache, LibraryKey};
 pub use config::{default_prefetch_for, PauseConfig, RunTiming, SystemConfig, KB, MB};
 pub use driver::{
-    capacity_with_confidence, max_glitch_free_terminals, replication_seed, run_once,
-    CapacityResult, CapacitySearch, ConfidentCapacity, ConfidentCapacityResult,
+    capacity_with_confidence, engine_threads, fan_out, max_glitch_free_terminals, replication_seed,
+    run_once, run_replications, CapacityResult, CapacitySearch, ConfidentCapacity,
+    ConfidentCapacityResult, Engine,
 };
 pub use metrics::RunReport;
 pub use piggyback::{Piggyback, StartDecision};

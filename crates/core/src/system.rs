@@ -162,7 +162,7 @@ pub enum Event {
 pub struct VodSystem {
     cfg: SystemConfig,
     cal: Calendar<Event>,
-    library: Library,
+    library: std::sync::Arc<Library>,
     layout: Layout,
     selector: TitleSelector,
     net: Network,
@@ -185,6 +185,11 @@ pub struct VodSystem {
     io_latency: Histogram,
     /// Demand I/Os completing after their deadline.
     deadline_misses: u64,
+    // --- recycled event-loop buffers (allocation-free steady state) ---
+    /// Request buffer handed to [`Terminal::pump_reusing`] each wake.
+    pump_scratch: Vec<u32>,
+    /// Waiter buffer handed to `BufferPool::complete_io_into` each I/O.
+    waiter_scratch: Vec<u64>,
 }
 
 impl VodSystem {
@@ -224,9 +229,15 @@ impl VodSystem {
     /// any other library is a logic error (the layout and workload would
     /// disagree with the seed-derived titles).
     ///
+    /// Accepts a bare [`Library`] or an `Arc<Library>` — the experiment
+    /// engine shares one generated library across many concurrent runs via
+    /// [`LibraryCache`](crate::cache::LibraryCache), so the system stores
+    /// an [`Arc`](std::sync::Arc) and never clones title data.
+    ///
     /// # Panics
     /// If the configuration fails [`SystemConfig::validate`].
-    pub fn with_library(cfg: SystemConfig, library: Library) -> Self {
+    pub fn with_library(cfg: SystemConfig, library: impl Into<std::sync::Arc<Library>>) -> Self {
+        let library = library.into();
         if let Err(e) = cfg.validate() {
             panic!("invalid configuration: {e}");
         }
@@ -301,6 +312,8 @@ impl VodSystem {
             events_processed: 0,
             io_latency: Histogram::new(0.005, 400),
             deadline_misses: 0,
+            pump_scratch: Vec::new(),
+            waiter_scratch: Vec::new(),
         }
     }
 
@@ -310,6 +323,55 @@ impl VodSystem {
         while let Some((_, ev)) = self.cal.pop_until(end) {
             self.events_processed += 1;
             self.dispatch(ev);
+        }
+        self.cal.advance_to(end);
+        self.collect_report(end)
+    }
+
+    /// Run as one replication of a capacity-search probe.
+    ///
+    /// A probe only needs the zero/non-zero glitch outcome, so the event
+    /// loop stops at the first glitch that lands in the measurement window
+    /// — a decision made purely in simulation order, so the truncated
+    /// report is exactly as deterministic as a full [`VodSystem::run`],
+    /// and a glitch-free replication returns a report bit-identical to
+    /// `run()`'s.
+    ///
+    /// `cancel` coordinates replications of the *same* probe: a glitching
+    /// replication publishes its index with `fetch_min`, and a replication
+    /// abandons its run (returning a truncated report) only when a
+    /// **lower** index has glitched. Replications at or below the lowest
+    /// glitching index are therefore never interfered with, which is what
+    /// keeps the probe's observable outcome — the reports up to and
+    /// including that index — byte-identical at any thread count. Reports
+    /// of higher-indexed, cancelled replications are wall-clock-dependent
+    /// and must not feed into results.
+    pub fn run_glitch_probe(
+        mut self,
+        cancel: &std::sync::atomic::AtomicU32,
+        index: u32,
+    ) -> RunReport {
+        use std::sync::atomic::Ordering;
+        // Poll the cancel flag once per this many events: rarely enough to
+        // stay off the coherence traffic, often enough (< 1 ms of work) to
+        // abandon a doomed run promptly.
+        const CANCEL_POLL_MASK: u64 = 0xfff;
+        let end = SimTime::ZERO + self.cfg.timing.total();
+        if cancel.load(Ordering::Relaxed) < index {
+            return self.collect_report(self.cal.now());
+        }
+        while let Some((_, ev)) = self.cal.pop_until(end) {
+            self.events_processed += 1;
+            self.dispatch(ev);
+            if self.glitches_measured > 0 {
+                cancel.fetch_min(index, Ordering::Relaxed);
+                return self.collect_report(self.cal.now());
+            }
+            if self.events_processed & CANCEL_POLL_MASK == 0
+                && cancel.load(Ordering::Relaxed) < index
+            {
+                return self.collect_report(self.cal.now());
+            }
         }
         self.cal.advance_to(end);
         self.collect_report(end)
@@ -648,9 +710,10 @@ impl VodSystem {
         let vid = self.terminals[t as usize]
             .video()
             .expect("pumping a terminal with no video");
+        let scratch = std::mem::take(&mut self.pump_scratch);
         let pump = {
             let video = self.library.get(vid);
-            self.terminals[t as usize].pump(video, self.cfg.stripe_bytes, now)
+            self.terminals[t as usize].pump_reusing(video, self.cfg.stripe_bytes, now, scratch)
         };
 
         if pump.glitched && self.measuring {
@@ -673,6 +736,10 @@ impl VodSystem {
             self.cal
                 .schedule_at(wake_at.max(now), Event::Wake { term: t, gen });
         }
+
+        // Reclaim the request buffer before the finished path, which pumps
+        // other terminals (piggyback group members) reentrantly.
+        self.pump_scratch = pump.requests;
 
         if pump.finished {
             self.handle_video_finished(t);
@@ -1005,8 +1072,9 @@ impl VodSystem {
                 }
             }
         }
-        let waiters = self.nodes[n].pool.complete_io(ctx.frame);
-        for token in waiters {
+        let mut waiters = std::mem::take(&mut self.waiter_scratch);
+        self.nodes[n].pool.complete_io_into(ctx.frame, &mut waiters);
+        for &token in &waiters {
             let (term, epoch) = decode_waiter(token);
             self.nodes[n].pool.record_reference(ctx.frame, term);
             self.submit_cpu(
@@ -1020,6 +1088,7 @@ impl VodSystem {
                 },
             );
         }
+        self.waiter_scratch = waiters;
         if ctx.is_prefetch {
             self.nodes[n].disks[disk as usize].prefetch.complete();
         }

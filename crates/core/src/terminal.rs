@@ -289,8 +289,28 @@ impl Terminal {
     /// The system must deliver the returned requests and schedule a wake at
     /// `wake_at` tagged with the (freshly bumped) [`Terminal::gen`].
     pub fn pump(&mut self, video: &Video, block_bytes: u64, now: SimTime) -> Pump {
+        self.pump_reusing(video, block_bytes, now, Vec::new())
+    }
+
+    /// [`Terminal::pump`], but recycling a caller-owned request buffer.
+    ///
+    /// `requests` is cleared and becomes the returned [`Pump::requests`],
+    /// so a caller that hands the vector back on the next pump (as the
+    /// event loop does) amortizes the per-wake allocation away entirely.
+    /// Behaviour is otherwise identical to `pump`.
+    pub fn pump_reusing(
+        &mut self,
+        video: &Video,
+        block_bytes: u64,
+        now: SimTime,
+        mut requests: Vec<u32>,
+    ) -> Pump {
+        requests.clear();
         self.gen += 1;
-        let mut out = Pump::default();
+        let mut out = Pump {
+            requests,
+            ..Pump::default()
+        };
         let total = video.total_bytes();
         let num_frames = video.num_frames();
 

@@ -1,0 +1,92 @@
+//! Regression guard for event-loop allocations.
+//!
+//! The steady-state event loop recycles its per-wake request buffer
+//! (`Terminal::pump_reusing`) and per-I/O waiter buffer
+//! (`BufferPool::complete_io_into`), and buffer-pool frames keep their
+//! waiter vectors across recycling. Losing any of those would put an
+//! allocation back on a per-event path, multiplying the count measured
+//! here by orders of magnitude. The golden-report tests pin the
+//! *behaviour* of the reuse paths; this pins their *cost*.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use spiffi_core::{SystemConfig, VodSystem};
+use spiffi_simcore::SimDuration;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn cfg(measure_secs: u64) -> SystemConfig {
+    let mut c = SystemConfig::small_test();
+    c.topology = spiffi_layout::Topology {
+        nodes: 1,
+        disks_per_node: 1,
+    };
+    c.n_videos = 40;
+    c.n_terminals = 8;
+    c.access = spiffi_mpeg::AccessPattern::Uniform;
+    c.video.duration = SimDuration::from_secs(60);
+    c.server_memory_bytes = 16 * 1024 * 1024;
+    c.timing.stagger = SimDuration::from_secs(5);
+    c.timing.warmup = SimDuration::from_secs(10);
+    c.timing.measure = SimDuration::from_secs(measure_secs);
+    c
+}
+
+/// Allocations made while running `cfg` (construction included).
+fn allocs_for_run(c: &SystemConfig) -> (u64, u64) {
+    let sys = VodSystem::new(c.clone());
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = sys.run();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    (after - before, report.events_processed)
+}
+
+/// One test (not several racing ones) so the global counter attributes
+/// allocations unambiguously.
+#[test]
+fn event_loop_allocations_do_not_scale_with_events() {
+    // Warm up so lazy one-time allocations (stdio, test harness) settle.
+    let _ = allocs_for_run(&cfg(5));
+
+    let (short_allocs, short_events) = allocs_for_run(&cfg(60));
+    let (long_allocs, long_events) = allocs_for_run(&cfg(600));
+
+    assert!(long_events > short_events + 10_000, "workload too small");
+    let extra_allocs = long_allocs.saturating_sub(short_allocs);
+    let extra_events = long_events - short_events;
+
+    // The extra 100 simulated seconds cost tens of thousands of events.
+    // What may still allocate over that span: title rollovers (pause plans,
+    // piggyback bookkeeping), calendar/BTreeSet node churn — all far rarer
+    // than events. Per-wake request vectors or per-I/O waiter vectors
+    // would add roughly one allocation per delivered block (~one per 8
+    // events); requiring <2% of extra events keeps an order of magnitude
+    // of slack on both sides.
+    assert!(
+        (extra_allocs as f64) < 0.02 * extra_events as f64,
+        "event loop allocates per event again: {extra_allocs} allocations \
+         over {extra_events} events"
+    );
+}

@@ -1,0 +1,104 @@
+//! The parallel experiment engine must be invisible in the results: any
+//! thread count produces bit-identical reports and capacities, because
+//! each replication owns its RNG and calendar and results are slotted by
+//! replication index. The probe early-exit protocol is deterministic too —
+//! only the prefix of replications up to the first (lowest-indexed)
+//! glitching one is ever counted, and that prefix cannot depend on thread
+//! scheduling.
+
+use spiffi_core::{CapacitySearch, Engine, RunReport, SystemConfig};
+use spiffi_simcore::SimDuration;
+
+/// The tiny single-disk configuration used throughout the core tests:
+/// capacity lands in single digits and a full search takes well under a
+/// second, but the workload still exercises disks, prefetching and the
+/// buffer pool.
+fn tiny() -> SystemConfig {
+    let mut c = SystemConfig::small_test();
+    c.topology = spiffi_layout::Topology {
+        nodes: 1,
+        disks_per_node: 1,
+    };
+    c.n_videos = 40;
+    c.access = spiffi_mpeg::AccessPattern::Uniform;
+    c.video.duration = SimDuration::from_secs(60);
+    c.server_memory_bytes = 16 * 1024 * 1024;
+    c.timing.stagger = SimDuration::from_secs(5);
+    c.timing.warmup = SimDuration::from_secs(10);
+    c.timing.measure = SimDuration::from_secs(30);
+    c
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Golden seeds for the capacity property: an arbitrary spread across the
+/// seed space, fixed so failures reproduce.
+const GOLDEN_SEEDS: [u64; 3] = [0x5eed, 0x00de_ad00_beef, u64::MAX / 7];
+
+#[test]
+fn run_replications_is_identical_at_every_thread_count() {
+    let mut cfg = tiny();
+    cfg.n_terminals = 6;
+    let seeds: Vec<u64> = vec![1, 99, 0xabcdef, u64::MAX];
+
+    let reference: Vec<RunReport> = Engine::with_threads(1).run_replications(&cfg, &seeds);
+    assert_eq!(reference.len(), seeds.len());
+    // Distinct seeds must actually produce distinct runs, or the equality
+    // below would be vacuous.
+    assert!(
+        reference
+            .iter()
+            .skip(1)
+            .any(|r| r.events_processed != reference[0].events_processed),
+        "seeds should differentiate the runs"
+    );
+
+    for threads in THREAD_COUNTS {
+        let got = Engine::with_threads(threads).run_replications(&cfg, &seeds);
+        assert_eq!(got, reference, "thread count {threads} changed a report");
+    }
+}
+
+#[test]
+fn capacity_search_is_identical_at_every_thread_count() {
+    let search = CapacitySearch {
+        lo: 2,
+        hi: 40,
+        step: 2,
+        replications: 2,
+    };
+    for seed in GOLDEN_SEEDS {
+        let mut cfg = tiny();
+        cfg.seed = seed;
+        let reference = Engine::with_threads(1).max_glitch_free_terminals(&cfg, &search);
+        for threads in THREAD_COUNTS {
+            let got = Engine::with_threads(threads).max_glitch_free_terminals(&cfg, &search);
+            assert_eq!(
+                got.max_terminals, reference.max_terminals,
+                "thread count {threads} changed the capacity for seed {seed:#x}"
+            );
+            assert_eq!(
+                got.probes, reference.probes,
+                "thread count {threads} changed the probe sequence for seed {seed:#x}"
+            );
+            assert_eq!(
+                got.events_processed, reference.events_processed,
+                "thread count {threads} changed the counted event total for seed {seed:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send<T: Send>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<spiffi_core::LibraryCache>();
+    // The pieces a worker thread owns outright: the simulation kernel's
+    // RNG and calendar, and the whole assembled system.
+    assert_send::<spiffi_simcore::SimRng>();
+    assert_send::<spiffi_simcore::Calendar<spiffi_core::Event>>();
+    assert_send::<spiffi_core::VodSystem>();
+    assert_send::<spiffi_core::RunReport>();
+}

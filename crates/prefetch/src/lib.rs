@@ -131,7 +131,7 @@ pub enum IssueDecision {
 }
 
 /// Counters for the prefetcher.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PrefetchStats {
     /// Requests accepted into the queue.
     pub enqueued: u64,

@@ -20,6 +20,12 @@ fn main() {
     cfg.access = AccessPattern::Uniform;
     cfg.server_memory_bytes = 32 * 1024 * 1024;
 
+    // One engine for the whole session: probes run on up to
+    // `engine_threads()` worker threads (override with SPIFFI_THREADS) and
+    // every run shares one cached copy of the generated video library.
+    let engine = Engine::new();
+    println!("experiment engine: {} thread(s)\n", engine.threads());
+
     println!("glitch curve (the paper's Figure 9 procedure):");
     println!(
         "{:>10} {:>10} {:>12} {:>10}",
@@ -28,7 +34,7 @@ fn main() {
     for n in (4..=44).step_by(8) {
         let mut c = cfg.clone();
         c.n_terminals = n;
-        let r = run_once(&c);
+        let r = engine.run(&c);
         println!(
             "{:>10} {:>10} {:>12.1} {:>10.1}",
             n,
@@ -45,7 +51,7 @@ fn main() {
         step: 2,
         replications: 2,
     };
-    let result = max_glitch_free_terminals(&cfg, &search);
+    let result = engine.max_glitch_free_terminals(&cfg, &search);
     for (n, g) in &result.probes {
         println!("  probed {n:>3} terminals -> {g} glitches");
     }

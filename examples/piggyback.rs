@@ -39,14 +39,17 @@ fn main() {
         "terminals", "glitches (none)", "glitches (30 s)", "piggybacked"
     );
 
+    // One engine shares the cached library across every run and capacity
+    // search below (the library depends only on the seed, not the delay).
+    let engine = Engine::new();
     for n in [16u32, 32, 48, 64] {
         let mut plain = cfg.clone();
         plain.n_terminals = n;
-        let r_plain = run_once(&plain);
+        let r_plain = engine.run(&plain);
 
         let mut batched = plain.clone();
         batched.piggyback_delay = Some(SimDuration::from_secs(30));
-        let r_batched = run_once(&batched);
+        let r_batched = engine.run(&batched);
 
         println!(
             "{:>10} {:>16} {:>16} {:>14}",
@@ -61,10 +64,10 @@ fn main() {
         step: 4,
         replications: 2,
     };
-    let plain = max_glitch_free_terminals(&cfg, &search);
+    let plain = engine.max_glitch_free_terminals(&cfg, &search);
     let mut batched_cfg = cfg.clone();
     batched_cfg.piggyback_delay = Some(SimDuration::from_secs(30));
-    let batched = max_glitch_free_terminals(&batched_cfg, &search);
+    let batched = engine.max_glitch_free_terminals(&batched_cfg, &search);
     println!("  no piggybacking : {} terminals", plain.max_terminals);
     println!("  30 s batching   : {} terminals", batched.max_terminals);
     let gain = batched.max_terminals as f64 / plain.max_terminals.max(1) as f64;

@@ -36,6 +36,9 @@ fn main() {
     );
     println!("{}", "-".repeat(72));
 
+    // All six runs use the same seed, so the engine generates the video
+    // library once and serves the other five from its cache.
+    let engine = Engine::new();
     for kind in [
         SchedulerKind::Fcfs,
         SchedulerKind::Edf,
@@ -48,7 +51,7 @@ fn main() {
         },
     ] {
         let c = cfg.clone().with_scheduler(kind);
-        let r = run_once(&c);
+        let r = engine.run(&c);
         println!(
             "{:<18} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10}",
             kind.label(),

@@ -64,8 +64,9 @@ pub use spiffi_simcore as simcore;
 pub mod prelude {
     pub use spiffi_bufferpool::PolicyKind;
     pub use spiffi_core::{
-        max_glitch_free_terminals, run_once, CapacityResult, CapacitySearch, PauseConfig,
-        RunReport, RunTiming, SystemConfig, VodSystem,
+        engine_threads, max_glitch_free_terminals, run_once, run_replications, CapacityResult,
+        CapacitySearch, Engine, LibraryCache, PauseConfig, RunReport, RunTiming, SystemConfig,
+        VodSystem,
     };
     pub use spiffi_layout::{Placement, Topology};
     pub use spiffi_mpeg::AccessPattern;
