@@ -14,11 +14,20 @@
 //! be identical run-to-run and build-to-build; the harness asserts this
 //! against the recorded baseline, making it a coarse determinism check as
 //! well as a throughput meter.
+//!
+//! Three sections are measured and written to the JSON: the sequential
+//! bisection (`current`), the engine probe fan-out (`parallel`), and the
+//! speculative cached search (`speculative`) — the same bisection driven
+//! by `Engine::max_glitch_free_terminals`, whose counted outcome the
+//! binary asserts byte-identical to a fresh single-threaded search (the
+//! CI correctness gate; wall clock is reported but never gated).
 
 use std::sync::atomic::AtomicU32;
 use std::time::Instant;
 
-use spiffi_core::{engine_threads, fan_out, Engine, SystemConfig, VodSystem};
+use spiffi_core::{
+    engine_threads, fan_out, replication_seed, CapacitySearch, Engine, SystemConfig, VodSystem,
+};
 use spiffi_mpeg::{AccessPattern, Library};
 use spiffi_sched::SchedulerKind;
 use spiffi_simcore::SimDuration;
@@ -161,12 +170,81 @@ fn run_workload_engine(engine: &Engine) -> (u32, u64) {
     (lo, events)
 }
 
+/// The speculative-search variant: per scheduler, the whole bisection runs
+/// through [`Engine::max_glitch_free_terminals`] — idle workers probe the
+/// counts the search could visit next, and every clean replication outcome
+/// lands in the engine's probe cache, so repeated searches replay instead
+/// of re-simulating. Returns `(capacity, counted events, speculative
+/// events)`; capacity is the minimum across schedulers, matching the
+/// legacy sections' all-schedulers-clean probe criterion.
+///
+/// The engine seeds replication `r` as `replication_seed(base, r)`, so the
+/// base seed is chosen to make replication 0 run the exact seed the legacy
+/// sections use — same simulations, comparable capacity.
+fn spec_workload(engine: &Engine) -> (u32, u64, u64) {
+    let search = CapacitySearch {
+        lo: LO,
+        hi: HI,
+        step: STEP,
+        replications: 1,
+    };
+    let mut capacity = u32::MAX;
+    let mut events = 0;
+    let mut waste = 0;
+    for sched in schedulers() {
+        let mut c = workload_config();
+        c.scheduler = sched;
+        // Invert the engine's replication-seed derivation (the SplitMix64
+        // golden-ratio increment) so replication 0 gets the legacy seed.
+        c.seed = c.seed.wrapping_sub(0x9e37_79b9_7f4a_7c15);
+        assert_eq!(replication_seed(c.seed, 0), workload_config().seed);
+        let r = engine.max_glitch_free_terminals(&c, &search);
+        capacity = capacity.min(r.max_terminals);
+        events += r.events_processed;
+        waste += r.speculative_events;
+    }
+    (capacity, events, waste)
+}
+
 /// One measured sample of the harness.
 struct Sample {
     wall_seconds: f64,
     events_processed: u64,
     events_per_sec: f64,
     capacity: u32,
+}
+
+/// A measured sample of the speculative search: one cold pass (which does
+/// all the simulating and reports the speculation waste), then the
+/// standard warm-up-plus-`ITERS` measured passes on the now-warm engine.
+struct SpecSample {
+    cold_wall_seconds: f64,
+    speculative_events: u64,
+    wall_seconds: f64,
+    events_processed: u64,
+    capacity: u32,
+}
+
+fn measure_speculative(threads: usize) -> SpecSample {
+    let engine = Engine::with_threads(threads);
+    let cold_start = Instant::now();
+    let (_, _, waste) = spec_workload(&engine);
+    let cold_wall = cold_start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let mut events = 0;
+    let mut capacity = 0;
+    for _ in 0..ITERS {
+        let (cap, e, _) = spec_workload(&engine);
+        events += e;
+        capacity = cap;
+    }
+    SpecSample {
+        cold_wall_seconds: cold_wall,
+        speculative_events: waste,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        events_processed: events,
+        capacity,
+    }
 }
 
 fn measure() -> Sample {
@@ -277,6 +355,43 @@ fn main() {
         "the engine's probe protocol must reproduce the sequential capacity"
     );
 
+    let speculative = measure_speculative(threads);
+    // Correctness gate: the speculative search's *counted* outcome —
+    // capacity and counted events — must be byte-identical to a fresh
+    // single-threaded sequential bisection. (Wall clock is reported, never
+    // gated: timing gates need pinned hardware.)
+    let (seq_capacity, seq_events, seq_waste) = {
+        let reference = Engine::with_threads(1);
+        let sample = spec_workload(&reference);
+        assert_eq!(sample, spec_workload(&reference), "warm replay drifted");
+        sample
+    };
+    assert_eq!(seq_waste, 0, "sequential resolution must not speculate");
+    assert_eq!(
+        speculative.capacity, seq_capacity,
+        "speculative search changed the capacity"
+    );
+    assert_eq!(
+        speculative.events_processed,
+        seq_events * ITERS as u64,
+        "speculative search's counted events differ from the sequential bisection"
+    );
+    assert_eq!(
+        speculative.capacity, current.capacity,
+        "speculative search must reproduce the legacy capacity"
+    );
+    let spec_speedup = parallel.wall_seconds / speculative.wall_seconds;
+    println!(
+        "speculative ({threads} thread(s)): cold: {:.3} s (waste: {} events)   \
+         warm: {:.3} s   events: {}   capacity: {} terminals   \
+         speedup vs parallel section: {spec_speedup:.2}x",
+        speculative.cold_wall_seconds,
+        speculative.speculative_events,
+        speculative.wall_seconds,
+        speculative.events_processed,
+        speculative.capacity
+    );
+
     let baseline = if record_baseline {
         None
     } else {
@@ -329,11 +444,23 @@ fn main() {
     json.push_str(&format!(
         "  \"parallel\": {{\n    \"threads\": {threads},\n    \"wall_seconds\": {:.4},\n    \
          \"events_processed\": {},\n    \"events_per_sec\": {:.1},\n    \
-         \"capacity_terminals\": {},\n    \"speedup_vs_single_thread\": {speedup:.4}\n  }}\n}}\n",
+         \"capacity_terminals\": {},\n    \"speedup_vs_single_thread\": {speedup:.4}\n  }},\n",
         parallel.wall_seconds,
         parallel.events_processed,
         parallel.events_per_sec,
         parallel.capacity
+    ));
+    json.push_str(&format!(
+        "  \"speculative\": {{\n    \"threads\": {threads},\n    \
+         \"cold_wall_seconds\": {:.4},\n    \"speculative_events\": {},\n    \
+         \"wall_seconds\": {:.4},\n    \"events_processed\": {},\n    \
+         \"capacity_terminals\": {},\n    \"speedup_vs_parallel\": {spec_speedup:.4},\n    \
+         \"counted_matches_sequential\": true\n  }}\n}}\n",
+        speculative.cold_wall_seconds,
+        speculative.speculative_events,
+        speculative.wall_seconds,
+        speculative.events_processed,
+        speculative.capacity
     ));
     std::fs::write(out, json).expect("write BENCH_perf.json");
     println!("wrote {}", out.display());

@@ -158,9 +158,12 @@ impl Harness {
     /// in grid order (so tables print exactly as the sequential loop
     /// would).
     ///
-    /// The closure receives a harness sharing this one's library cache but
-    /// holding a *single-threaded* engine: the parallelism budget is spent
-    /// across grid points here, not nested inside each point's searches.
+    /// The closure receives a harness sharing this one's library *and*
+    /// probe caches but holding a *single-threaded* engine: the
+    /// parallelism budget is spent across grid points here, not nested
+    /// inside each point's searches, while capacity probes already
+    /// resolved by earlier searches (or another grid point over the same
+    /// configuration) replay from the shared probe cache.
     pub fn sweep<X, R, F>(&self, points: Vec<X>, f: F) -> Vec<R>
     where
         X: Sync,
@@ -169,7 +172,11 @@ impl Harness {
     {
         let inner = Harness {
             preset: self.preset,
-            engine: Engine::with_cache(1, Arc::clone(self.engine.cache())),
+            engine: Engine::with_caches(
+                1,
+                Arc::clone(self.engine.cache()),
+                Arc::clone(self.engine.probe_cache()),
+            ),
         };
         fan_out(points.len(), self.engine.threads(), |i| {
             f(&inner, &points[i])

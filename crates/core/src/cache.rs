@@ -15,6 +15,14 @@
 //! the same key. That race is benign — generation is deterministic, so
 //! both racers produce identical libraries and whichever insertion loses
 //! simply drops its copy.
+//!
+//! [`ProbeCache`] applies the same idea one level up: a capacity search
+//! probes the same `(terminal count, replication)` pairs over and over —
+//! the bracket confirmation re-probes a count the bisection later visits,
+//! `hi == lo` brackets probe one count twice, and repeated searches over
+//! one configuration repeat everything — so every *clean* per-replication
+//! probe outcome is cached under `(config fingerprint, count, replication)`
+//! and replayed instead of re-simulated.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -102,6 +110,104 @@ impl LibraryCache {
     }
 }
 
+/// The deterministic standalone outcome of one replication of a capacity
+/// probe: what [`VodSystem::run_glitch_probe`] reports when the run
+/// completes *cleanly* — to its own first measured glitch, or to the end
+/// of the measurement window — without being truncated by a sibling's
+/// cancel flag or a search abort. Truncated outcomes are wall-clock
+/// artifacts and must never enter the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// Glitches measured before the run stopped (0 = glitch-free window).
+    pub glitches: u64,
+    /// Simulation events the replication processed before stopping.
+    pub events: u64,
+}
+
+/// Cache key: `(config fingerprint, terminal count, replication index)`.
+type ProbeKey = (Arc<str>, u32, u32);
+
+/// A search-wide, thread-safe cache of per-replication probe outcomes,
+/// keyed by `(config fingerprint, terminal count, replication index)`.
+///
+/// The engine consults it before simulating any `(count, replication)`
+/// pair and inserts every clean outcome, so no pair is ever simulated
+/// twice for one configuration — within a search, across the bracket /
+/// bisection phases, and across repeated searches (e.g. the outer
+/// [`capacity_with_confidence`](crate::capacity_with_confidence) loop run
+/// twice, or a warm re-measurement in a bench harness). Like
+/// [`LibraryCache`], concurrent duplicate insertion is a benign race:
+/// clean outcomes are deterministic, so racers insert equal values.
+#[derive(Debug, Default)]
+pub struct ProbeCache {
+    map: Mutex<HashMap<ProbeKey, ProbeOutcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProbeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ProbeCache::default()
+    }
+
+    /// The probe identity of `cfg`: every configuration field *except*
+    /// `n_terminals` (which each probe overrides with its candidate
+    /// count), rendered through `Debug` into one interned string.
+    ///
+    /// Rust's `Debug` for floats prints the shortest round-trip
+    /// representation, so two configurations with equal fingerprints are
+    /// bit-identical as probe inputs — equal fingerprints really do imply
+    /// equal outcomes, with no hand-maintained field list to fall out of
+    /// sync when `SystemConfig` grows a field.
+    pub fn fingerprint(cfg: &SystemConfig) -> Arc<str> {
+        let mut c = cfg.clone();
+        c.n_terminals = 0;
+        Arc::from(format!("{c:?}"))
+    }
+
+    /// The cached outcome for replication `r` of a probe at `n` terminals,
+    /// if a clean run has been recorded.
+    pub fn get(&self, fp: &Arc<str>, n: u32, r: u32) -> Option<ProbeOutcome> {
+        let got = self
+            .map
+            .lock()
+            .unwrap()
+            .get(&(Arc::clone(fp), n, r))
+            .copied();
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Record the clean outcome for replication `r` at `n` terminals.
+    pub fn insert(&self, fp: &Arc<str>, n: u32, r: u32, out: ProbeOutcome) {
+        self.map.lock().unwrap().insert((Arc::clone(fp), n, r), out);
+    }
+
+    /// Distinct `(fingerprint, count, replication)` outcomes cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +240,50 @@ mod tests {
         let mut longer = cfg.clone();
         longer.video.duration = longer.video.duration + longer.video.duration;
         assert_ne!(LibraryKey::of(&cfg), LibraryKey::of(&longer));
+    }
+
+    #[test]
+    fn probe_cache_roundtrip_and_counters() {
+        let cache = ProbeCache::new();
+        let fp = ProbeCache::fingerprint(&SystemConfig::small_test());
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&fp, 10, 0), None);
+        let out = ProbeOutcome {
+            glitches: 3,
+            events: 12345,
+        };
+        cache.insert(&fp, 10, 0, out);
+        assert_eq!(cache.get(&fp, 10, 0), Some(out));
+        // Count and replication are both part of the key.
+        assert_eq!(cache.get(&fp, 10, 1), None);
+        assert_eq!(cache.get(&fp, 15, 0), None);
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+    }
+
+    #[test]
+    fn probe_fingerprint_ignores_terminal_count_only() {
+        let cfg = SystemConfig::small_test();
+        let mut more_terms = cfg.clone();
+        more_terms.n_terminals += 100;
+        assert_eq!(
+            ProbeCache::fingerprint(&cfg),
+            ProbeCache::fingerprint(&more_terms),
+            "probes override n_terminals, so it must not split the cache"
+        );
+        let mut other_seed = cfg.clone();
+        other_seed.seed ^= 1;
+        assert_ne!(
+            ProbeCache::fingerprint(&cfg),
+            ProbeCache::fingerprint(&other_seed),
+            "replication seeds derive from the base seed"
+        );
+        let mut other_mem = cfg.clone();
+        other_mem.server_memory_bytes *= 2;
+        assert_ne!(
+            ProbeCache::fingerprint(&cfg),
+            ProbeCache::fingerprint(&other_mem)
+        );
     }
 
     #[test]

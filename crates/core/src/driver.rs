@@ -30,11 +30,29 @@
 //! The thread count defaults to the machine's available parallelism and
 //! can be overridden with the `SPIFFI_THREADS` environment variable
 //! (`SPIFFI_THREADS=1` selects the exact legacy sequential path).
+//!
+//! # Speculative capacity probing
+//!
+//! The capacity search itself is a sequential decision process — which
+//! count to probe next depends on whether the current probe glitched —
+//! but both possible next counts are known *before* the probe resolves,
+//! so [`Engine::max_glitch_free_terminals`] keeps idle worker slots busy
+//! running replications of the counts the search could visit next. Every
+//! cleanly finished replication lands in a search-wide [`ProbeCache`]
+//! keyed by `(config fingerprint, count, replication)`, so no pair is
+//! ever simulated twice for one configuration — not within a search, not
+//! across repeated searches on the same engine. Because a probe's
+//! *counted* outcome is assembled purely from deterministic standalone
+//! replication outcomes, the search walks the exact legacy probe
+//! sequence and the [`CapacityResult`] stays byte-identical at any
+//! thread count; speculative work the search never visits is reported
+//! separately as [`CapacityResult::speculative_events`].
 
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
-use crate::cache::LibraryCache;
+use crate::cache::{LibraryCache, ProbeCache, ProbeOutcome};
 use crate::config::SystemConfig;
 use crate::metrics::RunReport;
 use crate::system::VodSystem;
@@ -124,6 +142,7 @@ where
 pub struct Engine {
     threads: usize,
     cache: Arc<LibraryCache>,
+    probes: Arc<ProbeCache>,
 }
 
 impl Default for Engine {
@@ -133,8 +152,8 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with the ambient thread budget ([`engine_threads`]) and a
-    /// fresh library cache.
+    /// An engine with the ambient thread budget ([`engine_threads`]) and
+    /// fresh caches.
     pub fn new() -> Self {
         Engine::with_threads(engine_threads())
     }
@@ -142,18 +161,27 @@ impl Engine {
     /// An engine with an explicit thread budget (tests of the determinism
     /// guarantee construct several of these side by side).
     pub fn with_threads(threads: usize) -> Self {
-        Engine {
-            threads: threads.max(1),
-            cache: Arc::new(LibraryCache::new()),
-        }
+        Engine::with_caches(
+            threads,
+            Arc::new(LibraryCache::new()),
+            Arc::new(ProbeCache::new()),
+        )
     }
 
     /// An engine sharing an existing library cache (e.g. across several
-    /// sweeps of one bench binary).
+    /// sweeps of one bench binary) but with a fresh probe cache.
     pub fn with_cache(threads: usize, cache: Arc<LibraryCache>) -> Self {
+        Engine::with_caches(threads, cache, Arc::new(ProbeCache::new()))
+    }
+
+    /// An engine sharing both a library cache and a probe cache, so
+    /// repeated capacity searches replay clean probe outcomes instead of
+    /// re-simulating them.
+    pub fn with_caches(threads: usize, cache: Arc<LibraryCache>, probes: Arc<ProbeCache>) -> Self {
         Engine {
             threads: threads.max(1),
             cache,
+            probes,
         }
     }
 
@@ -165,6 +193,11 @@ impl Engine {
     /// The engine's library cache.
     pub fn cache(&self) -> &Arc<LibraryCache> {
         &self.cache
+    }
+
+    /// The engine's search-wide probe cache.
+    pub fn probe_cache(&self) -> &Arc<ProbeCache> {
+        &self.probes
     }
 
     /// Run one configuration to completion, sourcing its library from the
@@ -188,101 +221,95 @@ impl Engine {
         })
     }
 
-    /// Is `n` terminals glitch-free across all replications? All
-    /// replications of the probe run concurrently; when one glitches, the
-    /// higher-indexed remainder short-circuit.
-    ///
-    /// Only the reports up to and including the lowest-indexed glitching
-    /// replication feed the outcome — those replications are never
-    /// interfered with (see [`VodSystem::run_glitch_probe`]), so glitch
-    /// and event totals are deterministic at any thread count.
-    fn probe(&self, cfg: &SystemConfig, n: u32, replications: u32) -> ProbeOutcome {
-        let cancel = AtomicU32::new(u32::MAX);
-        let reports = fan_out(replications as usize, self.threads, |r| {
-            let mut c = cfg.clone();
-            c.n_terminals = n;
-            c.seed = replication_seed(cfg.seed, r as u32);
-            let lib = self.cache.get(&c);
-            VodSystem::with_library(c, lib).run_glitch_probe(&cancel, r as u32)
-        });
-        let first_glitch = reports.iter().position(|r| r.glitches > 0);
-        let counted = match first_glitch {
-            Some(r) => &reports[..=r],
-            None => &reports[..],
-        };
-        ProbeOutcome {
-            glitches: counted.iter().map(|r| r.glitches).sum(),
-            events_processed: counted.iter().map(|r| r.events_processed).sum(),
-        }
-    }
-
     /// Find the maximum glitch-free terminal count for `cfg` (its
     /// `n_terminals` field is ignored) as a bracketed binary search on the
     /// step grid.
+    ///
+    /// The probe sequence is the classic sequential bisection's, replayed
+    /// by a [`SearchCursor`]; probe outcomes are assembled per replication
+    /// from the engine's [`ProbeCache`], simulating only the pairs the
+    /// cache is missing. Above one thread, idle workers speculatively run
+    /// replications of the counts the search could visit next (both
+    /// bisection branches are known in advance), so the wall-clock
+    /// critical path shrinks while `max_terminals`, `probes` and
+    /// `events_processed` stay byte-identical to `SPIFFI_THREADS=1`.
     pub fn max_glitch_free_terminals(
         &self,
         cfg: &SystemConfig,
         search: &CapacitySearch,
     ) -> CapacityResult {
         assert!(search.step > 0 && search.lo <= search.hi);
-        let grid = |x: u32| (x / search.step).max(1) * search.step;
+        let fp = ProbeCache::fingerprint(cfg);
+        if self.threads <= 1 {
+            self.search_sequential(cfg, search, &fp)
+        } else {
+            SpecSearch::new(self, cfg, search, &fp).run()
+        }
+    }
+
+    /// The exact legacy search loop, with cache consultation: probes are
+    /// resolved in cursor order, one replication at a time, stopping at
+    /// the first glitching replication just as the cancel protocol does.
+    fn search_sequential(
+        &self,
+        cfg: &SystemConfig,
+        search: &CapacitySearch,
+        fp: &Arc<str>,
+    ) -> CapacityResult {
+        let mut cursor = SearchCursor::new(search);
         let mut probes = Vec::new();
-        let mut events = 0u64;
-        let mut probe = |n: u32, probes: &mut Vec<(u32, u64)>| {
-            let out = self.probe(cfg, n, search.replications);
-            events += out.events_processed;
-            probes.push((n, out.glitches));
-            out.glitches
-        };
-
-        let mut lo = grid(search.lo);
-        let mut hi = grid(search.hi).max(lo);
-
-        // Confirm the brackets. If even `lo` glitches, walk down; if `hi`
-        // is glitch-free, it is the answer (capacity beyond the bracket).
-        if probe(lo, &mut probes) > 0 {
-            let mut n = lo;
-            while n > search.step {
-                n -= search.step;
-                if probe(n, &mut probes) == 0 {
-                    return CapacityResult {
-                        max_terminals: n,
-                        probes,
-                        events_processed: events,
-                    };
+        let mut counted = 0u64;
+        while let Some(n) = cursor.pending() {
+            let mut glitches = 0u64;
+            for r in 0..search.replications {
+                let out = match self.probes.get(fp, n, r) {
+                    Some(out) => out,
+                    None => {
+                        // A fresh cancel flag and in-order replications:
+                        // nothing ever truncates the run, so the outcome
+                        // is the deterministic standalone one and may be
+                        // cached unconditionally.
+                        let cancel = AtomicU32::new(u32::MAX);
+                        let report = self
+                            .probe_replication(cfg, n, r)
+                            .run_glitch_probe(&cancel, r);
+                        let out = ProbeOutcome {
+                            glitches: report.glitches,
+                            events: report.events_processed,
+                        };
+                        self.probes.insert(fp, n, r, out);
+                        out
+                    }
+                };
+                glitches += out.glitches;
+                counted += out.events;
+                if out.glitches > 0 {
+                    break;
                 }
             }
-            return CapacityResult {
-                max_terminals: 0,
-                probes,
-                events_processed: events,
-            };
+            probes.push((n, glitches));
+            cursor.advance(glitches);
         }
-        if probe(hi, &mut probes) == 0 {
-            return CapacityResult {
-                max_terminals: hi,
-                probes,
-                events_processed: events,
-            };
-        }
-
-        // Invariant: lo glitch-free, hi glitches. Bisect on the step grid.
-        while hi - lo > search.step {
-            let mid = grid(lo + (hi - lo) / 2);
-            if mid <= lo || mid >= hi {
-                break;
-            }
-            if probe(mid, &mut probes) == 0 {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
+        let (max_terminals, below_bracket) = cursor.answer();
         CapacityResult {
-            max_terminals: lo,
+            max_terminals,
             probes,
-            events_processed: events,
+            events_processed: counted,
+            // Sequential resolution never runs a replication the search
+            // does not count.
+            speculative_events: 0,
+            below_bracket,
         }
+    }
+
+    /// The assembled system for replication `r` of a probe at `n`
+    /// terminals, its library drawn from the cache.
+    fn probe_replication(&self, cfg: &SystemConfig, n: u32, r: u32) -> VodSystem {
+        let mut c = cfg.clone();
+        c.n_terminals = n;
+        c.seed = replication_seed(cfg.seed, r);
+        let lib = self.cache.get(&c);
+        VodSystem::with_library(c, lib)
     }
 
     /// Estimate capacity with the paper's replication-until-confident rule
@@ -323,10 +350,432 @@ impl Engine {
     }
 }
 
-/// Deterministic outcome of one capacity probe.
-struct ProbeOutcome {
-    glitches: u64,
-    events_processed: u64,
+/// Where the bracketed bisection stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Probing the lower bracket.
+    ConfirmLo,
+    /// The lower bracket glitched; probing successively smaller counts.
+    WalkDown {
+        /// The count being probed.
+        n: u32,
+    },
+    /// Probing the upper bracket.
+    ConfirmHi,
+    /// Bisecting with both brackets confirmed.
+    Bisect {
+        /// The grid midpoint being probed.
+        mid: u32,
+    },
+    /// The search has its answer.
+    Done {
+        /// Largest glitch-free count found (0 if none).
+        answer: u32,
+        /// True if even the smallest on-grid count glitched.
+        below_bracket: bool,
+    },
+}
+
+/// The bracket/walk-down/bisection decision process as a pure state
+/// machine: [`SearchCursor::pending`] names the count the search needs
+/// probed next, [`SearchCursor::advance`] feeds it that probe's glitch
+/// total. Factoring the decisions out of the probe loop is what makes
+/// speculation exact — a hypothetical future of the search is just a
+/// copied cursor advanced with an assumed outcome — and it replays the
+/// legacy sequential loop probe for probe (including the duplicate probe
+/// a `lo == hi` bracket performs), which is what keeps the probe
+/// sequence byte-identical to the pre-speculative driver.
+#[derive(Clone, Copy, Debug)]
+struct SearchCursor {
+    lo: u32,
+    hi: u32,
+    step: u32,
+    phase: Phase,
+}
+
+impl SearchCursor {
+    fn new(search: &CapacitySearch) -> Self {
+        let grid = |x: u32| (x / search.step).max(1) * search.step;
+        let lo = grid(search.lo);
+        let hi = grid(search.hi).max(lo);
+        SearchCursor {
+            lo,
+            hi,
+            step: search.step,
+            phase: Phase::ConfirmLo,
+        }
+    }
+
+    /// The count the search needs probed next, `None` once answered.
+    fn pending(&self) -> Option<u32> {
+        match self.phase {
+            Phase::ConfirmLo => Some(self.lo),
+            Phase::WalkDown { n } => Some(n),
+            Phase::ConfirmHi => Some(self.hi),
+            Phase::Bisect { mid } => Some(mid),
+            Phase::Done { .. } => None,
+        }
+    }
+
+    /// The answer, `(max_terminals, below_bracket)`.
+    ///
+    /// # Panics
+    /// If the search is not [`Phase::Done`].
+    fn answer(&self) -> (u32, bool) {
+        match self.phase {
+            Phase::Done {
+                answer,
+                below_bracket,
+            } => (answer, below_bracket),
+            _ => panic!("capacity search consulted before it finished"),
+        }
+    }
+
+    /// Feed the pending probe's glitch total and advance the search.
+    fn advance(&mut self, glitches: u64) {
+        let glitching = glitches > 0;
+        self.phase = match self.phase {
+            Phase::ConfirmLo => {
+                if glitching {
+                    Self::walk_down_from(self.lo, self.step)
+                } else {
+                    Phase::ConfirmHi
+                }
+            }
+            Phase::WalkDown { n } => {
+                if glitching {
+                    Self::walk_down_from(n, self.step)
+                } else {
+                    Phase::Done {
+                        answer: n,
+                        below_bracket: false,
+                    }
+                }
+            }
+            Phase::ConfirmHi => {
+                if glitching {
+                    // Invariant henceforth: lo glitch-free, hi glitches.
+                    self.next_mid()
+                } else {
+                    Phase::Done {
+                        answer: self.hi,
+                        below_bracket: false,
+                    }
+                }
+            }
+            Phase::Bisect { mid } => {
+                if glitching {
+                    self.hi = mid;
+                } else {
+                    self.lo = mid;
+                }
+                self.next_mid()
+            }
+            Phase::Done { .. } => panic!("capacity search advanced past its answer"),
+        };
+    }
+
+    /// The phase after count `n` glitched during bracket confirmation or
+    /// walk-down. The walk stays on the step grid and stops *at* the
+    /// grid's floor (one step): stepping below it would probe off-grid
+    /// counts, so an infeasible floor is reported as a distinct
+    /// "capacity below bracket" outcome instead.
+    fn walk_down_from(n: u32, step: u32) -> Phase {
+        debug_assert!(
+            n >= step && n.is_multiple_of(step),
+            "walk-down left the step grid: n={n} step={step}"
+        );
+        if n > step {
+            Phase::WalkDown { n: n - step }
+        } else {
+            Phase::Done {
+                answer: 0,
+                below_bracket: true,
+            }
+        }
+    }
+
+    /// The next bisection phase for the current `lo`/`hi` bracket: probe
+    /// the grid midpoint while the bracket is wider than one step and the
+    /// midpoint is interior, otherwise settle on `lo`.
+    fn next_mid(&self) -> Phase {
+        if self.hi - self.lo > self.step {
+            let mid = ((self.lo + (self.hi - self.lo) / 2) / self.step).max(1) * self.step;
+            if mid > self.lo && mid < self.hi {
+                return Phase::Bisect { mid };
+            }
+        }
+        Phase::Done {
+            answer: self.lo,
+            below_bracket: false,
+        }
+    }
+}
+
+/// Shared mutable state of one speculative capacity search.
+#[derive(Debug)]
+struct SpecState {
+    /// The authoritative search position.
+    cursor: SearchCursor,
+    /// Probe log in cursor order: `(count, counted glitch total)`.
+    probes: Vec<(u32, u64)>,
+    /// Counted events — the deterministic total the result reports.
+    counted_events: u64,
+    /// Clean outcomes known to this search (cache-served or completed
+    /// here), memoized so the cache mutex is touched once per pair.
+    outcomes: HashMap<(u32, u32), ProbeOutcome>,
+    /// Events executed by replications this call actually simulated,
+    /// keyed by pair — the clean ones, consulted for waste accounting.
+    fresh: HashMap<(u32, u32), u64>,
+    /// Pairs currently being simulated by some worker.
+    running: HashSet<(u32, u32)>,
+    /// Per-count cancel flags (shared by that count's replications so a
+    /// glitching replication still short-circuits its higher siblings).
+    cancels: HashMap<u32, Arc<AtomicU32>>,
+    /// Every event simulated by this call, clean or truncated.
+    executed_events: u64,
+    /// The cursor reached [`Phase::Done`].
+    done: bool,
+}
+
+/// One speculative run of [`Engine::max_glitch_free_terminals`]: a team
+/// of workers that drive the authoritative [`SearchCursor`] forward as
+/// probe outcomes resolve, and spend idle slots on replications of
+/// counts the search may visit next. See the
+/// [module docs](self#speculative-capacity-probing) for the determinism
+/// argument.
+struct SpecSearch<'a> {
+    engine: &'a Engine,
+    cfg: &'a SystemConfig,
+    replications: u32,
+    fp: &'a Arc<str>,
+    state: Mutex<SpecState>,
+    /// Signalled whenever an outcome lands or the search finishes.
+    resolved: Condvar,
+    /// Raised once the search is answered: in-flight speculative runs
+    /// abandon their simulations at the next poll.
+    abort: AtomicBool,
+}
+
+impl<'a> SpecSearch<'a> {
+    /// How many distinct future counts [`SpecSearch::pick_task`] may
+    /// examine per call. The reachable set is naturally small (bisection
+    /// halves the bracket, so ~log₂ of the grid plus the walk-down), but
+    /// a bound keeps a pathological grid from turning task selection
+    /// into the bottleneck.
+    const MAX_FRONTIER: usize = 256;
+
+    fn new(
+        engine: &'a Engine,
+        cfg: &'a SystemConfig,
+        search: &CapacitySearch,
+        fp: &'a Arc<str>,
+    ) -> Self {
+        SpecSearch {
+            engine,
+            cfg,
+            replications: search.replications,
+            fp,
+            state: Mutex::new(SpecState {
+                cursor: SearchCursor::new(search),
+                probes: Vec::new(),
+                counted_events: 0,
+                outcomes: HashMap::new(),
+                fresh: HashMap::new(),
+                running: HashSet::new(),
+                cancels: HashMap::new(),
+                executed_events: 0,
+                done: false,
+            }),
+            resolved: Condvar::new(),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    fn run(self) -> CapacityResult {
+        std::thread::scope(|s| {
+            for _ in 0..self.engine.threads {
+                s.spawn(|| self.worker());
+            }
+        });
+        let st = self.state.into_inner().unwrap();
+        let (max_terminals, below_bracket) = st.cursor.answer();
+        // Waste = everything executed minus the executed events that the
+        // search counted. Counted pairs are re-derived from the probe log
+        // (deduplicated, because a `lo == hi` bracket counts one pair
+        // twice while executing it once).
+        let mut counted_pairs: HashSet<(u32, u32)> = HashSet::new();
+        for &(n, _) in &st.probes {
+            for r in 0..self.replications {
+                let out = st.outcomes[&(n, r)];
+                counted_pairs.insert((n, r));
+                if out.glitches > 0 {
+                    break;
+                }
+            }
+        }
+        let fresh_counted: u64 = counted_pairs
+            .iter()
+            .filter_map(|pair| st.fresh.get(pair))
+            .sum();
+        CapacityResult {
+            max_terminals,
+            probes: st.probes,
+            events_processed: st.counted_events,
+            speculative_events: st.executed_events.saturating_sub(fresh_counted),
+            below_bracket,
+        }
+    }
+
+    fn worker(&self) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            self.drive(&mut st);
+            if st.done {
+                self.abort.store(true, Ordering::Relaxed);
+                self.resolved.notify_all();
+                return;
+            }
+            match self.pick_task(&mut st) {
+                Some((n, r, cancel)) => {
+                    st.running.insert((n, r));
+                    drop(st);
+                    let system = self.engine.probe_replication(self.cfg, n, r);
+                    let (report, clean) =
+                        system.run_glitch_probe_abortable(&cancel, r, &self.abort);
+                    st = self.state.lock().unwrap();
+                    st.running.remove(&(n, r));
+                    st.executed_events += report.events_processed;
+                    if clean {
+                        let out = ProbeOutcome {
+                            glitches: report.glitches,
+                            events: report.events_processed,
+                        };
+                        self.engine.probes.insert(self.fp, n, r, out);
+                        st.outcomes.insert((n, r), out);
+                        st.fresh.insert((n, r), report.events_processed);
+                    }
+                    self.resolved.notify_all();
+                }
+                None => {
+                    // Every needed pair is in flight on another worker (the
+                    // cursor being unanswered guarantees at least one is):
+                    // wait for a resolution.
+                    st = self.resolved.wait(st).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Advance the authoritative cursor over every probe whose counted
+    /// outcome is fully known, logging probes and counted events exactly
+    /// as the sequential loop would.
+    fn drive(&self, st: &mut SpecState) {
+        while let Some(n) = st.cursor.pending() {
+            match self.probe_total(st, n) {
+                Some((glitches, events)) => {
+                    st.probes.push((n, glitches));
+                    st.counted_events += events;
+                    st.cursor.advance(glitches);
+                }
+                None => return,
+            }
+        }
+        st.done = true;
+    }
+
+    /// The counted `(glitch total, event total)` of a probe at `n`, if
+    /// every replication outcome it depends on is known: replications in
+    /// index order up to and including the first glitching one.
+    fn probe_total(&self, st: &mut SpecState, n: u32) -> Option<(u64, u64)> {
+        let mut glitches = 0u64;
+        let mut events = 0u64;
+        for r in 0..self.replications {
+            let out = self.lookup(st, n, r)?;
+            glitches += out.glitches;
+            events += out.events;
+            if out.glitches > 0 {
+                break;
+            }
+        }
+        Some((glitches, events))
+    }
+
+    /// The clean outcome of `(n, r)` if known, consulting this search's
+    /// memo first and the engine-wide cache second (picking up pairs
+    /// pre-warmed by earlier searches).
+    fn lookup(&self, st: &mut SpecState, n: u32, r: u32) -> Option<ProbeOutcome> {
+        if let Some(&out) = st.outcomes.get(&(n, r)) {
+            return Some(out);
+        }
+        let out = self.engine.probes.get(self.fp, n, r)?;
+        st.outcomes.insert((n, r), out);
+        Some(out)
+    }
+
+    /// Choose the next replication to simulate: breadth-first over the
+    /// cursor's reachable futures, so the probe the search is actually
+    /// waiting on always outranks speculation, and nearer speculative
+    /// counts outrank farther ones. Within a count, replications dispatch
+    /// in index order past any that are already running — the same
+    /// all-replications-concurrent shape as the pre-speculative probe.
+    fn pick_task(&self, st: &mut SpecState) -> Option<(u32, u32, Arc<AtomicU32>)> {
+        let mut queue: VecDeque<SearchCursor> = VecDeque::new();
+        queue.push_back(st.cursor);
+        let mut seen: HashSet<u32> = HashSet::new();
+        while let Some(cursor) = queue.pop_front() {
+            let Some(n) = cursor.pending() else { continue };
+            if !seen.insert(n) || seen.len() > Self::MAX_FRONTIER {
+                continue;
+            }
+            // Scan this count's replications for one worth dispatching.
+            let mut known_glitch = false;
+            for r in 0..self.replications {
+                match self.lookup(st, n, r) {
+                    Some(out) if out.glitches > 0 => {
+                        // Higher replications are never counted.
+                        known_glitch = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        if !st.running.contains(&(n, r)) {
+                            let cancel = st
+                                .cancels
+                                .entry(n)
+                                .or_insert_with(|| Arc::new(AtomicU32::new(u32::MAX)));
+                            return Some((n, r, Arc::clone(cancel)));
+                        }
+                    }
+                }
+            }
+            // Nothing to dispatch here; expand the futures this count
+            // leads to. When the probe's outcome is already decided (all
+            // counted replications known, or any replication known to
+            // glitch) only the real branch exists.
+            match self.probe_total(st, n) {
+                Some((glitches, _)) => {
+                    let mut next = cursor;
+                    next.advance(glitches);
+                    queue.push_back(next);
+                }
+                None if known_glitch => {
+                    let mut next = cursor;
+                    next.advance(1);
+                    queue.push_back(next);
+                }
+                None => {
+                    let mut glitch = cursor;
+                    glitch.advance(1);
+                    queue.push_back(glitch);
+                    let mut clean = cursor;
+                    clean.advance(0);
+                    queue.push_back(clean);
+                }
+            }
+        }
+        None
+    }
 }
 
 /// Parameters of the capacity search.
@@ -368,8 +817,23 @@ pub struct CapacityResult {
     pub probes: Vec<(u32, u64)>,
     /// Simulation events attributable to the search — for each probe, the
     /// replications up to and including the first glitching one. Like the
-    /// glitch counts, identical at any thread count.
+    /// glitch counts, identical at any thread count — and independent of
+    /// the probe cache: a cache-served replication contributes the events
+    /// its original run processed.
     pub events_processed: u64,
+    /// Simulation events this call executed that the search did not
+    /// count: speculative probes of counts never visited, replications
+    /// cancelled by a glitching sibling, and runs abandoned when the
+    /// search finished. Unlike every other field this is a wall-clock
+    /// artifact — it varies with thread count and cache warmth (exactly 0
+    /// at one thread or on a fully warm cache) — and is reported only so
+    /// harnesses can weigh speedup against speculation waste.
+    pub speculative_events: u64,
+    /// True if even the smallest count on the step grid glitched: the
+    /// walk-down exhausted the grid without finding a feasible count, so
+    /// `max_terminals` is 0 and the real capacity lies below the
+    /// searchable bracket.
+    pub below_bracket: bool,
 }
 
 /// Find the maximum glitch-free terminal count for `cfg` (its
@@ -558,6 +1022,85 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a, run_once(&c));
         assert_eq!(engine.cache().misses(), 1, "second run must hit the cache");
+    }
+
+    #[test]
+    fn search_reports_capacity_below_bracket() {
+        // One disk cannot feed 30 terminals, and with a 30-wide grid the
+        // walk-down has nowhere to go: the search must say so explicitly
+        // rather than hand back an indistinguishable 0.
+        let c = tiny();
+        let s = CapacitySearch {
+            lo: 30,
+            hi: 60,
+            step: 30,
+            replications: 1,
+        };
+        let r = max_glitch_free_terminals(&c, &s);
+        assert_eq!(r.max_terminals, 0);
+        assert!(r.below_bracket, "walk-down exhausted the grid");
+        assert_eq!(r.probes.len(), 1, "only the grid floor is probeable");
+        assert_eq!(r.probes[0].0, 30);
+        assert!(r.probes[0].1 > 0);
+
+        // A search that finds a feasible count must not raise the flag.
+        let ok = max_glitch_free_terminals(
+            &c,
+            &CapacitySearch {
+                lo: 2,
+                hi: 40,
+                step: 2,
+                replications: 1,
+            },
+        );
+        assert!(!ok.below_bracket);
+        assert!(ok.max_terminals > 0);
+    }
+
+    #[test]
+    fn degenerate_bracket_probes_twice_like_the_legacy_loop() {
+        // lo == hi after gridding: the legacy loop probed the count once
+        // as the lower bracket and once as the upper, logging two probes
+        // and counting the events twice. The cursor replays that shape
+        // (the cache makes the second probe free, but the log and the
+        // counted totals must not change).
+        let c = tiny();
+        let s = CapacitySearch {
+            lo: 2,
+            hi: 2,
+            step: 2,
+            replications: 1,
+        };
+        let r = max_glitch_free_terminals(&c, &s);
+        assert_eq!(r.max_terminals, 2);
+        assert_eq!(r.probes.len(), 2, "bracket confirmation probes both ends");
+        assert_eq!(r.probes[0], r.probes[1]);
+        assert_eq!(r.events_processed % 2, 0);
+    }
+
+    #[test]
+    fn repeated_search_is_served_from_the_probe_cache() {
+        let c = tiny();
+        let s = CapacitySearch {
+            lo: 2,
+            hi: 40,
+            step: 2,
+            replications: 2,
+        };
+        let engine = Engine::with_threads(1);
+        let cold = engine.max_glitch_free_terminals(&c, &s);
+        let cached_pairs = engine.probe_cache().len();
+        assert!(cached_pairs > 0, "clean outcomes must be cached");
+        let warm = engine.max_glitch_free_terminals(&c, &s);
+        assert_eq!(cold.max_terminals, warm.max_terminals);
+        assert_eq!(cold.probes, warm.probes);
+        assert_eq!(cold.events_processed, warm.events_processed);
+        assert_eq!(warm.speculative_events, 0);
+        assert_eq!(
+            engine.probe_cache().len(),
+            cached_pairs,
+            "a warm search must not simulate (and cache) new pairs"
+        );
     }
 }
 

@@ -29,7 +29,7 @@ pub mod piggyback;
 pub mod system;
 pub mod terminal;
 
-pub use cache::{LibraryCache, LibraryKey};
+pub use cache::{LibraryCache, LibraryKey, ProbeCache, ProbeOutcome};
 pub use config::{default_prefetch_for, PauseConfig, RunTiming, SystemConfig, KB, MB};
 pub use driver::{
     capacity_with_confidence, engine_threads, fan_out, max_glitch_free_terminals, replication_seed,

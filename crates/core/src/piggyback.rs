@@ -28,6 +28,10 @@ pub enum StartDecision {
     },
     /// The terminal joined an existing batch and waits for it to fire.
     JoinedBatch,
+    /// The request was dropped: the terminal is already a member of the
+    /// open batch for this title, or is currently following another
+    /// terminal's stream and so cannot start one of its own.
+    Ignored,
 }
 
 /// The piggyback batch manager.
@@ -58,11 +62,27 @@ impl Piggyback {
     }
 
     /// Terminal `term` wants to start `video` at `now`.
+    ///
+    /// A terminal currently following another terminal's stream has no
+    /// stream of its own to start — its request is [`StartDecision::Ignored`]
+    /// (it will pick a fresh title when its group dissolves). Likewise a
+    /// terminal already waiting in the open batch for this title is not
+    /// added a second time: duplicates would inflate
+    /// [`Piggyback::terminals_piggybacked`], hand [`Piggyback::fire`] a
+    /// follower list with repeats, and let a terminal overwrite its own
+    /// `leader_of` entry.
     pub fn request_start(&mut self, term: u32, video: VideoId, now: SimTime) -> StartDecision {
+        if self.leader_of.contains_key(&term) {
+            return StartDecision::Ignored;
+        }
         match self.open.get_mut(&video) {
             Some(members) => {
-                members.push(term);
-                StartDecision::JoinedBatch
+                if members.contains(&term) {
+                    StartDecision::Ignored
+                } else {
+                    members.push(term);
+                    StartDecision::JoinedBatch
+                }
             }
             None => {
                 self.open.insert(video, vec![term]);
@@ -175,6 +195,63 @@ mod tests {
         // A new request after firing opens a fresh batch.
         let d = pb.request_start(9, VideoId(0), t(400.0));
         assert_eq!(d, StartDecision::OpenedBatch { fire_at: t(700.0) });
+    }
+
+    #[test]
+    fn duplicate_join_is_ignored() {
+        // Regression: the same terminal could join an open batch twice,
+        // appearing twice in fire()'s follower list and double-counting
+        // terminals_piggybacked.
+        let mut pb = Piggyback::new(SimDuration::from_secs(300));
+        pb.request_start(1, VideoId(0), t(0.0));
+        assert_eq!(
+            pb.request_start(2, VideoId(0), t(10.0)),
+            StartDecision::JoinedBatch
+        );
+        assert_eq!(
+            pb.request_start(2, VideoId(0), t(20.0)),
+            StartDecision::Ignored
+        );
+        // The batch opener re-requesting is a duplicate too.
+        assert_eq!(
+            pb.request_start(1, VideoId(0), t(30.0)),
+            StartDecision::Ignored
+        );
+        let (leader, followers) = pb.fire(VideoId(0));
+        assert_eq!(leader, 1);
+        assert_eq!(followers, vec![2]);
+        assert_eq!(pb.terminals_piggybacked(), 1);
+    }
+
+    #[test]
+    fn active_follower_cannot_start() {
+        // Regression: a follower of a streaming group could open or join a
+        // batch; if it then led (or followed) that batch, leader_of and
+        // groups lost track of the original membership.
+        let mut pb = Piggyback::new(SimDuration::from_secs(10));
+        pb.request_start(1, VideoId(0), t(0.0));
+        pb.request_start(2, VideoId(0), t(1.0));
+        pb.fire(VideoId(0));
+        assert!(pb.is_follower(2));
+        // Terminal 2 is mid-stream behind leader 1: both opening a new
+        // title and joining an open batch must be refused.
+        assert_eq!(
+            pb.request_start(2, VideoId(3), t(5.0)),
+            StartDecision::Ignored
+        );
+        pb.request_start(7, VideoId(4), t(5.0));
+        assert_eq!(
+            pb.request_start(2, VideoId(4), t(6.0)),
+            StartDecision::Ignored
+        );
+        let (_, followers) = pb.fire(VideoId(4));
+        assert!(!followers.contains(&2));
+        // Once its group dissolves the terminal may start again.
+        pb.dissolve(1);
+        assert!(matches!(
+            pb.request_start(2, VideoId(5), t(20.0)),
+            StartDecision::OpenedBatch { .. }
+        ));
     }
 
     #[test]

@@ -346,35 +346,55 @@ impl VodSystem {
     /// including that index — byte-identical at any thread count. Reports
     /// of higher-indexed, cancelled replications are wall-clock-dependent
     /// and must not feed into results.
-    pub fn run_glitch_probe(
+    pub fn run_glitch_probe(self, cancel: &std::sync::atomic::AtomicU32, index: u32) -> RunReport {
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        self.run_glitch_probe_abortable(cancel, index, &abort).0
+    }
+
+    /// [`VodSystem::run_glitch_probe`] with an additional search-wide abort
+    /// flag, for speculative probes whose outcome the capacity search may
+    /// stop needing altogether (the search answered while this count was
+    /// still hypothetical).
+    ///
+    /// Returns `(report, clean)`. `clean` is true iff the run completed
+    /// *deterministically* — it reached its own first measured glitch or
+    /// the end of the measurement window without being truncated by the
+    /// cancel flag or the abort flag. Only clean outcomes may be cached or
+    /// counted: a truncated report reflects wall-clock scheduling, not the
+    /// simulation.
+    pub fn run_glitch_probe_abortable(
         mut self,
         cancel: &std::sync::atomic::AtomicU32,
         index: u32,
-    ) -> RunReport {
+        abort: &std::sync::atomic::AtomicBool,
+    ) -> (RunReport, bool) {
         use std::sync::atomic::Ordering;
         // Poll the cancel flag once per this many events: rarely enough to
         // stay off the coherence traffic, often enough (< 1 ms of work) to
         // abandon a doomed run promptly.
         const CANCEL_POLL_MASK: u64 = 0xfff;
         let end = SimTime::ZERO + self.cfg.timing.total();
-        if cancel.load(Ordering::Relaxed) < index {
-            return self.collect_report(self.cal.now());
+        if cancel.load(Ordering::Relaxed) < index || abort.load(Ordering::Relaxed) {
+            let now = self.cal.now();
+            return (self.collect_report(now), false);
         }
         while let Some((_, ev)) = self.cal.pop_until(end) {
             self.events_processed += 1;
             self.dispatch(ev);
             if self.glitches_measured > 0 {
                 cancel.fetch_min(index, Ordering::Relaxed);
-                return self.collect_report(self.cal.now());
+                let now = self.cal.now();
+                return (self.collect_report(now), true);
             }
             if self.events_processed & CANCEL_POLL_MASK == 0
-                && cancel.load(Ordering::Relaxed) < index
+                && (cancel.load(Ordering::Relaxed) < index || abort.load(Ordering::Relaxed))
             {
-                return self.collect_report(self.cal.now());
+                let now = self.cal.now();
+                return (self.collect_report(now), false);
             }
         }
         self.cal.advance_to(end);
-        self.collect_report(end)
+        (self.collect_report(end), true)
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -654,6 +674,10 @@ impl VodSystem {
                             .schedule_at(fire_at, Event::PiggybackFire { video });
                     }
                     StartDecision::JoinedBatch => {}
+                    // Duplicate request or an active follower: the terminal
+                    // is already accounted for (in the batch or behind its
+                    // leader) and needs no new event.
+                    StartDecision::Ignored => {}
                 }
             }
         }

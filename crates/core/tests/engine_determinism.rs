@@ -89,6 +89,94 @@ fn capacity_search_is_identical_at_every_thread_count() {
     }
 }
 
+/// The tentpole guarantee of the speculative search: at every thread
+/// count, cold or pre-warmed, the full observable `CapacityResult` —
+/// capacity, the probe log (counts *and* per-probe glitch totals), the
+/// counted event total and the below-bracket flag — is byte-identical to
+/// the one-thread sequential bisection. Only `speculative_events`, the
+/// explicitly wall-clock-dependent waste counter, may differ.
+#[test]
+fn speculative_search_is_identical_to_sequential() {
+    let search = CapacitySearch {
+        lo: 2,
+        hi: 40,
+        step: 2,
+        replications: 2,
+    };
+    for seed in GOLDEN_SEEDS {
+        let mut cfg = tiny();
+        cfg.seed = seed;
+        let reference = Engine::with_threads(1).max_glitch_free_terminals(&cfg, &search);
+        assert_eq!(
+            reference.speculative_events, 0,
+            "sequential resolution must not speculate"
+        );
+        for threads in THREAD_COUNTS {
+            let engine = Engine::with_threads(threads);
+            let cold = engine.max_glitch_free_terminals(&cfg, &search);
+            assert_eq!(
+                cold.max_terminals, reference.max_terminals,
+                "thread count {threads} changed the capacity for seed {seed:#x}"
+            );
+            assert_eq!(
+                cold.probes, reference.probes,
+                "thread count {threads} changed the probe log for seed {seed:#x}"
+            );
+            assert_eq!(
+                cold.events_processed, reference.events_processed,
+                "thread count {threads} changed the counted events for seed {seed:#x}"
+            );
+            assert_eq!(cold.below_bracket, reference.below_bracket);
+
+            // Same engine again: every pair replays from the probe cache.
+            let warm = engine.max_glitch_free_terminals(&cfg, &search);
+            assert_eq!(warm.max_terminals, reference.max_terminals);
+            assert_eq!(warm.probes, reference.probes);
+            assert_eq!(warm.events_processed, reference.events_processed);
+            assert_eq!(
+                warm.speculative_events, 0,
+                "a fully warm search has nothing left to speculate"
+            );
+        }
+    }
+}
+
+/// A probe cache pre-warmed by one engine must be a pure accelerator for
+/// another: handing a parallel engine's cache to a sequential engine (and
+/// vice versa) changes nothing observable.
+#[test]
+fn prewarmed_probe_cache_is_invisible_in_results() {
+    let search = CapacitySearch {
+        lo: 2,
+        hi: 40,
+        step: 2,
+        replications: 2,
+    };
+    let cfg = tiny();
+    let reference = Engine::with_threads(1).max_glitch_free_terminals(&cfg, &search);
+
+    let warmer = Engine::with_threads(8);
+    let warmed = warmer.max_glitch_free_terminals(&cfg, &search);
+    assert_eq!(warmed.probes, reference.probes);
+
+    for threads in THREAD_COUNTS {
+        let engine = Engine::with_caches(
+            threads,
+            std::sync::Arc::clone(warmer.cache()),
+            std::sync::Arc::clone(warmer.probe_cache()),
+        );
+        let got = engine.max_glitch_free_terminals(&cfg, &search);
+        assert_eq!(got.max_terminals, reference.max_terminals);
+        assert_eq!(got.probes, reference.probes);
+        assert_eq!(got.events_processed, reference.events_processed);
+        assert_eq!(got.below_bracket, reference.below_bracket);
+        assert_eq!(
+            got.speculative_events, 0,
+            "a pre-warmed search at {threads} threads re-simulated something"
+        );
+    }
+}
+
 #[test]
 fn engine_is_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}

@@ -294,6 +294,14 @@ impl Counter {
 }
 
 /// Fixed-width histogram with an overflow bin.
+///
+/// Observations are non-negative by construction (latencies, queue
+/// lengths): negative values clamp to 0 consistently in the bins, the
+/// running sum *and* the maximum, so [`Histogram::mean`] and
+/// [`Histogram::quantile`] always agree in sign. Non-finite observations
+/// (NaN, ±∞) are rejected outright — counted in [`Histogram::rejected`]
+/// but never binned or summed, so one poisoned sample cannot turn
+/// `mean()` into NaN while the quantiles silently keep reporting numbers.
 #[derive(Clone, Debug)]
 pub struct Histogram {
     width: f64,
@@ -302,6 +310,7 @@ pub struct Histogram {
     count: u64,
     sum: f64,
     max: f64,
+    rejected: u64,
 }
 
 impl Histogram {
@@ -316,12 +325,20 @@ impl Histogram {
             count: 0,
             sum: 0.0,
             max: 0.0,
+            rejected: 0,
         }
     }
 
-    /// Record an observation (negative values clamp to bin 0).
+    /// Record an observation. Negative values clamp to 0 (bin, sum and max
+    /// alike); non-finite values are counted in [`Histogram::rejected`] and
+    /// otherwise ignored.
     pub fn add(&mut self, x: f64) {
-        let idx = (x.max(0.0) / self.width) as usize;
+        if !x.is_finite() {
+            self.rejected += 1;
+            return;
+        }
+        let x = x.max(0.0);
+        let idx = (x / self.width) as usize;
         if idx < self.bins.len() {
             self.bins[idx] += 1;
         } else {
@@ -382,6 +399,11 @@ impl Histogram {
         self.overflow
     }
 
+    /// Non-finite observations rejected by [`Histogram::add`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
     /// Reset all bins.
     pub fn reset(&mut self) {
         self.bins.iter_mut().for_each(|b| *b = 0);
@@ -389,6 +411,7 @@ impl Histogram {
         self.count = 0;
         self.sum = 0.0;
         self.max = 0.0;
+        self.rejected = 0;
     }
 }
 
@@ -595,5 +618,55 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.overflow(), 0);
+        assert_eq!(h.rejected(), 0);
+    }
+
+    #[test]
+    fn histogram_rejects_nan_without_poisoning_mean() {
+        // Regression: NaN used to bin at 0 (NaN.max(0.0) == 0.0) while
+        // `sum += NaN` silently turned mean() into NaN forever.
+        let mut h = Histogram::new(1.0, 10);
+        h.add(2.5);
+        h.add(f64::NAN);
+        h.add(3.5);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.rejected(), 1);
+        assert!((h.mean() - 3.0).abs() < 1e-12, "mean {}", h.mean());
+        assert_eq!(h.max(), 3.5);
+    }
+
+    #[test]
+    fn histogram_rejects_infinities() {
+        let mut h = Histogram::new(1.0, 10);
+        h.add(f64::INFINITY);
+        h.add(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.rejected(), 2);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_clamps_negatives_consistently() {
+        // Regression: a negative observation landed in bin 0 but entered
+        // `sum` raw, so mean() could go negative while quantile() stayed
+        // non-negative.
+        let mut h = Histogram::new(1.0, 10);
+        h.add(-5.0);
+        h.add(1.5);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.rejected(), 0);
+        assert!((h.mean() - 0.75).abs() < 1e-12, "mean {}", h.mean());
+        assert!(h.mean() >= 0.0);
+        assert!(h.quantile(0.5) >= 0.0);
+        assert_eq!(h.max(), 1.5);
+
+        let mut all_neg = Histogram::new(1.0, 4);
+        all_neg.add(-1.0);
+        all_neg.add(-2.0);
+        assert_eq!(all_neg.mean(), 0.0);
+        assert_eq!(all_neg.max(), 0.0);
+        assert_eq!(all_neg.quantile(1.0), 1.0); // upper edge of bin 0
     }
 }
