@@ -1,0 +1,148 @@
+//! Record one fully instrumented run: JSONL + Chrome/Perfetto trace +
+//! engine journal.
+//!
+//! Runs the standard 4-disk workload once with a `(TraceRecorder, Sampler)`
+//! probe attached — every disk I/O, CPU span, network send, buffer-pool
+//! event and terminal transition lands in the trace, and a 1 s sampler
+//! tracks per-disk utilization, network bytes/s, pool occupancy and
+//! outstanding deadlines. Then a small capacity search on an [`Engine`]
+//! populates the run journal (per-probe wall time, cache hits, speculation
+//! waste).
+//!
+//! Outputs, written to the repo root next to `BENCH_perf.json`:
+//!
+//! - `TRACE_run.jsonl` — one JSON object per line, merged events + samples
+//!   in timestamp order (every line carries `type` and `t_ns`).
+//! - `TRACE_run.trace.json` — Chrome `trace_event` JSON; open it in
+//!   <https://ui.perfetto.dev> or `chrome://tracing`.
+//! - `TRACE_journal.json` — the engine's run-journal snapshot.
+//!
+//! Usage:
+//!   trace_run           # full workload (120 s measurement window)
+//!   trace_run --small   # CI-sized run (30 s window, fewer terminals)
+//!
+//! The binary cross-checks the trace against the report it rode along
+//! with: the sampled per-disk utilization mean over the measurement window
+//! must match `RunReport::avg_disk_utilization` within 1%, and the
+//! recorder's dispatch tally must equal `events_processed`.
+
+use spiffi_core::{CapacitySearch, Engine, Sampler, SystemConfig, TraceRecorder, VodSystem};
+use spiffi_mpeg::AccessPattern;
+use spiffi_simcore::{SimDuration, SimTime};
+use spiffi_trace::export;
+
+/// The perf_baseline workload shape: one node, four disks, uniform access
+/// over 64 one-minute titles, memory far below the working set.
+fn workload_config(small: bool) -> SystemConfig {
+    let mut c = SystemConfig::small_test();
+    c.topology = spiffi_layout::Topology {
+        nodes: 1,
+        disks_per_node: 4,
+    };
+    c.n_videos = 64;
+    c.access = AccessPattern::Uniform;
+    c.video.duration = SimDuration::from_secs(60);
+    c.server_memory_bytes = 32 * 1024 * 1024;
+    c.timing.stagger = SimDuration::from_secs(5);
+    c.timing.warmup = SimDuration::from_secs(10);
+    c.timing.measure = SimDuration::from_secs(if small { 30 } else { 120 });
+    c.n_terminals = if small { 12 } else { 24 };
+    c.seed = 0x005b_1ff1_9e4f;
+    c
+}
+
+/// Sampling interval: 1 s tiles the warmup and measurement windows
+/// exactly, so the sampled utilization mean is directly comparable to the
+/// report's window aggregate.
+const SAMPLE_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let cfg = workload_config(small);
+    let nodes = cfg.topology.nodes as usize;
+    let disks_per_node = cfg.topology.disks_per_node as usize;
+
+    println!("== trace_run: instrumented run + engine journal ==");
+    println!(
+        "workload: {} terminals, {} disks, {} s window{}\n",
+        cfg.n_terminals,
+        nodes * disks_per_node,
+        cfg.timing.measure.as_secs_f64(),
+        if small { " (--small)" } else { "" }
+    );
+
+    let library = VodSystem::generate_library(&cfg);
+    let probe = (
+        TraceRecorder::new(),
+        Sampler::new(SAMPLE_INTERVAL, nodes, disks_per_node),
+    );
+    let system = VodSystem::with_probe(cfg.clone(), library, probe);
+    let (report, (recorder, sampler)) = system.run_traced();
+
+    println!("{}", report.summary());
+    println!(
+        "events: {}   trace events: {}   samples: {}   histogram rejected: {}",
+        report.events_processed,
+        recorder.events().len(),
+        sampler.rows().len(),
+        report.io_latency_rejected,
+    );
+
+    // Cross-checks: the trace must agree with the report it observed.
+    assert_eq!(
+        recorder.dispatch_total(),
+        report.events_processed,
+        "recorder saw a different event count than the simulator"
+    );
+    let window_start = SimTime::ZERO + cfg.timing.warmup;
+    let window_end = window_start + cfg.timing.measure;
+    let sampled = sampler.mean_disk_utilization(window_start, window_end);
+    let reported = report.avg_disk_utilization;
+    let rel = (sampled - reported).abs() / reported.max(1e-9);
+    println!(
+        "disk utilization over the window: sampled {:.4}  reported {:.4}  (rel err {:.3}%)",
+        sampled,
+        reported,
+        rel * 100.0
+    );
+    assert!(
+        rel < 0.01,
+        "sampled disk-utilization mean {sampled:.4} diverges from the report's {reported:.4}"
+    );
+
+    let jsonl = export::jsonl(recorder.events(), sampler.rows());
+    std::fs::write("TRACE_run.jsonl", &jsonl).expect("write TRACE_run.jsonl");
+    let chrome = export::chrome_trace(recorder.events(), sampler.rows());
+    std::fs::write("TRACE_run.trace.json", &chrome).expect("write TRACE_run.trace.json");
+
+    // A small capacity search to exercise the engine journal: run it
+    // twice so the second pass shows up as cache hits. The workload's
+    // capacity sits around 60 terminals, so the [4, 96] bracket bisects.
+    let search = CapacitySearch {
+        lo: 4,
+        hi: 96,
+        step: 4,
+        replications: 1,
+    };
+    let engine = Engine::new();
+    let mut search_cfg = cfg;
+    search_cfg.timing.measure = SimDuration::from_secs(30);
+    let result = engine.max_glitch_free_terminals(&search_cfg, &search);
+    engine.max_glitch_free_terminals(&search_cfg, &search);
+    let journal = engine.journal().snapshot();
+    println!(
+        "journal: capacity {} terminals, {} searches, {} simulated + {} cached probe runs, \
+         {:.1} ms simulating, {} speculative events",
+        result.max_terminals,
+        journal.searches,
+        journal.simulated(),
+        journal.cache_hits(),
+        journal.total_wall_nanos() as f64 / 1e6,
+        journal.speculative_events,
+    );
+    std::fs::write("TRACE_journal.json", journal.to_json()).expect("write TRACE_journal.json");
+
+    println!("\nwrote TRACE_run.jsonl ({} lines)", jsonl.lines().count());
+    println!("wrote TRACE_run.trace.json (open in https://ui.perfetto.dev)");
+    println!("wrote TRACE_journal.json");
+}

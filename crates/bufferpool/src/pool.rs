@@ -101,6 +101,13 @@ pub struct BufferPool {
     map: FastHashMap<BlockAddr, FrameId>,
     policy: Box<dyn ReplacementPolicy>,
     stats: PoolStats,
+    /// Whether the most recent counted lookup found a page last referenced
+    /// by a different terminal (per-event detail behind
+    /// [`PoolStats::shared_references`], for observation probes).
+    last_lookup_shared: bool,
+    /// Whether the most recent [`BufferPool::allocate`] evicted a resident
+    /// page to make room.
+    last_alloc_evicted: bool,
 }
 
 impl BufferPool {
@@ -113,6 +120,8 @@ impl BufferPool {
             map: FastHashMap::with_capacity_and_hasher(capacity, Default::default()),
             policy: policy.build(capacity),
             stats: PoolStats::default(),
+            last_lookup_shared: false,
+            last_alloc_evicted: false,
         }
     }
 
@@ -150,11 +159,13 @@ impl BufferPool {
         };
         if let Some(t) = terminal {
             self.stats.lookups += 1;
+            self.last_lookup_shared = false;
             match result {
                 LookupResult::Resident(f) | LookupResult::InFlight(f) => {
                     let frame = &self.frames[f.0 as usize];
                     if frame.ever_referenced && frame.last_referencer != Some(t) {
                         self.stats.shared_references += 1;
+                        self.last_lookup_shared = true;
                     }
                     if matches!(result, LookupResult::Resident(_)) {
                         self.stats.resident_hits += 1;
@@ -180,6 +191,7 @@ impl BufferPool {
             !self.map.contains_key(&key),
             "allocate for a block already in the pool: {key:?}"
         );
+        self.last_alloc_evicted = false;
         let f = match self.free.pop() {
             Some(f) => {
                 if f.0 as usize == self.frames.len() {
@@ -246,6 +258,7 @@ impl BufferPool {
             }
         }
         self.stats.evictions += 1;
+        self.last_alloc_evicted = true;
         let key = frame.key;
         self.map.remove(&key);
         self.policy.on_remove(f);
@@ -341,6 +354,19 @@ impl BufferPool {
                 fr.pins == 0 && matches!(fr.state, FrameState::Resident { .. })
             })
             .is_some()
+    }
+
+    /// Whether the most recent counted lookup (one with a terminal) found
+    /// a page last referenced by a *different* terminal. Per-event view of
+    /// [`PoolStats::shared_references`], for observation probes.
+    pub fn last_lookup_shared(&self) -> bool {
+        self.last_lookup_shared
+    }
+
+    /// Whether the most recent [`BufferPool::allocate`] evicted a resident
+    /// page (as opposed to taking a never-used frame or failing).
+    pub fn last_alloc_evicted(&self) -> bool {
+        self.last_alloc_evicted
     }
 
     /// Name of the replacement policy.
@@ -551,6 +577,25 @@ mod tests {
         assert!((p.stats().hit_rate() - 0.5).abs() < 1e-12);
         p.reset_stats();
         assert_eq!(p.stats().lookups, 0);
+    }
+
+    #[test]
+    fn last_event_flags_mirror_the_latest_operation() {
+        let mut p = pool(2);
+        let f0 = p.allocate(key(0, 0), false).unwrap();
+        assert!(!p.last_alloc_evicted(), "first frame comes off free list");
+        let f1 = p.allocate(key(0, 1), false).unwrap();
+        p.complete_io(f0);
+        p.complete_io(f1);
+        p.record_reference(f0, 1);
+        p.lookup(key(0, 0), Some(1));
+        assert!(!p.last_lookup_shared(), "same terminal is not a share");
+        p.lookup(key(0, 0), Some(2));
+        assert!(p.last_lookup_shared());
+        p.lookup(key(0, 0), Some(1));
+        assert!(!p.last_lookup_shared(), "flag resets per lookup");
+        p.allocate(key(0, 2), false).unwrap();
+        assert!(p.last_alloc_evicted(), "full pool allocation evicts");
     }
 
     #[test]

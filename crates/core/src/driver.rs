@@ -54,6 +54,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 use crate::cache::{LibraryCache, ProbeCache, ProbeOutcome};
 use crate::config::SystemConfig;
+use crate::journal::{ProbeRun, RunJournal};
 use crate::metrics::RunReport;
 use crate::system::VodSystem;
 
@@ -143,6 +144,7 @@ pub struct Engine {
     threads: usize,
     cache: Arc<LibraryCache>,
     probes: Arc<ProbeCache>,
+    journal: Arc<RunJournal>,
 }
 
 impl Default for Engine {
@@ -182,6 +184,7 @@ impl Engine {
             threads: threads.max(1),
             cache,
             probes,
+            journal: Arc::new(RunJournal::new()),
         }
     }
 
@@ -198,6 +201,13 @@ impl Engine {
     /// The engine's search-wide probe cache.
     pub fn probe_cache(&self) -> &Arc<ProbeCache> {
         &self.probes
+    }
+
+    /// The engine's run journal: wall-clock and cache accounting for every
+    /// probe replication this engine has resolved. Purely observational —
+    /// snapshotting or serializing it never affects search results.
+    pub fn journal(&self) -> &Arc<RunJournal> {
+        &self.journal
     }
 
     /// Run one configuration to completion, sourcing its library from the
@@ -240,11 +250,13 @@ impl Engine {
     ) -> CapacityResult {
         assert!(search.step > 0 && search.lo <= search.hi);
         let fp = ProbeCache::fingerprint(cfg);
-        if self.threads <= 1 {
+        let result = if self.threads <= 1 {
             self.search_sequential(cfg, search, &fp)
         } else {
             SpecSearch::new(self, cfg, search, &fp).run()
-        }
+        };
+        self.journal.record_search(result.speculative_events);
+        result
     }
 
     /// The exact legacy search loop, with cache consultation: probes are
@@ -263,16 +275,35 @@ impl Engine {
             let mut glitches = 0u64;
             for r in 0..search.replications {
                 let out = match self.probes.get(fp, n, r) {
-                    Some(out) => out,
+                    Some(out) => {
+                        self.journal.record_probe(ProbeRun {
+                            terminals: n,
+                            replication: r,
+                            cached: true,
+                            clean: true,
+                            events: out.events,
+                            wall_nanos: 0,
+                        });
+                        out
+                    }
                     None => {
                         // A fresh cancel flag and in-order replications:
                         // nothing ever truncates the run, so the outcome
                         // is the deterministic standalone one and may be
                         // cached unconditionally.
                         let cancel = AtomicU32::new(u32::MAX);
+                        let started = std::time::Instant::now();
                         let report = self
                             .probe_replication(cfg, n, r)
                             .run_glitch_probe(&cancel, r);
+                        self.journal.record_probe(ProbeRun {
+                            terminals: n,
+                            replication: r,
+                            cached: false,
+                            clean: true,
+                            events: report.events_processed,
+                            wall_nanos: started.elapsed().as_nanos() as u64,
+                        });
                         let out = ProbeOutcome {
                             glitches: report.glitches,
                             events: report.events_processed,
@@ -640,9 +671,18 @@ impl<'a> SpecSearch<'a> {
                 Some((n, r, cancel)) => {
                     st.running.insert((n, r));
                     drop(st);
+                    let started = std::time::Instant::now();
                     let system = self.engine.probe_replication(self.cfg, n, r);
                     let (report, clean) =
                         system.run_glitch_probe_abortable(&cancel, r, &self.abort);
+                    self.engine.journal.record_probe(ProbeRun {
+                        terminals: n,
+                        replication: r,
+                        cached: false,
+                        clean,
+                        events: report.events_processed,
+                        wall_nanos: started.elapsed().as_nanos() as u64,
+                    });
                     st = self.state.lock().unwrap();
                     st.running.remove(&(n, r));
                     st.executed_events += report.events_processed;
@@ -709,6 +749,16 @@ impl<'a> SpecSearch<'a> {
             return Some(out);
         }
         let out = self.engine.probes.get(self.fp, n, r)?;
+        // First sighting of a pre-warmed pair this search (the memo above
+        // absorbs repeats): journal it as a cache hit.
+        self.engine.journal.record_probe(ProbeRun {
+            terminals: n,
+            replication: r,
+            cached: true,
+            clean: true,
+            events: out.events,
+            wall_nanos: 0,
+        });
         st.outcomes.insert((n, r), out);
         Some(out)
     }

@@ -23,6 +23,7 @@
 pub mod cache;
 pub mod config;
 pub mod driver;
+pub mod journal;
 pub mod metrics;
 pub mod node;
 pub mod piggyback;
@@ -36,7 +37,11 @@ pub use driver::{
     run_once, run_replications, CapacityResult, CapacitySearch, ConfidentCapacity,
     ConfidentCapacityResult, Engine,
 };
+pub use journal::{JournalSnapshot, ProbeRun, RunJournal};
 pub use metrics::RunReport;
+// The observability layer, re-exported so instrumented callers need only
+// depend on `spiffi-core`.
 pub use piggyback::{Piggyback, StartDecision};
+pub use spiffi_trace::{NoopProbe, Probe, SampleRow, Sampler, TraceRecorder};
 pub use system::{Event, VisualSearch, VodSystem};
 pub use terminal::{PlayState, Pump, Terminal};

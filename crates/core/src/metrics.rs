@@ -35,6 +35,8 @@ pub struct RunReport {
     pub avg_cpu_utilization: f64,
     /// Utilization of the busiest CPU.
     pub max_cpu_utilization: f64,
+    /// Utilization of the idlest CPU.
+    pub min_cpu_utilization: f64,
     /// Peak aggregate network bandwidth, bytes/second (Figure 18).
     pub net_peak_bytes_per_sec: f64,
     /// Mean aggregate network bandwidth, bytes/second.
@@ -52,6 +54,9 @@ pub struct RunReport {
     pub io_latency_p95_ms: f64,
     /// Worst demand I/O latency observed, milliseconds.
     pub io_latency_max_ms: f64,
+    /// Non-finite latency observations the histogram rejected. Always zero
+    /// in a healthy run; non-zero flags a timing bug upstream.
+    pub io_latency_rejected: u64,
     /// Demand I/Os that completed after an *achievable* deadline (one
     /// later than their issue instant). Misses do not necessarily glitch —
     /// the terminal's buffer may still hold data — but predict glitches
@@ -79,7 +84,8 @@ impl RunReport {
     pub fn summary(&self) -> String {
         format!(
             "terminals={} glitches={} ({} terms) disk={:.1}% cpu={:.1}% \
-             net_peak={:.1} MB/s pool_hit={:.1}% shared={:.1}%",
+             net_peak={:.1} MB/s pool_hit={:.1}% shared={:.1}% \
+             deadline_misses={} io_lat={:.1}/{:.1}/{:.1} ms",
             self.terminals,
             self.glitches,
             self.glitching_terminals,
@@ -88,6 +94,10 @@ impl RunReport {
             self.net_peak_bytes_per_sec / 1e6,
             self.pool.hit_rate() * 100.0,
             self.pool.shared_reference_rate() * 100.0,
+            self.deadline_misses,
+            self.io_latency_mean_ms,
+            self.io_latency_p95_ms,
+            self.io_latency_max_ms,
         )
     }
 }
@@ -110,6 +120,7 @@ mod tests {
             disk_utilizations: vec![0.85, 0.95],
             avg_cpu_utilization: 0.2,
             max_cpu_utilization: 0.25,
+            min_cpu_utilization: 0.15,
             net_peak_bytes_per_sec: 55e6,
             net_mean_bytes_per_sec: 50e6,
             pool: PoolStats::default(),
@@ -118,6 +129,7 @@ mod tests {
             io_latency_mean_ms: 40.0,
             io_latency_p95_ms: 120.0,
             io_latency_max_ms: 300.0,
+            io_latency_rejected: 0,
             deadline_misses: 0,
             terminals_piggybacked: 0,
         }
@@ -147,5 +159,7 @@ mod tests {
         let s = report().summary();
         assert!(s.contains("terminals=100"));
         assert!(s.contains("glitches=0"));
+        assert!(s.contains("deadline_misses=0"));
+        assert!(s.contains("io_lat=40.0/120.0/300.0 ms"));
     }
 }

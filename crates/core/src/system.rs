@@ -30,6 +30,10 @@ use spiffi_sched::{DiskRequest, RequestId, StreamId};
 use spiffi_simcore::dist::{uniform_time, Exponential};
 use spiffi_simcore::stats::Histogram;
 use spiffi_simcore::{Calendar, SimRng, SimTime};
+use spiffi_trace::{
+    CpuJobKind, DiskIoDone, DiskIoStart, NetMsgKind, NetSend, NoopProbe, PoolEvent, Probe,
+    TerminalEvent,
+};
 
 use crate::config::SystemConfig;
 use crate::metrics::RunReport;
@@ -157,9 +161,45 @@ pub enum Event {
     },
 }
 
+/// Stable variant name of an event, for [`Probe::sim_event`] tallies.
+fn event_kind(ev: &Event) -> &'static str {
+    match ev {
+        Event::StartTerminal(_) => "StartTerminal",
+        Event::Wake { .. } => "Wake",
+        Event::RequestArrive { .. } => "RequestArrive",
+        Event::ReplyArrive { .. } => "ReplyArrive",
+        Event::CpuDone { .. } => "CpuDone",
+        Event::DiskDone { .. } => "DiskDone",
+        Event::PrefetchRelease { .. } => "PrefetchRelease",
+        Event::PiggybackFire { .. } => "PiggybackFire",
+        Event::BeginMeasure => "BeginMeasure",
+        Event::UserSeek { .. } => "UserSeek",
+        Event::SearchStep { .. } => "SearchStep",
+        Event::SmoothSearchBegin { .. } => "SmoothSearchBegin",
+        Event::SmoothSearchEnd { .. } => "SmoothSearchEnd",
+    }
+}
+
+/// Probe-facing classification of a CPU job.
+fn cpu_job_kind(job: &CpuJob) -> CpuJobKind {
+    match job {
+        CpuJob::RecvRequest { .. } => CpuJobKind::RecvRequest,
+        CpuJob::StartIo { .. } => CpuJobKind::StartIo,
+        CpuJob::SendReply { .. } => CpuJobKind::SendReply,
+    }
+}
+
 /// The assembled system. Build with [`VodSystem::new`], run to completion
 /// with [`VodSystem::run`].
-pub struct VodSystem {
+///
+/// The system is generic over an observation [`Probe`]. The default
+/// [`NoopProbe`] disables every instrumentation site at compile time —
+/// `VodSystem` with no type argument is exactly the untraced system — while
+/// [`VodSystem::with_probe`] builds a traced instance whose probe receives
+/// disk, CPU, network, buffer-pool, and terminal telemetry as the run
+/// unfolds. Probes are observation-only and cannot perturb the simulation;
+/// a traced run produces a [`RunReport`] bit-identical to an untraced one.
+pub struct VodSystem<P: Probe = NoopProbe> {
     cfg: SystemConfig,
     cal: Calendar<Event>,
     library: std::sync::Arc<Library>,
@@ -190,6 +230,8 @@ pub struct VodSystem {
     pump_scratch: Vec<u32>,
     /// Waiter buffer handed to `BufferPool::complete_io_into` each I/O.
     waiter_scratch: Vec<u64>,
+    /// Observation probe; [`NoopProbe`] by default, compiled out entirely.
+    probe: P,
 }
 
 impl VodSystem {
@@ -237,6 +279,23 @@ impl VodSystem {
     /// # Panics
     /// If the configuration fails [`SystemConfig::validate`].
     pub fn with_library(cfg: SystemConfig, library: impl Into<std::sync::Arc<Library>>) -> Self {
+        Self::with_probe(cfg, library, NoopProbe)
+    }
+}
+
+impl<P: Probe> VodSystem<P> {
+    /// Build a traced system: [`VodSystem::with_library`] plus an
+    /// observation `probe` that will receive telemetry callbacks as the
+    /// run unfolds. Retrieve the probe (with everything it recorded) from
+    /// [`VodSystem::run_traced`].
+    ///
+    /// # Panics
+    /// If the configuration fails [`SystemConfig::validate`].
+    pub fn with_probe(
+        cfg: SystemConfig,
+        library: impl Into<std::sync::Arc<Library>>,
+        probe: P,
+    ) -> Self {
         let library = library.into();
         if let Err(e) = cfg.validate() {
             panic!("invalid configuration: {e}");
@@ -314,18 +373,29 @@ impl VodSystem {
             deadline_misses: 0,
             pump_scratch: Vec::new(),
             waiter_scratch: Vec::new(),
+            probe,
         }
     }
 
     /// Run until `warmup + measure` and return the measured report.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_traced().0
+    }
+
+    /// [`VodSystem::run`], additionally returning the probe with whatever
+    /// it recorded. The report is bit-identical to an untraced run's.
+    pub fn run_traced(mut self) -> (RunReport, P) {
         let end = SimTime::ZERO + self.cfg.timing.total();
         while let Some((_, ev)) = self.cal.pop_until(end) {
             self.events_processed += 1;
             self.dispatch(ev);
         }
         self.cal.advance_to(end);
-        self.collect_report(end)
+        if P::ENABLED {
+            self.probe.run_end(end);
+        }
+        let report = self.collect_report(end);
+        (report, self.probe)
     }
 
     /// Run as one replication of a capacity-search probe.
@@ -398,6 +468,9 @@ impl VodSystem {
     }
 
     fn dispatch(&mut self, ev: Event) {
+        if P::ENABLED {
+            self.probe.sim_event(self.cal.now(), event_kind(&ev));
+        }
         match ev {
             Event::StartTerminal(t) => self.start_first_title(t),
             Event::Wake { term, gen } => {
@@ -437,7 +510,16 @@ impl VodSystem {
             }
             Event::CpuDone { node } => {
                 let now = self.cal.now();
+                let started = if P::ENABLED {
+                    self.nodes[node as usize].cpu.running_since()
+                } else {
+                    None
+                };
                 let (job, next) = self.nodes[node as usize].cpu.finish(now);
+                if P::ENABLED {
+                    let start = started.expect("CpuDone for an idle CPU");
+                    self.probe.cpu_span(node, start, now, cpu_job_kind(&job));
+                }
                 if let Some(d) = next {
                     self.cal.schedule_at(now + d, Event::CpuDone { node });
                 }
@@ -670,10 +752,25 @@ impl VodSystem {
                 let now = self.cal.now();
                 match pb.request_start(t, video, now) {
                     StartDecision::OpenedBatch { fire_at } => {
+                        if P::ENABLED {
+                            self.probe.terminal_event(
+                                now,
+                                t,
+                                TerminalEvent::PiggybackOpened { video: video.0 },
+                            );
+                        }
                         self.cal
                             .schedule_at(fire_at, Event::PiggybackFire { video });
                     }
-                    StartDecision::JoinedBatch => {}
+                    StartDecision::JoinedBatch => {
+                        if P::ENABLED {
+                            self.probe.terminal_event(
+                                now,
+                                t,
+                                TerminalEvent::PiggybackJoined { video: video.0 },
+                            );
+                        }
+                    }
                     // Duplicate request or an active follower: the terminal
                     // is already accounted for (in the batch or behind its
                     // leader) and needs no new event.
@@ -744,6 +841,22 @@ impl VodSystem {
             self.glitches_measured += 1;
             self.glitching_terminals.insert(t);
         }
+        if P::ENABLED {
+            if pump.glitched {
+                self.probe.terminal_event(now, t, TerminalEvent::Glitched);
+            }
+            if pump.started_playing {
+                self.probe
+                    .terminal_event(now, t, TerminalEvent::StartedPlaying);
+            }
+            if pump.paused {
+                self.probe.terminal_event(now, t, TerminalEvent::Paused);
+            }
+            if pump.finished {
+                self.probe
+                    .terminal_event(now, t, TerminalEvent::FinishedTitle);
+            }
+        }
 
         for index in &pump.requests {
             self.send_request(
@@ -797,6 +910,16 @@ impl VodSystem {
         let epoch = self.terminals[t as usize].epoch();
         let loc = self.layout.locate(block);
         let delay = self.net.send(now, REQUEST_MSG_BYTES);
+        if P::ENABLED {
+            self.probe.net_send(
+                now,
+                NetSend {
+                    kind: NetMsgKind::Request,
+                    bytes: REQUEST_MSG_BYTES,
+                    delay,
+                },
+            );
+        }
         self.cal.schedule_at(
             now + delay,
             Event::RequestArrive {
@@ -842,6 +965,16 @@ impl VodSystem {
             } => {
                 let now = self.cal.now();
                 let delay = self.net.send(now, len + REPLY_HEADER_BYTES);
+                if P::ENABLED {
+                    self.probe.net_send(
+                        now,
+                        NetSend {
+                            kind: NetMsgKind::Reply,
+                            bytes: len + REPLY_HEADER_BYTES,
+                            delay,
+                        },
+                    );
+                }
                 if self.measuring {
                     self.blocks_delivered += 1;
                 }
@@ -864,7 +997,22 @@ impl VodSystem {
         let loc = self.layout.locate(block);
         let d = loc.disk.disk;
         let n = node as usize;
-        match self.nodes[n].pool.lookup(block, Some(term)) {
+        let looked_up = self.nodes[n].pool.lookup(block, Some(term));
+        if P::ENABLED {
+            let now = self.cal.now();
+            let shared = self.nodes[n].pool.last_lookup_shared();
+            match looked_up {
+                LookupResult::Resident(_) => {
+                    self.probe.pool_event(now, node, PoolEvent::Hit { shared });
+                }
+                LookupResult::InFlight(_) => {
+                    self.probe
+                        .pool_event(now, node, PoolEvent::InFlightHit { shared });
+                }
+                LookupResult::Miss => {}
+            }
+        }
+        match looked_up {
             LookupResult::Resident(f) => {
                 self.nodes[n].pool.record_reference(f, term);
                 self.submit_cpu(
@@ -898,10 +1046,22 @@ impl VodSystem {
                 self.nodes[n].disks[d as usize].prefetch.cancel(block);
                 match self.nodes[n].pool.allocate(block, false) {
                     Some(f) => {
+                        if P::ENABLED {
+                            let evicted = self.nodes[n].pool.last_alloc_evicted();
+                            self.probe.pool_event(
+                                self.cal.now(),
+                                node,
+                                PoolEvent::Miss { evicted },
+                            );
+                        }
                         self.nodes[n].pool.add_waiter(f, token);
                         self.issue_io(node, d, block, f, Some(deadline), Some(term), false);
                     }
                     None => {
+                        if P::ENABLED {
+                            self.probe
+                                .pool_event(self.cal.now(), node, PoolEvent::AllocFailure);
+                        }
                         self.nodes[n].pending_reads.push_back(PendingRead {
                             term,
                             epoch,
@@ -987,10 +1147,21 @@ impl VodSystem {
                         None => {
                             // No frame available: drop the prefetch rather
                             // than stall real work.
+                            if P::ENABLED {
+                                self.probe.pool_event(now, node, PoolEvent::AllocFailure);
+                            }
                             self.nodes[n].disks[disk as usize].prefetch.abort();
                             continue;
                         }
                         Some(f) => {
+                            if P::ENABLED {
+                                let evicted = self.nodes[n].pool.last_alloc_evicted();
+                                self.probe.pool_event(
+                                    now,
+                                    node,
+                                    PoolEvent::PrefetchAlloc { evicted },
+                                );
+                            }
                             self.issue_io(
                                 node,
                                 disk,
@@ -1065,6 +1236,19 @@ impl VodSystem {
         let loc = self.layout.locate(ctx.block);
         let breakdown = unit.disk.read(loc.disk_byte, loc.len, &mut unit.rng);
         unit.current = Some(req.id);
+        if P::ENABLED {
+            let queue_depth = unit.sched.len() as u32;
+            self.probe.disk_io_start(
+                now,
+                DiskIoStart {
+                    node,
+                    disk,
+                    queue_depth,
+                    is_prefetch: ctx.is_prefetch,
+                    service: breakdown,
+                },
+            );
+        }
         self.cal
             .schedule_at(now + breakdown.total(), Event::DiskDone { node, disk });
     }
@@ -1084,6 +1268,21 @@ impl VodSystem {
             (ctx, self.layout.locate(ctx.block).len)
         };
         let now = self.cal.now();
+        if P::ENABLED {
+            let slack = ctx.deadline.map(|d| {
+                (d.0 as i128 - now.0 as i128).clamp(i64::MIN as i128, i64::MAX as i128) as i64
+            });
+            self.probe.disk_io_done(
+                now,
+                DiskIoDone {
+                    node,
+                    disk,
+                    is_prefetch: ctx.is_prefetch,
+                    latency: now.saturating_since(ctx.issued_at),
+                    deadline_slack_ns: slack,
+                },
+            );
+        }
         if self.measuring && !ctx.is_prefetch {
             self.io_latency
                 .add(now.saturating_since(ctx.issued_at).as_secs_f64());
@@ -1150,6 +1349,14 @@ impl VodSystem {
                 }
                 LookupResult::Miss => match self.nodes[n].pool.allocate(pr.block, false) {
                     Some(f) => {
+                        if P::ENABLED {
+                            let evicted = self.nodes[n].pool.last_alloc_evicted();
+                            self.probe.pool_event(
+                                self.cal.now(),
+                                node,
+                                PoolEvent::Miss { evicted },
+                            );
+                        }
                         self.nodes[n].pending_reads.pop_front();
                         self.nodes[n].pool.add_waiter(f, token);
                         let d = self.layout.locate(pr.block).disk.disk;
@@ -1240,6 +1447,7 @@ impl VodSystem {
             disk_utilizations: disk_utils,
             avg_cpu_utilization: avg(&cpu_utils),
             max_cpu_utilization: maxf(&cpu_utils),
+            min_cpu_utilization: minf(&cpu_utils),
             net_peak_bytes_per_sec: self.net.peak_bytes_per_sec(),
             net_mean_bytes_per_sec: self.net.mean_bytes_per_sec(end),
             pool,
@@ -1248,6 +1456,7 @@ impl VodSystem {
             io_latency_mean_ms: self.io_latency.mean() * 1e3,
             io_latency_p95_ms: self.io_latency.quantile(0.95) * 1e3,
             io_latency_max_ms: self.io_latency.max() * 1e3,
+            io_latency_rejected: self.io_latency.rejected(),
             deadline_misses: self.deadline_misses,
             terminals_piggybacked: self
                 .piggyback

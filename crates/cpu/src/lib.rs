@@ -59,6 +59,8 @@ pub struct Cpu<T> {
     queue: VecDeque<(u64, T)>,
     /// Payload of the job currently executing, if any.
     running: Option<T>,
+    /// When the running job started executing (queueing excluded).
+    running_since: Option<SimTime>,
     util: Utilization,
     completed: u64,
 }
@@ -70,6 +72,7 @@ impl<T> Cpu<T> {
             params,
             queue: VecDeque::new(),
             running: None,
+            running_since: None,
             util: Utilization::new(),
             completed: 0,
         }
@@ -90,6 +93,7 @@ impl<T> Cpu<T> {
         if self.running.is_none() {
             debug_assert!(self.queue.is_empty(), "idle CPU with queued jobs");
             self.running = Some(payload);
+            self.running_since = Some(now);
             self.util.set_busy(now, true);
             Some(self.params.time_for(instr))
         } else {
@@ -107,9 +111,11 @@ impl<T> Cpu<T> {
         match self.queue.pop_front() {
             Some((instr, payload)) => {
                 self.running = Some(payload);
+                self.running_since = Some(now);
                 (done, Some(self.params.time_for(instr)))
             }
             None => {
+                self.running_since = None;
                 self.util.set_busy(now, false);
                 (done, None)
             }
@@ -119,6 +125,12 @@ impl<T> Cpu<T> {
     /// True while a job is executing.
     pub fn is_busy(&self) -> bool {
         self.running.is_some()
+    }
+
+    /// When the running job started executing, or `None` while idle. Read
+    /// *before* [`Cpu::finish`] to get the finishing job's span start.
+    pub fn running_since(&self) -> Option<SimTime> {
+        self.running_since
     }
 
     /// Jobs waiting behind the running one.
@@ -187,6 +199,22 @@ mod tests {
         assert_eq!(next, None);
         assert!(!cpu.is_busy());
         assert_eq!(cpu.completed(), 3);
+    }
+
+    #[test]
+    fn running_since_tracks_execution_start() {
+        let mut cpu = Cpu::new(CpuParams::default());
+        assert_eq!(cpu.running_since(), None);
+        let d0 = cpu.submit(SimTime::ZERO, 20_000, 0).unwrap();
+        assert_eq!(cpu.running_since(), Some(SimTime::ZERO));
+        assert_eq!(cpu.submit(SimTime::ZERO, 6_800, 1), None);
+        let t1 = SimTime::ZERO + d0;
+        cpu.finish(t1);
+        // The queued job starts executing at t1, not at submission time.
+        assert_eq!(cpu.running_since(), Some(t1));
+        let t2 = t1 + SimDuration::from_micros(170);
+        cpu.finish(t2);
+        assert_eq!(cpu.running_since(), None);
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! The probe trait, its payload types, and the zero-cost default.
+
+use spiffi_disk::ServiceBreakdown;
+use spiffi_simcore::{SimDuration, SimTime};
+
+/// A disk transfer starting: the drive begins servicing a scheduled
+/// request.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskIoStart {
+    /// Owning node.
+    pub node: u32,
+    /// Node-local disk index.
+    pub disk: u32,
+    /// Requests still queued at the scheduler when this one started.
+    pub queue_depth: u32,
+    /// True if the prefetcher issued this I/O.
+    pub is_prefetch: bool,
+    /// Mechanical service breakdown (seek/settle/rotation/transfer).
+    pub service: ServiceBreakdown,
+}
+
+/// A disk transfer completing.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskIoDone {
+    /// Owning node.
+    pub node: u32,
+    /// Node-local disk index.
+    pub disk: u32,
+    /// True if the prefetcher issued this I/O.
+    pub is_prefetch: bool,
+    /// Scheduler queueing plus service time (issue to completion).
+    pub latency: SimDuration,
+    /// `deadline − completion` in nanoseconds — positive slack means the
+    /// I/O beat its deadline, negative means it missed. `None` when the
+    /// request carried no deadline.
+    pub deadline_slack_ns: Option<i64>,
+}
+
+/// What a node CPU job was doing (Table 1's three instruction costs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CpuJobKind {
+    /// Receive + decode a read request.
+    RecvRequest,
+    /// Start a disk I/O.
+    StartIo,
+    /// Send a reply message.
+    SendReply,
+}
+
+impl CpuJobKind {
+    /// Stable lower-case label (trace export).
+    pub fn label(self) -> &'static str {
+        match self {
+            CpuJobKind::RecvRequest => "recv_request",
+            CpuJobKind::StartIo => "start_io",
+            CpuJobKind::SendReply => "send_reply",
+        }
+    }
+}
+
+/// Direction/class of a network message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetMsgKind {
+    /// Terminal → node read request.
+    Request,
+    /// Node → terminal data reply.
+    Reply,
+}
+
+impl NetMsgKind {
+    /// Stable lower-case label (trace export).
+    pub fn label(self) -> &'static str {
+        match self {
+            NetMsgKind::Request => "request",
+            NetMsgKind::Reply => "reply",
+        }
+    }
+}
+
+/// A message put on the wire.
+#[derive(Clone, Copy, Debug)]
+pub struct NetSend {
+    /// Request or reply.
+    pub kind: NetMsgKind,
+    /// Bytes on the wire, headers included.
+    pub bytes: u64,
+    /// Wire delay the network model assigned.
+    pub delay: SimDuration,
+}
+
+/// A buffer-pool interaction on the demand or prefetch path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// Lookup served from a resident page; `shared` when the page was last
+    /// referenced by a different terminal (Figure 16's numerator).
+    Hit {
+        /// Cross-terminal reference.
+        shared: bool,
+    },
+    /// Lookup merged onto an in-flight I/O.
+    InFlightHit {
+        /// Cross-terminal reference.
+        shared: bool,
+    },
+    /// Demand miss that allocated a frame; `evicted` when a resident page
+    /// was evicted to make room.
+    Miss {
+        /// An eviction paid for this frame.
+        evicted: bool,
+    },
+    /// Prefetch allocation; `evicted` as for [`PoolEvent::Miss`].
+    PrefetchAlloc {
+        /// An eviction paid for this frame.
+        evicted: bool,
+    },
+    /// Allocation failed — every page pinned (§7.3's out-of-pages
+    /// condition). Demand reads park on the pending queue; prefetches are
+    /// dropped.
+    AllocFailure,
+}
+
+/// A terminal lifecycle transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TerminalEvent {
+    /// Display (re)started after priming.
+    StartedPlaying,
+    /// The terminal ran out of contiguous video: a stall became a glitch
+    /// and the terminal is re-priming.
+    Glitched,
+    /// A scheduled pause began.
+    Paused,
+    /// The title completed.
+    FinishedTitle,
+    /// The terminal joined an open piggyback batch for `video` (§8.2).
+    PiggybackJoined {
+        /// The batched title.
+        video: u32,
+    },
+    /// The terminal opened a new piggyback batch for `video`.
+    PiggybackOpened {
+        /// The batched title.
+        video: u32,
+    },
+}
+
+/// Observer hooks wired through the event loop and the five resource
+/// models. Every method has an empty default, so a probe implements only
+/// the callbacks it cares about.
+///
+/// Call sites in the system are gated on [`Probe::ENABLED`]; with a probe
+/// that leaves it `false` (notably [`NoopProbe`]) the monomorphised event
+/// loop contains no probe code at all — not even the argument
+/// computation. Implementations must treat every callback as read-only
+/// telemetry: probes receive values the simulation already computed and
+/// must not feed anything back.
+pub trait Probe {
+    /// Gate for the instrumented call sites. Leave `true` (the default)
+    /// for any probe that observes anything.
+    const ENABLED: bool = true;
+
+    /// An event was popped from the calendar and is about to dispatch.
+    /// `kind` is a stable static name of the event variant.
+    fn sim_event(&mut self, now: SimTime, kind: &'static str) {
+        let _ = (now, kind);
+    }
+
+    /// A disk began servicing a request.
+    fn disk_io_start(&mut self, now: SimTime, ev: DiskIoStart) {
+        let _ = (now, ev);
+    }
+
+    /// A disk finished a transfer.
+    fn disk_io_done(&mut self, now: SimTime, ev: DiskIoDone) {
+        let _ = (now, ev);
+    }
+
+    /// A node CPU job ran over `[start, end]`.
+    fn cpu_span(&mut self, node: u32, start: SimTime, end: SimTime, job: CpuJobKind) {
+        let _ = (node, start, end, job);
+    }
+
+    /// A message was put on the wire.
+    fn net_send(&mut self, now: SimTime, ev: NetSend) {
+        let _ = (now, ev);
+    }
+
+    /// A buffer-pool interaction on node `node`.
+    fn pool_event(&mut self, now: SimTime, node: u32, ev: PoolEvent) {
+        let _ = (now, node, ev);
+    }
+
+    /// A lifecycle transition on terminal `term`.
+    fn terminal_event(&mut self, now: SimTime, term: u32, ev: TerminalEvent) {
+        let _ = (now, term, ev);
+    }
+
+    /// The run reached its end time (flush point for samplers).
+    fn run_end(&mut self, end: SimTime) {
+        let _ = end;
+    }
+}
+
+/// The default probe: observes nothing, costs nothing. With
+/// `ENABLED = false` every instrumented call site compiles out of the
+/// monomorphised event loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    const ENABLED: bool = false;
+}
+
+/// Probes compose as tuples: `(A, B)` forwards every callback to both, in
+/// order. Enabled when either member is.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn sim_event(&mut self, now: SimTime, kind: &'static str) {
+        self.0.sim_event(now, kind);
+        self.1.sim_event(now, kind);
+    }
+
+    fn disk_io_start(&mut self, now: SimTime, ev: DiskIoStart) {
+        self.0.disk_io_start(now, ev);
+        self.1.disk_io_start(now, ev);
+    }
+
+    fn disk_io_done(&mut self, now: SimTime, ev: DiskIoDone) {
+        self.0.disk_io_done(now, ev);
+        self.1.disk_io_done(now, ev);
+    }
+
+    fn cpu_span(&mut self, node: u32, start: SimTime, end: SimTime, job: CpuJobKind) {
+        self.0.cpu_span(node, start, end, job);
+        self.1.cpu_span(node, start, end, job);
+    }
+
+    fn net_send(&mut self, now: SimTime, ev: NetSend) {
+        self.0.net_send(now, ev);
+        self.1.net_send(now, ev);
+    }
+
+    fn pool_event(&mut self, now: SimTime, node: u32, ev: PoolEvent) {
+        self.0.pool_event(now, node, ev);
+        self.1.pool_event(now, node, ev);
+    }
+
+    fn terminal_event(&mut self, now: SimTime, term: u32, ev: TerminalEvent) {
+        self.0.terminal_event(now, term, ev);
+        self.1.terminal_event(now, term, ev);
+    }
+
+    fn run_end(&mut self, end: SimTime) {
+        self.0.run_end(end);
+        self.1.run_end(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counting {
+        calls: u64,
+    }
+
+    impl Probe for Counting {
+        fn sim_event(&mut self, _now: SimTime, _kind: &'static str) {
+            self.calls += 1;
+        }
+        fn net_send(&mut self, _now: SimTime, _ev: NetSend) {
+            self.calls += 1;
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled_and_tuples_compose_enablement() {
+        let flags = [
+            NoopProbe::ENABLED,
+            Counting::ENABLED,
+            <(Counting, NoopProbe) as Probe>::ENABLED,
+            <(NoopProbe, NoopProbe) as Probe>::ENABLED,
+        ];
+        assert_eq!(flags, [false, true, true, false]);
+    }
+
+    #[test]
+    fn tuple_forwards_to_both_members() {
+        let mut pair = (Counting::default(), Counting::default());
+        pair.sim_event(SimTime::ZERO, "Wake");
+        pair.net_send(
+            SimTime::ZERO,
+            NetSend {
+                kind: NetMsgKind::Request,
+                bytes: 128,
+                delay: SimDuration::from_micros(5),
+            },
+        );
+        // Defaulted callbacks forward too (and do nothing).
+        pair.run_end(SimTime::ZERO);
+        assert_eq!(pair.0.calls, 2);
+        assert_eq!(pair.1.calls, 2);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CpuJobKind::StartIo.label(), "start_io");
+        assert_eq!(NetMsgKind::Reply.label(), "reply");
+    }
+}

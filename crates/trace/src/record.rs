@@ -1,0 +1,192 @@
+//! A probe that records every callback as a timestamped event.
+
+use std::collections::BTreeMap;
+
+use spiffi_simcore::SimTime;
+
+use crate::probe::{CpuJobKind, DiskIoDone, DiskIoStart, NetSend, PoolEvent, Probe, TerminalEvent};
+
+/// One recorded probe callback. Calendar pops ([`Probe::sim_event`]) are
+/// tallied per kind rather than stored individually — a 120 s run pops
+/// hundreds of thousands of events and storing each would dwarf the
+/// signal the trace exists to carry.
+#[derive(Clone, Copy, Debug)]
+pub enum TraceEvent {
+    /// A disk began servicing a request.
+    DiskIoStart {
+        /// Simulation time of the callback.
+        now: SimTime,
+        /// Payload as delivered to the probe.
+        ev: DiskIoStart,
+    },
+    /// A disk finished a transfer.
+    DiskIoDone {
+        /// Simulation time of the callback.
+        now: SimTime,
+        /// Payload as delivered to the probe.
+        ev: DiskIoDone,
+    },
+    /// A node CPU job ran over `[start, end]`.
+    CpuSpan {
+        /// Node whose CPU ran the job.
+        node: u32,
+        /// Job start time.
+        start: SimTime,
+        /// Job completion time.
+        end: SimTime,
+        /// What the job was doing.
+        job: CpuJobKind,
+    },
+    /// A message was put on the wire.
+    NetSend {
+        /// Simulation time of the callback.
+        now: SimTime,
+        /// Payload as delivered to the probe.
+        ev: NetSend,
+    },
+    /// A buffer-pool interaction.
+    Pool {
+        /// Simulation time of the callback.
+        now: SimTime,
+        /// Node owning the pool.
+        node: u32,
+        /// Payload as delivered to the probe.
+        ev: PoolEvent,
+    },
+    /// A terminal lifecycle transition.
+    Terminal {
+        /// Simulation time of the callback.
+        now: SimTime,
+        /// Terminal index.
+        term: u32,
+        /// Payload as delivered to the probe.
+        ev: TerminalEvent,
+    },
+}
+
+impl TraceEvent {
+    /// The timestamp the event sorts and exports under (span events use
+    /// their start time).
+    pub fn t(&self) -> SimTime {
+        match *self {
+            TraceEvent::DiskIoStart { now, .. }
+            | TraceEvent::DiskIoDone { now, .. }
+            | TraceEvent::NetSend { now, .. }
+            | TraceEvent::Pool { now, .. }
+            | TraceEvent::Terminal { now, .. } => now,
+            TraceEvent::CpuSpan { start, .. } => start,
+        }
+    }
+}
+
+/// A [`Probe`] that appends every callback to an in-memory event log.
+///
+/// Events are stored in callback order, which for a discrete-event
+/// simulation is nondecreasing simulation time — the log is already
+/// sorted for export. Retrieve it with [`TraceRecorder::events`] and
+/// render it with [`crate::export`].
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    dispatch_tallies: BTreeMap<&'static str, u64>,
+    end: Option<SimTime>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in callback (= simulation-time) order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Calendar pops per event kind, keyed by the stable variant name.
+    pub fn dispatch_tallies(&self) -> &BTreeMap<&'static str, u64> {
+        &self.dispatch_tallies
+    }
+
+    /// Total calendar pops across all kinds.
+    pub fn dispatch_total(&self) -> u64 {
+        self.dispatch_tallies.values().sum()
+    }
+
+    /// The run's end time, once [`Probe::run_end`] has fired.
+    pub fn end(&self) -> Option<SimTime> {
+        self.end
+    }
+}
+
+impl Probe for TraceRecorder {
+    fn sim_event(&mut self, _now: SimTime, kind: &'static str) {
+        *self.dispatch_tallies.entry(kind).or_insert(0) += 1;
+    }
+
+    fn disk_io_start(&mut self, now: SimTime, ev: DiskIoStart) {
+        self.events.push(TraceEvent::DiskIoStart { now, ev });
+    }
+
+    fn disk_io_done(&mut self, now: SimTime, ev: DiskIoDone) {
+        self.events.push(TraceEvent::DiskIoDone { now, ev });
+    }
+
+    fn cpu_span(&mut self, node: u32, start: SimTime, end: SimTime, job: CpuJobKind) {
+        self.events.push(TraceEvent::CpuSpan {
+            node,
+            start,
+            end,
+            job,
+        });
+    }
+
+    fn net_send(&mut self, now: SimTime, ev: NetSend) {
+        self.events.push(TraceEvent::NetSend { now, ev });
+    }
+
+    fn pool_event(&mut self, now: SimTime, node: u32, ev: PoolEvent) {
+        self.events.push(TraceEvent::Pool { now, node, ev });
+    }
+
+    fn terminal_event(&mut self, now: SimTime, term: u32, ev: TerminalEvent) {
+        self.events.push(TraceEvent::Terminal { now, term, ev });
+    }
+
+    fn run_end(&mut self, end: SimTime) {
+        self.end = Some(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::NetMsgKind;
+    use spiffi_simcore::SimDuration;
+
+    #[test]
+    fn records_in_order_and_tallies_dispatches() {
+        let mut rec = TraceRecorder::new();
+        rec.sim_event(SimTime::ZERO, "Wake");
+        rec.sim_event(SimTime::ZERO, "Wake");
+        rec.sim_event(SimTime::ZERO, "CpuDone");
+        let sec = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        rec.net_send(
+            sec(1),
+            NetSend {
+                kind: NetMsgKind::Request,
+                bytes: 128,
+                delay: SimDuration::from_micros(5),
+            },
+        );
+        rec.terminal_event(sec(2), 7, TerminalEvent::Glitched);
+        rec.run_end(sec(3));
+
+        assert_eq!(rec.events().len(), 2);
+        assert_eq!(rec.events()[0].t(), sec(1));
+        assert_eq!(rec.events()[1].t(), sec(2));
+        assert_eq!(rec.dispatch_tallies()["Wake"], 2);
+        assert_eq!(rec.dispatch_total(), 3);
+        assert_eq!(rec.end(), Some(sec(3)));
+    }
+}
