@@ -26,7 +26,8 @@ use std::sync::atomic::AtomicU32;
 use std::time::Instant;
 
 use spiffi_core::{
-    engine_threads, fan_out, replication_seed, CapacitySearch, Engine, SystemConfig, VodSystem,
+    discover_worker_bin, engine_threads, fan_out, replication_seed, CapacitySearch, Engine,
+    ProcessConfig, SystemConfig, VodSystem,
 };
 use spiffi_mpeg::{AccessPattern, Library};
 use spiffi_sched::SchedulerKind;
@@ -225,6 +226,36 @@ struct SpecSample {
     capacity: u32,
 }
 
+/// Worker processes for the process-backend section.
+const PROCESS_WORKERS: usize = 2;
+
+/// The process-backed variant of the speculative workload: the same
+/// searches dispatched to a pool of `spiffi-worker` children. `None` when
+/// the worker binary is not built (the harness degrades to a printed
+/// note), so the binary still runs outside a full workspace build.
+fn measure_process() -> Option<SpecSample> {
+    let bin = discover_worker_bin()?;
+    let engine = Engine::with_threads(1).with_process(ProcessConfig::new(PROCESS_WORKERS, bin));
+    let cold_start = Instant::now();
+    let (_, _, waste) = spec_workload(&engine);
+    let cold_wall = cold_start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let mut events = 0;
+    let mut capacity = 0;
+    for _ in 0..ITERS {
+        let (cap, e, _) = spec_workload(&engine);
+        events += e;
+        capacity = cap;
+    }
+    Some(SpecSample {
+        cold_wall_seconds: cold_wall,
+        speculative_events: waste,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        events_processed: events,
+        capacity,
+    })
+}
+
 fn measure_speculative(threads: usize) -> SpecSample {
     let engine = Engine::with_threads(threads);
     let cold_start = Instant::now();
@@ -392,6 +423,34 @@ fn main() {
         speculative.capacity
     );
 
+    let process = measure_process();
+    match &process {
+        Some(p) => {
+            // The process backend is gated exactly like the speculative
+            // search: counted events and capacity must match the fresh
+            // sequential bisection byte-for-byte.
+            assert_eq!(
+                p.capacity, seq_capacity,
+                "process backend changed the capacity"
+            );
+            assert_eq!(
+                p.events_processed,
+                seq_events * ITERS as u64,
+                "process backend's counted events differ from the sequential bisection"
+            );
+            println!(
+                "process ({PROCESS_WORKERS} workers): cold: {:.3} s (waste: {} events)   \
+                 warm: {:.3} s   events: {}   capacity: {} terminals",
+                p.cold_wall_seconds,
+                p.speculative_events,
+                p.wall_seconds,
+                p.events_processed,
+                p.capacity
+            );
+        }
+        None => println!("process: spiffi-worker binary not found; section skipped"),
+    }
+
     let baseline = if record_baseline {
         None
     } else {
@@ -455,13 +514,23 @@ fn main() {
          \"cold_wall_seconds\": {:.4},\n    \"speculative_events\": {},\n    \
          \"wall_seconds\": {:.4},\n    \"events_processed\": {},\n    \
          \"capacity_terminals\": {},\n    \"speedup_vs_parallel\": {spec_speedup:.4},\n    \
-         \"counted_matches_sequential\": true\n  }}\n}}\n",
+         \"counted_matches_sequential\": true\n  }},\n",
         speculative.cold_wall_seconds,
         speculative.speculative_events,
         speculative.wall_seconds,
         speculative.events_processed,
         speculative.capacity
     ));
+    match &process {
+        Some(p) => json.push_str(&format!(
+            "  \"process\": {{\n    \"available\": true,\n    \"workers\": {PROCESS_WORKERS},\n    \
+             \"cold_wall_seconds\": {:.4},\n    \"wall_seconds\": {:.4},\n    \
+             \"events_processed\": {},\n    \"capacity_terminals\": {},\n    \
+             \"counted_matches_sequential\": true\n  }}\n}}\n",
+            p.cold_wall_seconds, p.wall_seconds, p.events_processed, p.capacity
+        )),
+        None => json.push_str("  \"process\": {\n    \"available\": false\n  }\n}\n"),
+    }
     std::fs::write(out, json).expect("write BENCH_perf.json");
     println!("wrote {}", out.display());
 }

@@ -131,15 +131,22 @@ fn main() {
     engine.max_glitch_free_terminals(&search_cfg, &search);
     let journal = engine.journal().snapshot();
     println!(
-        "journal: capacity {} terminals, {} searches, {} simulated + {} cached probe runs, \
-         {:.1} ms simulating, {} speculative events",
+        "journal: capacity {} terminals, {} searches, {} simulated + {} cached probe runs \
+         ({} on worker processes), {:.1} ms simulating, {} speculative events",
         result.max_terminals,
         journal.searches,
         journal.simulated(),
         journal.cache_hits(),
+        journal.worker_runs(),
         journal.total_wall_nanos() as f64 / 1e6,
         journal.speculative_events,
     );
+    if journal.worker_retries + journal.worker_respawns + journal.quarantined_jobs > 0 {
+        println!(
+            "journal: worker faults: {} retries, {} respawns, {} quarantined jobs",
+            journal.worker_retries, journal.worker_respawns, journal.quarantined_jobs,
+        );
+    }
     std::fs::write("TRACE_journal.json", journal.to_json()).expect("write TRACE_journal.json");
 
     println!("\nwrote TRACE_run.jsonl ({} lines)", jsonl.lines().count());

@@ -1,0 +1,101 @@
+//! `spiffi-worker`: the process-level execution backend's child half.
+//!
+//! Reads one [`spiffi_core::wire`] job line per probe replication from
+//! stdin, simulates it, and writes one versioned JSONL result record to
+//! stdout. The worker is stateless across jobs except for a
+//! [`LibraryCache`], so a respawned worker is indistinguishable from a
+//! fresh one — which is exactly what makes the dispatcher's
+//! crash-respawn-retry policy sound.
+//!
+//! Every simulation runs standalone (fresh cancel flag, never truncated),
+//! so each result is the replication's deterministic clean outcome: the
+//! same bytes the in-process engine would have computed and cached.
+//!
+//! Fault injection for the dispatcher's tests (never set in production):
+//!
+//! - `SPIFFI_WORKER_STALL_MS=<ms>`: sleep before answering each job, to
+//!   exercise the dispatcher's per-job timeout.
+//! - `SPIFFI_WORKER_EXIT_AFTER=<k>`: exit abruptly (no reply, code 17)
+//!   when the k-th job arrives, to exercise crash-respawn-retry. The
+//!   counter restarts with the process, so respawned workers die again
+//!   every k jobs.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::AtomicU32;
+use std::time::Instant;
+
+use spiffi_core::wire::{self, ResultRecord, WorkerOutcome};
+use spiffi_core::{replication_seed, LibraryCache, VodSystem};
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+fn main() {
+    let stall_ms = env_u64("SPIFFI_WORKER_STALL_MS");
+    let exit_after = env_u64("SPIFFI_WORKER_EXIT_AFTER");
+    let cache = LibraryCache::new();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut jobs_seen = 0u64;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // dispatcher hung up
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        jobs_seen += 1;
+        if exit_after == Some(jobs_seen) {
+            // Simulated crash: die without replying, mid-conversation.
+            std::process::exit(17);
+        }
+        if let Some(ms) = stall_ms {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        let record = match wire::parse_job(&line) {
+            Ok(job) => {
+                let started = Instant::now();
+                let mut c = job.config;
+                c.n_terminals = job.terminals;
+                c.seed = replication_seed(c.seed, job.replication);
+                match c.validate() {
+                    Ok(()) => {
+                        let lib = cache.get(&c);
+                        // Standalone probe: a fresh cancel flag means the
+                        // run can only stop at its own first measured
+                        // glitch or the window end — the deterministic,
+                        // cacheable outcome.
+                        let cancel = AtomicU32::new(u32::MAX);
+                        let report = VodSystem::with_library(c, lib)
+                            .run_glitch_probe(&cancel, job.replication);
+                        ResultRecord {
+                            id: job.id,
+                            outcome: Ok(WorkerOutcome {
+                                glitches: report.glitches,
+                                events: report.events_processed,
+                                wall_nanos: started.elapsed().as_nanos() as u64,
+                            }),
+                        }
+                    }
+                    Err(why) => ResultRecord {
+                        id: job.id,
+                        outcome: Err(format!("invalid config: {why}")),
+                    },
+                }
+            }
+            Err(e) => ResultRecord {
+                id: 0,
+                outcome: Err(format!("bad job line: {e}")),
+            },
+        };
+        if writeln!(out, "{}", wire::encode_result(&record))
+            .and_then(|_| out.flush())
+            .is_err()
+        {
+            break; // dispatcher hung up
+        }
+    }
+}

@@ -56,6 +56,7 @@ use crate::cache::{LibraryCache, ProbeCache, ProbeOutcome};
 use crate::config::SystemConfig;
 use crate::journal::{ProbeRun, RunJournal};
 use crate::metrics::RunReport;
+use crate::process::{ProcessConfig, ProcessPool};
 use crate::system::VodSystem;
 
 /// Run one configuration to completion.
@@ -145,6 +146,7 @@ pub struct Engine {
     cache: Arc<LibraryCache>,
     probes: Arc<ProbeCache>,
     journal: Arc<RunJournal>,
+    process: Option<ProcessConfig>,
 }
 
 impl Default for Engine {
@@ -154,10 +156,13 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with the ambient thread budget ([`engine_threads`]) and
-    /// fresh caches.
+    /// An engine with the ambient thread budget ([`engine_threads`]),
+    /// fresh caches, and — when `SPIFFI_WORKERS` selects one — the ambient
+    /// process-level backend ([`ProcessConfig::from_env`]).
     pub fn new() -> Self {
-        Engine::with_threads(engine_threads())
+        let mut engine = Engine::with_threads(engine_threads());
+        engine.process = ProcessConfig::from_env();
+        engine
     }
 
     /// An engine with an explicit thread budget (tests of the determinism
@@ -185,12 +190,29 @@ impl Engine {
             cache,
             probes,
             journal: Arc::new(RunJournal::new()),
+            process: None,
         }
+    }
+
+    /// Attach a process-level execution backend: capacity-search probe
+    /// replications run in a pool of `spiffi-worker` child processes
+    /// instead of in-process threads. Results stay byte-identical to the
+    /// in-thread engine at any worker count (same slotting contract, same
+    /// probe cache); see [`crate::process`] for the failure policy.
+    pub fn with_process(mut self, process: ProcessConfig) -> Self {
+        self.process = Some(process);
+        self
     }
 
     /// The worker-thread budget.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Process workers the engine will spawn per capacity search (0 when
+    /// the process backend is off).
+    pub fn process_workers(&self) -> usize {
+        self.process.as_ref().map_or(0, |p| p.workers)
     }
 
     /// The engine's library cache.
@@ -236,7 +258,7 @@ impl Engine {
     /// step grid.
     ///
     /// The probe sequence is the classic sequential bisection's, replayed
-    /// by a [`SearchCursor`]; probe outcomes are assembled per replication
+    /// by a `SearchCursor`; probe outcomes are assembled per replication
     /// from the engine's [`ProbeCache`], simulating only the pairs the
     /// cache is missing. Above one thread, idle workers speculatively run
     /// replications of the counts the search could visit next (both
@@ -250,13 +272,40 @@ impl Engine {
     ) -> CapacityResult {
         assert!(search.step > 0 && search.lo <= search.hi);
         let fp = ProbeCache::fingerprint(cfg);
-        let result = if self.threads <= 1 {
-            self.search_sequential(cfg, search, &fp)
+        let result = if let Some(pcfg) = &self.process {
+            match ProcessPool::spawn(pcfg.clone()) {
+                Ok(pool) => ProcessSearch::new(self, cfg, search, &fp, pool).run(),
+                Err(e) => {
+                    // Spawning unavailable (missing binary, fork failure):
+                    // degrade to the in-process engine rather than fail the
+                    // search — the results are byte-identical either way.
+                    eprintln!(
+                        "spiffi engine: process backend unavailable ({e}); \
+                         using in-process execution"
+                    );
+                    self.search_in_process(cfg, search, &fp)
+                }
+            }
         } else {
-            SpecSearch::new(self, cfg, search, &fp).run()
+            self.search_in_process(cfg, search, &fp)
         };
         self.journal.record_search(result.speculative_events);
         result
+    }
+
+    /// The in-process search paths: the exact legacy sequential loop at
+    /// one thread, the speculative thread team above.
+    fn search_in_process(
+        &self,
+        cfg: &SystemConfig,
+        search: &CapacitySearch,
+        fp: &Arc<str>,
+    ) -> CapacityResult {
+        if self.threads <= 1 {
+            self.search_sequential(cfg, search, fp)
+        } else {
+            SpecSearch::new(self, cfg, search, fp).run()
+        }
     }
 
     /// The exact legacy search loop, with cache consultation: probes are
@@ -281,6 +330,7 @@ impl Engine {
                             replication: r,
                             cached: true,
                             clean: true,
+                            worker: false,
                             events: out.events,
                             wall_nanos: 0,
                         });
@@ -301,6 +351,7 @@ impl Engine {
                             replication: r,
                             cached: false,
                             clean: true,
+                            worker: false,
                             events: report.events_processed,
                             wall_nanos: started.elapsed().as_nanos() as u64,
                         });
@@ -680,6 +731,7 @@ impl<'a> SpecSearch<'a> {
                         replication: r,
                         cached: false,
                         clean,
+                        worker: false,
                         events: report.events_processed,
                         wall_nanos: started.elapsed().as_nanos() as u64,
                     });
@@ -756,6 +808,7 @@ impl<'a> SpecSearch<'a> {
             replication: r,
             cached: true,
             clean: true,
+            worker: false,
             events: out.events,
             wall_nanos: 0,
         });
@@ -822,6 +875,308 @@ impl<'a> SpecSearch<'a> {
                     clean.advance(0);
                     queue.push_back(clean);
                 }
+            }
+        }
+        None
+    }
+}
+
+/// One process-backed run of [`Engine::max_glitch_free_terminals`]: the
+/// same authoritative [`SearchCursor`] and slotting contract as
+/// [`SpecSearch`], but probe replications execute in a
+/// [`ProcessPool`] of `spiffi-worker` children instead of in-process
+/// threads. The dispatcher itself is single-threaded: it drives the
+/// cursor over known outcomes, keeps idle workers fed with the counts the
+/// search could visit next, and absorbs results as they land.
+///
+/// Determinism is inherited, not re-argued: every job is a *standalone*
+/// replication (fresh cancel flag, never truncated), so its outcome is
+/// the deterministic clean one regardless of which worker incarnation
+/// computed it — or whether the pool gave up and this dispatcher
+/// simulated it in-process after a quarantine. Counted totals are
+/// assembled from those outcomes in cursor order, exactly like the
+/// sequential loop.
+struct ProcessSearch<'a> {
+    engine: &'a Engine,
+    cfg: &'a SystemConfig,
+    replications: u32,
+    fp: &'a Arc<str>,
+    pool: ProcessPool,
+    cursor: SearchCursor,
+    probes: Vec<(u32, u64)>,
+    counted_events: u64,
+    /// Clean outcomes known to this search (cache, worker, or fallback).
+    outcomes: HashMap<(u32, u32), ProbeOutcome>,
+    /// Events of replications executed *for* this call (worker or
+    /// fallback), for waste accounting.
+    fresh: HashMap<(u32, u32), u64>,
+    /// Pairs currently on a worker (or in the pool's retry queue).
+    inflight: HashSet<(u32, u32)>,
+    /// Every event executed for this call, counted or speculative.
+    executed_events: u64,
+}
+
+impl<'a> ProcessSearch<'a> {
+    fn new(
+        engine: &'a Engine,
+        cfg: &'a SystemConfig,
+        search: &CapacitySearch,
+        fp: &'a Arc<str>,
+        pool: ProcessPool,
+    ) -> Self {
+        ProcessSearch {
+            engine,
+            cfg,
+            replications: search.replications,
+            fp,
+            pool,
+            cursor: SearchCursor::new(search),
+            probes: Vec::new(),
+            counted_events: 0,
+            outcomes: HashMap::new(),
+            fresh: HashMap::new(),
+            inflight: HashSet::new(),
+            executed_events: 0,
+        }
+    }
+
+    fn run(mut self) -> CapacityResult {
+        loop {
+            self.drive();
+            if self.cursor.pending().is_none() {
+                break;
+            }
+            self.submit_frontier();
+            match self.pool.wait_one() {
+                Some(resolved) => {
+                    let pair = (resolved.terminals, resolved.replication);
+                    self.inflight.remove(&pair);
+                    match resolved.outcome {
+                        Some(out) => self.absorb_worker_result(pair, out),
+                        // Quarantined after its attempts: the job is
+                        // poisoned as far as the pool is concerned, but
+                        // its outcome is still required and deterministic
+                        // — simulate it here.
+                        None => self.resolve_in_process(pair),
+                    }
+                }
+                None => {
+                    // Nothing in flight and nothing submittable landed on
+                    // a worker (the pool is fully degraded). Guarantee
+                    // progress by resolving the cursor's own probe here.
+                    if let Some(pair) = self.first_missing_pair() {
+                        self.resolve_in_process(pair);
+                    }
+                }
+            }
+        }
+        self.engine.journal.record_worker_activity(
+            self.pool.retries(),
+            self.pool.respawns(),
+            self.pool.quarantined(),
+        );
+        let (max_terminals, below_bracket) = self.cursor.answer();
+        // Waste accounting mirrors SpecSearch: everything executed for
+        // this call minus the executed events the search counted (counted
+        // pairs deduplicated — a `lo == hi` bracket counts one pair twice
+        // while executing it once).
+        let mut counted_pairs: HashSet<(u32, u32)> = HashSet::new();
+        for &(n, _) in &self.probes {
+            for r in 0..self.replications {
+                let out = self.outcomes[&(n, r)];
+                counted_pairs.insert((n, r));
+                if out.glitches > 0 {
+                    break;
+                }
+            }
+        }
+        let fresh_counted: u64 = counted_pairs
+            .iter()
+            .filter_map(|pair| self.fresh.get(pair))
+            .sum();
+        CapacityResult {
+            max_terminals,
+            probes: self.probes,
+            events_processed: self.counted_events,
+            speculative_events: self.executed_events.saturating_sub(fresh_counted),
+            below_bracket,
+        }
+    }
+
+    /// Advance the authoritative cursor over every probe whose counted
+    /// outcome is fully known (same shape as [`SpecSearch::drive`]).
+    fn drive(&mut self) {
+        while let Some(n) = self.cursor.pending() {
+            match self.probe_total(n) {
+                Some((glitches, events)) => {
+                    self.probes.push((n, glitches));
+                    self.counted_events += events;
+                    self.cursor.advance(glitches);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// The counted `(glitch total, event total)` of a probe at `n`, if
+    /// every replication outcome it depends on is known.
+    fn probe_total(&mut self, n: u32) -> Option<(u64, u64)> {
+        let mut glitches = 0u64;
+        let mut events = 0u64;
+        for r in 0..self.replications {
+            let out = self.lookup(n, r)?;
+            glitches += out.glitches;
+            events += out.events;
+            if out.glitches > 0 {
+                break;
+            }
+        }
+        Some((glitches, events))
+    }
+
+    /// The clean outcome of `(n, r)` if known: this search's memo first,
+    /// the engine-wide cache second.
+    fn lookup(&mut self, n: u32, r: u32) -> Option<ProbeOutcome> {
+        if let Some(&out) = self.outcomes.get(&(n, r)) {
+            return Some(out);
+        }
+        let out = self.engine.probes.get(self.fp, n, r)?;
+        self.engine.journal.record_probe(ProbeRun {
+            terminals: n,
+            replication: r,
+            cached: true,
+            clean: true,
+            worker: false,
+            events: out.events,
+            wall_nanos: 0,
+        });
+        self.outcomes.insert((n, r), out);
+        Some(out)
+    }
+
+    /// Keep idle workers fed: breadth-first over the cursor's reachable
+    /// futures (the priority order of [`SpecSearch::pick_task`]), submit
+    /// every missing, not-in-flight replication until the pool has no
+    /// idle worker left.
+    fn submit_frontier(&mut self) {
+        let mut budget = self.pool.idle_workers();
+        if budget == 0 {
+            return;
+        }
+        let mut queue: VecDeque<SearchCursor> = VecDeque::new();
+        queue.push_back(self.cursor);
+        let mut seen: HashSet<u32> = HashSet::new();
+        while let Some(cursor) = queue.pop_front() {
+            let Some(n) = cursor.pending() else { continue };
+            if !seen.insert(n) || seen.len() > SpecSearch::MAX_FRONTIER {
+                continue;
+            }
+            let mut known_glitch = false;
+            for r in 0..self.replications {
+                match self.lookup(n, r) {
+                    Some(out) if out.glitches > 0 => {
+                        known_glitch = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        if self.inflight.insert((n, r)) {
+                            self.pool.submit(n, r, self.cfg);
+                            budget -= 1;
+                            if budget == 0 {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            match self.probe_total(n) {
+                Some((glitches, _)) => {
+                    let mut next = cursor;
+                    next.advance(glitches);
+                    queue.push_back(next);
+                }
+                None if known_glitch => {
+                    let mut next = cursor;
+                    next.advance(1);
+                    queue.push_back(next);
+                }
+                None => {
+                    let mut glitch = cursor;
+                    glitch.advance(1);
+                    queue.push_back(glitch);
+                    let mut clean = cursor;
+                    clean.advance(0);
+                    queue.push_back(clean);
+                }
+            }
+        }
+    }
+
+    /// A worker's clean outcome for `pair` lands exactly like a fresh
+    /// in-thread simulation: journaled, cached engine-wide, memoized.
+    fn absorb_worker_result(&mut self, pair: (u32, u32), out: crate::wire::WorkerOutcome) {
+        let (n, r) = pair;
+        self.engine.journal.record_probe(ProbeRun {
+            terminals: n,
+            replication: r,
+            cached: false,
+            clean: true,
+            worker: true,
+            events: out.events,
+            wall_nanos: out.wall_nanos,
+        });
+        let outcome = ProbeOutcome {
+            glitches: out.glitches,
+            events: out.events,
+        };
+        self.executed_events += out.events;
+        self.engine.probes.insert(self.fp, n, r, outcome);
+        self.outcomes.insert(pair, outcome);
+        self.fresh.insert(pair, out.events);
+    }
+
+    /// Deterministic in-process fallback for a pair the pool could not
+    /// resolve: the standalone replication the worker would have run.
+    fn resolve_in_process(&mut self, pair: (u32, u32)) {
+        let (n, r) = pair;
+        if self.outcomes.contains_key(&pair) {
+            return;
+        }
+        let cancel = AtomicU32::new(u32::MAX);
+        let started = std::time::Instant::now();
+        let report = self
+            .engine
+            .probe_replication(self.cfg, n, r)
+            .run_glitch_probe(&cancel, r);
+        self.engine.journal.record_probe(ProbeRun {
+            terminals: n,
+            replication: r,
+            cached: false,
+            clean: true,
+            worker: false,
+            events: report.events_processed,
+            wall_nanos: started.elapsed().as_nanos() as u64,
+        });
+        let outcome = ProbeOutcome {
+            glitches: report.glitches,
+            events: report.events_processed,
+        };
+        self.executed_events += report.events_processed;
+        self.engine.probes.insert(self.fp, n, r, outcome);
+        self.outcomes.insert(pair, outcome);
+        self.fresh.insert(pair, report.events_processed);
+    }
+
+    /// The first replication the cursor's own pending probe is missing —
+    /// the progress guarantee when the pool is fully degraded.
+    fn first_missing_pair(&mut self) -> Option<(u32, u32)> {
+        let n = self.cursor.pending()?;
+        for r in 0..self.replications {
+            match self.lookup(n, r) {
+                Some(out) if out.glitches > 0 => return None,
+                Some(_) => {}
+                None => return Some((n, r)),
             }
         }
         None

@@ -32,6 +32,9 @@ pub struct ProbeRun {
     /// glitch or the window end). False for runs truncated by the cancel
     /// or abort protocol, whose events are pure speculation waste.
     pub clean: bool,
+    /// Simulated by a `spiffi-worker` child process rather than in this
+    /// process (its `wall_nanos` was measured inside the worker).
+    pub worker: bool,
     /// Simulation events the resolution accounted for.
     pub events: u64,
     /// Wall-clock time spent resolving, in nanoseconds.
@@ -46,6 +49,9 @@ pub struct RunJournal {
     probes: Mutex<Vec<ProbeRun>>,
     searches: AtomicU64,
     speculative_events: AtomicU64,
+    worker_retries: AtomicU64,
+    worker_respawns: AtomicU64,
+    quarantined_jobs: AtomicU64,
 }
 
 impl RunJournal {
@@ -67,6 +73,16 @@ impl RunJournal {
             .fetch_add(speculative_events, Ordering::Relaxed);
     }
 
+    /// Record the fault-handling work of one process-backed search: jobs
+    /// retried after a worker fault, workers respawned, and jobs
+    /// quarantined as poisoned (resolved by the in-process fallback).
+    pub fn record_worker_activity(&self, retries: u64, respawns: u64, quarantined: u64) {
+        self.worker_retries.fetch_add(retries, Ordering::Relaxed);
+        self.worker_respawns.fetch_add(respawns, Ordering::Relaxed);
+        self.quarantined_jobs
+            .fetch_add(quarantined, Ordering::Relaxed);
+    }
+
     /// A consistent copy of the journal, entries sorted into search order.
     pub fn snapshot(&self) -> JournalSnapshot {
         let mut probes = self.probes.lock().unwrap().clone();
@@ -75,6 +91,9 @@ impl RunJournal {
             probes,
             searches: self.searches.load(Ordering::Relaxed),
             speculative_events: self.speculative_events.load(Ordering::Relaxed),
+            worker_retries: self.worker_retries.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            quarantined_jobs: self.quarantined_jobs.load(Ordering::Relaxed),
         }
     }
 }
@@ -89,6 +108,14 @@ pub struct JournalSnapshot {
     /// Speculative events across all searches (see
     /// [`CapacityResult::speculative_events`](crate::CapacityResult)).
     pub speculative_events: u64,
+    /// Jobs re-dispatched after a worker crash, timeout, or protocol
+    /// fault (process backend only; zero for in-process searches).
+    pub worker_retries: u64,
+    /// Worker processes respawned after a fault.
+    pub worker_respawns: u64,
+    /// Jobs quarantined as poisoned after exhausting their attempts and
+    /// resolved by the dispatcher's in-process fallback.
+    pub quarantined_jobs: u64,
 }
 
 impl JournalSnapshot {
@@ -107,6 +134,11 @@ impl JournalSnapshot {
         self.probes.iter().map(|p| p.wall_nanos).sum()
     }
 
+    /// Probe resolutions simulated by worker processes.
+    pub fn worker_runs(&self) -> u64 {
+        self.probes.iter().filter(|p| p.worker).count() as u64
+    }
+
     /// Serialize as a JSON object (hand-rolled; the journal carries only
     /// numbers and booleans).
     pub fn to_json(&self) -> String {
@@ -116,12 +148,18 @@ impl JournalSnapshot {
             out,
             "{{\n  \"searches\": {},\n  \"speculative_events\": {},\n  \
              \"probe_runs\": {},\n  \"cache_hits\": {},\n  \"simulated\": {},\n  \
+             \"worker_runs\": {},\n  \"worker_retries\": {},\n  \
+             \"worker_respawns\": {},\n  \"quarantined_jobs\": {},\n  \
              \"total_wall_ms\": {:.3},\n  \"probes\": [",
             self.searches,
             self.speculative_events,
             self.probes.len(),
             self.cache_hits(),
             self.simulated(),
+            self.worker_runs(),
+            self.worker_retries,
+            self.worker_respawns,
+            self.quarantined_jobs,
             self.total_wall_nanos() as f64 / 1e6,
         );
         for (i, p) in self.probes.iter().enumerate() {
@@ -131,11 +169,12 @@ impl JournalSnapshot {
             let _ = write!(
                 out,
                 "\n    {{\"terminals\": {}, \"replication\": {}, \"cached\": {}, \
-                 \"clean\": {}, \"events\": {}, \"wall_ms\": {:.3}}}",
+                 \"clean\": {}, \"worker\": {}, \"events\": {}, \"wall_ms\": {:.3}}}",
                 p.terminals,
                 p.replication,
                 p.cached,
                 p.clean,
+                p.worker,
                 p.events,
                 p.wall_nanos as f64 / 1e6,
             );
@@ -158,6 +197,7 @@ mod tests {
             replication,
             cached,
             clean: true,
+            worker: false,
             events: 100,
             wall_nanos: 1_500_000,
         }
@@ -191,9 +231,13 @@ mod tests {
         let j = RunJournal::new();
         j.record_probe(run(4, 0, false));
         j.record_search(7);
+        j.record_worker_activity(3, 2, 1);
         let text = j.snapshot().to_json();
         assert!(text.contains("\"searches\": 1"));
         assert!(text.contains("\"speculative_events\": 7"));
+        assert!(text.contains("\"worker_retries\": 3"));
+        assert!(text.contains("\"worker_respawns\": 2"));
+        assert!(text.contains("\"quarantined_jobs\": 1"));
         assert!(text.contains("\"terminals\": 4"));
         assert!(text.contains("\"wall_ms\": 1.500"));
         for (open, close) in [('{', '}'), ('[', ']')] {

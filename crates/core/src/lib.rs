@@ -27,8 +27,10 @@ pub mod journal;
 pub mod metrics;
 pub mod node;
 pub mod piggyback;
+pub mod process;
 pub mod system;
 pub mod terminal;
+pub mod wire;
 
 pub use cache::{LibraryCache, LibraryKey, ProbeCache, ProbeOutcome};
 pub use config::{default_prefetch_for, PauseConfig, RunTiming, SystemConfig, KB, MB};
@@ -39,6 +41,7 @@ pub use driver::{
 };
 pub use journal::{JournalSnapshot, ProbeRun, RunJournal};
 pub use metrics::RunReport;
+pub use process::{discover_worker_bin, ProcessConfig, ProcessPool};
 // The observability layer, re-exported so instrumented callers need only
 // depend on `spiffi-core`.
 pub use piggyback::{Piggyback, StartDecision};

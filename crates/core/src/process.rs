@@ -1,0 +1,513 @@
+//! The process-level execution backend: a pool of `spiffi-worker` child
+//! processes behind the experiment engine.
+//!
+//! The [`Engine`](crate::Engine) already fans probe replications across
+//! threads; this module applies the same shared-nothing story across
+//! *address spaces* — the paper's scale-up architecture turned on the
+//! experiment harness itself, and the stepping stone to running
+//! replications on other machines. Each worker is fed one
+//! [`wire`] job at a time over stdin and answers on stdout;
+//! the job contract (standalone replication, slotted by `(count,
+//! replication)`) is exactly the in-thread engine's, so results merge
+//! through the same [`ProbeCache`](crate::ProbeCache) byte-identically.
+//!
+//! The pool is built to survive its workers, not just drive them:
+//!
+//! * **Per-job timeout** — a worker that sits on a job past the deadline
+//!   is killed and respawned, and the job retried elsewhere.
+//! * **Crash/EOF/malformed-output retry** — a worker that dies, hangs up,
+//!   or answers garbage (version mismatch, truncation, wrong job id)
+//!   costs the job one attempt and the worker its life; both are
+//!   replaced.
+//! * **Poisoned-job quarantine** — a job that fails
+//!   [`ProcessConfig::max_attempts`] times is handed back unresolved so
+//!   the search can fall back to simulating it in-process; the quarantine
+//!   is surfaced in the [`RunJournal`](crate::RunJournal) next to cache
+//!   hits and speculation waste.
+//!
+//! Worker death never loses determinism because jobs carry no state: a
+//! replication's clean outcome is a pure function of the config bytes on
+//! the job line, no matter which incarnation of which worker computes it.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use crate::config::SystemConfig;
+use crate::wire::{self, JobRecord, WorkerOutcome};
+
+/// File name of the worker binary (a sibling of the harness binaries in
+/// the cargo target directory).
+pub const WORKER_BIN_NAME: &str = "spiffi-worker";
+
+/// How a [`ProcessPool`] is shaped and how patient it is.
+#[derive(Clone, Debug)]
+pub struct ProcessConfig {
+    /// Worker processes to keep alive.
+    pub workers: usize,
+    /// Path to the `spiffi-worker` binary.
+    pub worker_bin: PathBuf,
+    /// Per-attempt wall-clock budget for one job. A worker that exceeds it
+    /// is killed and the job retried.
+    pub job_timeout: Duration,
+    /// Attempts (including the first) before a job is quarantined.
+    pub max_attempts: u32,
+    /// Extra environment for the children (fault injection in tests).
+    pub worker_env: Vec<(String, String)>,
+}
+
+impl ProcessConfig {
+    /// A config with `workers` children and default robustness settings:
+    /// a 10-minute per-job timeout (simulation probes run seconds to tens
+    /// of seconds; ten minutes is unambiguously "stuck") and 3 attempts.
+    pub fn new(workers: usize, worker_bin: PathBuf) -> Self {
+        ProcessConfig {
+            workers: workers.max(1),
+            worker_bin,
+            job_timeout: Duration::from_secs(600),
+            max_attempts: 3,
+            worker_env: Vec::new(),
+        }
+    }
+
+    /// The ambient configuration: `SPIFFI_WORKERS` children (`None` when
+    /// unset or zero — the in-process engine), the worker binary from
+    /// `SPIFFI_WORKER_BIN` or discovery next to the current executable,
+    /// and `SPIFFI_WORKER_TIMEOUT_MS` overriding the job timeout.
+    pub fn from_env() -> Option<Self> {
+        let workers = std::env::var("SPIFFI_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)?;
+        let Some(bin) = discover_worker_bin() else {
+            eprintln!(
+                "spiffi engine: SPIFFI_WORKERS={workers} but no {WORKER_BIN_NAME} binary found \
+                 (set SPIFFI_WORKER_BIN or build the workspace); using in-process execution"
+            );
+            return None;
+        };
+        let mut cfg = ProcessConfig::new(workers, bin);
+        if let Some(ms) = std::env::var("SPIFFI_WORKER_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms >= 1)
+        {
+            cfg.job_timeout = Duration::from_millis(ms);
+        }
+        Some(cfg)
+    }
+}
+
+/// Locate the `spiffi-worker` binary: the `SPIFFI_WORKER_BIN` environment
+/// variable if set, otherwise a sibling of the current executable (or of
+/// its parent directories — examples live in `target/<profile>/examples/`,
+/// test binaries in `target/<profile>/deps/`).
+pub fn discover_worker_bin() -> Option<PathBuf> {
+    if let Ok(explicit) = std::env::var("SPIFFI_WORKER_BIN") {
+        let p = PathBuf::from(explicit);
+        return p.is_file().then_some(p);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("{WORKER_BIN_NAME}{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent();
+    for _ in 0..3 {
+        let d = dir?;
+        let candidate = d.join(&name);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// A job the pool has accepted but not yet resolved.
+#[derive(Debug)]
+struct PendingJob {
+    id: u64,
+    terminals: u32,
+    replication: u32,
+    /// The encoded wire line (constant across retries).
+    line: String,
+    /// Attempts consumed so far.
+    attempts: u32,
+}
+
+/// One resolved job, successful or quarantined.
+#[derive(Clone, Copy, Debug)]
+pub struct Resolved {
+    /// Terminal count of the probe.
+    pub terminals: u32,
+    /// Replication index within the probe.
+    pub replication: u32,
+    /// The measured outcome; `None` means the job was quarantined after
+    /// exhausting its attempts and must be resolved by the caller.
+    pub outcome: Option<WorkerOutcome>,
+    /// Attempts the job consumed.
+    pub attempts: u32,
+}
+
+/// A message from a worker's stdout-reader thread.
+enum WorkerEvent {
+    /// One line of output from worker `slot`, incarnation `gen`.
+    Line { slot: usize, gen: u64, line: String },
+    /// Worker `slot`, incarnation `gen`, closed its stdout (died or was
+    /// killed).
+    Eof { slot: usize, gen: u64 },
+}
+
+/// One worker process slot: the live child, its stdin, and the job it is
+/// chewing on. The `gen` counter distinguishes the current incarnation's
+/// messages from a killed predecessor's.
+struct Slot {
+    child: Child,
+    stdin: ChildStdin,
+    gen: u64,
+    active: Option<(PendingJob, Instant)>,
+}
+
+/// A pool of `spiffi-worker` children with timeout/retry/quarantine
+/// fault handling. See the [module docs](self).
+pub struct ProcessPool {
+    cfg: ProcessConfig,
+    slots: Vec<Slot>,
+    rx: Receiver<WorkerEvent>,
+    tx: Sender<WorkerEvent>,
+    queue: VecDeque<PendingJob>,
+    resolved: VecDeque<Resolved>,
+    next_id: u64,
+    next_gen: u64,
+    retries: u64,
+    respawns: u64,
+    quarantined: u64,
+}
+
+impl std::fmt::Debug for ProcessPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessPool")
+            .field("workers", &self.slots.len())
+            .field("queued", &self.queue.len())
+            .field("retries", &self.retries)
+            .field("respawns", &self.respawns)
+            .field("quarantined", &self.quarantined)
+            .finish()
+    }
+}
+
+impl ProcessPool {
+    /// Spawn the pool. An error here (missing binary, fork failure) is the
+    /// caller's cue to fall back to in-process execution.
+    pub fn spawn(cfg: ProcessConfig) -> std::io::Result<ProcessPool> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut pool = ProcessPool {
+            slots: Vec::with_capacity(cfg.workers),
+            cfg,
+            rx,
+            tx,
+            queue: VecDeque::new(),
+            resolved: VecDeque::new(),
+            next_id: 1,
+            next_gen: 0,
+            retries: 0,
+            respawns: 0,
+            quarantined: 0,
+        };
+        for i in 0..pool.cfg.workers {
+            let slot = pool.spawn_worker_at(i)?;
+            pool.slots.push(slot);
+        }
+        Ok(pool)
+    }
+
+    /// Replace the worker in `slot` with a fresh incarnation, killing the
+    /// old child. The old incarnation's remaining messages are ignored by
+    /// generation. If the replacement itself cannot be spawned the slot is
+    /// left with the dead child; jobs assigned to it fail their stdin
+    /// write and retry elsewhere until quarantine, so the pool degrades
+    /// instead of deadlocking.
+    fn respawn(&mut self, slot: usize) {
+        let _ = self.slots[slot].child.kill();
+        let _ = self.slots[slot].child.wait();
+        self.respawns += 1;
+        match self.spawn_worker_at(slot) {
+            Ok(s) => self.slots[slot] = s,
+            Err(e) => {
+                eprintln!("spiffi engine: failed to respawn worker {slot}: {e}");
+            }
+        }
+    }
+
+    /// Spawn a worker child whose reader thread reports as `slot_index`.
+    fn spawn_worker_at(&mut self, slot_index: usize) -> std::io::Result<Slot> {
+        let mut cmd = Command::new(&self.cfg.worker_bin);
+        cmd.stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        cmd.env_remove("SPIFFI_WORKERS");
+        for (k, v) in &self.cfg.worker_env {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let tx = self.tx.clone();
+        std::thread::spawn(move || {
+            use std::io::BufRead as _;
+            let reader = std::io::BufReader::new(stdout);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if tx
+                    .send(WorkerEvent::Line {
+                        slot: slot_index,
+                        gen,
+                        line,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            let _ = tx.send(WorkerEvent::Eof {
+                slot: slot_index,
+                gen,
+            });
+        });
+        Ok(Slot {
+            child,
+            stdin,
+            gen,
+            active: None,
+        })
+    }
+
+    /// Worker slots with no job assigned.
+    pub fn idle_workers(&self) -> usize {
+        self.slots.iter().filter(|s| s.active.is_none()).count()
+    }
+
+    /// Jobs accepted but not yet resolved (queued or on a worker).
+    pub fn inflight(&self) -> usize {
+        self.queue.len() + self.slots.iter().filter(|s| s.active.is_some()).count()
+    }
+
+    /// Worker deaths (crash, timeout kill, or garbage output) so far.
+    pub fn respawns(&self) -> u64 {
+        self.respawns
+    }
+
+    /// Job attempts beyond the first.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Jobs handed back unresolved after exhausting their attempts.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// Accept a job: replication `replication` of a probe at `terminals`
+    /// terminals of `config` (base seed; the worker derives the
+    /// replication seed). The job is written to an idle worker
+    /// immediately when one exists, otherwise queued.
+    pub fn submit(&mut self, terminals: u32, replication: u32, config: &SystemConfig) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = wire::encode_job(&JobRecord {
+            id,
+            terminals,
+            replication,
+            config: config.clone(),
+        });
+        self.queue.push_back(PendingJob {
+            id,
+            terminals,
+            replication,
+            line,
+            attempts: 0,
+        });
+        self.dispatch();
+    }
+
+    /// Hand queued jobs to idle workers. A worker whose stdin is broken
+    /// (it died since its last job) costs the job an attempt, triggers a
+    /// respawn, and the job re-queues — so this terminates: every pass
+    /// either parks a job on a live worker or burns one attempt.
+    fn dispatch(&mut self) {
+        while !self.queue.is_empty() {
+            let Some(slot) = self.slots.iter().position(|s| s.active.is_none()) else {
+                return;
+            };
+            let mut job = self.queue.pop_front().expect("non-empty queue");
+            job.attempts += 1;
+            if writeln!(self.slots[slot].stdin, "{}", job.line)
+                .and_then(|_| self.slots[slot].stdin.flush())
+                .is_ok()
+            {
+                let deadline = Instant::now() + self.cfg.job_timeout;
+                self.slots[slot].active = Some((job, deadline));
+            } else {
+                self.respawn(slot);
+                self.requeue_or_quarantine(job);
+            }
+        }
+    }
+
+    /// A failed attempt: retry the job (at the queue front, so it resolves
+    /// promptly) or quarantine it once its attempts are spent.
+    fn requeue_or_quarantine(&mut self, job: PendingJob) {
+        if job.attempts >= self.cfg.max_attempts {
+            self.quarantined += 1;
+            self.resolved.push_back(Resolved {
+                terminals: job.terminals,
+                replication: job.replication,
+                outcome: None,
+                attempts: job.attempts,
+            });
+        } else {
+            self.retries += 1;
+            self.queue.push_front(job);
+        }
+    }
+
+    /// Fail the active job on `slot` (worker death, timeout, or garbage
+    /// output), respawning the worker.
+    fn fail_active(&mut self, slot: usize, why: &str) {
+        if let Some((job, _)) = self.slots[slot].active.take() {
+            eprintln!(
+                "spiffi engine: worker {slot} failed job {} (n={} r={}, attempt {}): {why}",
+                job.id, job.terminals, job.replication, job.attempts
+            );
+            self.respawn(slot);
+            self.requeue_or_quarantine(job);
+        } else {
+            // Died idle: just replace it.
+            self.respawn(slot);
+        }
+        self.dispatch();
+    }
+
+    /// Block until one job resolves — successfully or by quarantine —
+    /// handling timeouts, crashes, and malformed output along the way.
+    /// Returns `None` when the pool has nothing in flight.
+    pub fn wait_one(&mut self) -> Option<Resolved> {
+        loop {
+            if let Some(done) = self.resolved.pop_front() {
+                return Some(done);
+            }
+            self.dispatch();
+            let now = Instant::now();
+            let deadline = self
+                .slots
+                .iter()
+                .filter_map(|s| s.active.as_ref().map(|(_, d)| *d))
+                .min()?; // no active job anywhere -> nothing will ever arrive
+            let wait = deadline.saturating_duration_since(now);
+            match self.rx.recv_timeout(wait) {
+                Ok(WorkerEvent::Line { slot, gen, line }) => {
+                    if self.slots[slot].gen != gen {
+                        continue; // a killed incarnation's leftovers
+                    }
+                    match wire::parse_result(&line) {
+                        Ok(result) => {
+                            let matches = self.slots[slot]
+                                .active
+                                .as_ref()
+                                .is_some_and(|(job, _)| job.id == result.id);
+                            if !matches {
+                                self.fail_active(slot, "answered the wrong job id");
+                                continue;
+                            }
+                            let (job, _) = self.slots[slot].active.take().expect("matched above");
+                            match result.outcome {
+                                Ok(out) => {
+                                    self.dispatch();
+                                    return Some(Resolved {
+                                        terminals: job.terminals,
+                                        replication: job.replication,
+                                        outcome: Some(out),
+                                        attempts: job.attempts,
+                                    });
+                                }
+                                Err(msg) => {
+                                    // The worker itself reported failure
+                                    // (bad config, bad line). Its process
+                                    // is fine; only the job pays.
+                                    eprintln!(
+                                        "spiffi engine: worker {slot} rejected job {}: {msg}",
+                                        job.id
+                                    );
+                                    if job.attempts >= self.cfg.max_attempts {
+                                        self.quarantined += 1;
+                                        self.dispatch();
+                                        return Some(Resolved {
+                                            terminals: job.terminals,
+                                            replication: job.replication,
+                                            outcome: None,
+                                            attempts: job.attempts,
+                                        });
+                                    }
+                                    self.retries += 1;
+                                    self.queue.push_front(job);
+                                    self.dispatch();
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            self.fail_active(slot, &format!("malformed output ({e}): {line:?}"));
+                        }
+                    }
+                }
+                Ok(WorkerEvent::Eof { slot, gen }) => {
+                    if self.slots[slot].gen != gen {
+                        continue;
+                    }
+                    self.fail_active(slot, "worker exited (EOF)");
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    let expired: Vec<usize> = self
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.active.as_ref().is_some_and(|&(_, d)| d <= now))
+                        .map(|(i, _)| i)
+                        .collect();
+                    for slot in expired {
+                        self.fail_active(slot, "job timeout");
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Impossible while the pool holds a sender; defend
+                    // anyway by quarantining everything still in flight.
+                    let jobs: Vec<PendingJob> = self
+                        .queue
+                        .drain(..)
+                        .chain(
+                            self.slots
+                                .iter_mut()
+                                .filter_map(|s| s.active.take().map(|(j, _)| j)),
+                        )
+                        .collect();
+                    for mut job in jobs {
+                        job.attempts = self.cfg.max_attempts;
+                        self.requeue_or_quarantine(job);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ProcessPool {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+        }
+    }
+}

@@ -1,0 +1,698 @@
+//! The worker wire protocol: how the process-level experiment backend
+//! ships probe jobs to `spiffi-worker` children and reads results back.
+//!
+//! The protocol is deliberately dumb — line-oriented, versioned, and
+//! self-contained — so a worker can run on the far side of any byte pipe
+//! (a child process today, an ssh session tomorrow):
+//!
+//! * **Job lines** (dispatcher → worker stdin): one line per job,
+//!   `spiffi-job/<version> id=… n=… r=… <config fields…>`. The full
+//!   [`SystemConfig`] rides along in `key=value` tokens, floats encoded as
+//!   IEEE-754 bit patterns in hex so the decoded config is **bit-identical**
+//!   to the dispatcher's — the determinism contract survives the pipe.
+//! * **Result records** (worker stdout → dispatcher): one JSON object per
+//!   line, `{"spiffi_worker":<version>,"job":…,"ok":true,"glitches":…,
+//!   "events":…,"wall_nanos":…}` (or `"ok":false,"error":"…"`). JSONL so
+//!   the records double as a machine-readable run log.
+//!
+//! Both parsers reject version-mismatched, truncated, or malformed input
+//! with a typed [`WireError`] — never a panic — because worker output is
+//! untrusted by construction: a worker may be killed mid-line, and the
+//! dispatcher's retry policy depends on telling "garbage" from "crash".
+
+use std::fmt;
+
+use spiffi_bufferpool::PolicyKind;
+use spiffi_layout::Placement;
+use spiffi_mpeg::AccessPattern;
+use spiffi_prefetch::PrefetchKind;
+use spiffi_sched::SchedulerKind;
+use spiffi_simcore::SimDuration;
+
+use crate::config::{InitialPosition, PauseConfig, SystemConfig};
+
+/// Protocol version; bumped whenever a record's shape changes. A
+/// dispatcher and worker must agree exactly — there is no negotiation,
+/// because both halves ship in one binary's workspace.
+pub const PROTO_VERSION: u32 = 1;
+
+/// One probe-replication job: simulate `config` at `terminals` terminals,
+/// replication `replication` (the worker derives the replication seed from
+/// the config's base seed, exactly like the in-process engine).
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Dispatcher-assigned job id, echoed in the result record.
+    pub id: u64,
+    /// Terminal count to probe.
+    pub terminals: u32,
+    /// Replication index within the probe.
+    pub replication: u32,
+    /// Full system configuration (base seed included).
+    pub config: SystemConfig,
+}
+
+/// What a worker measured for one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerOutcome {
+    /// Glitches measured before the run stopped (0 = clean window).
+    pub glitches: u64,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Worker-side wall clock spent simulating, nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// One result record: a job id plus either a measured outcome or the
+/// worker's error message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultRecord {
+    /// The job this result answers.
+    pub id: u64,
+    /// Measured outcome, or the worker-side failure description.
+    pub outcome: Result<WorkerOutcome, String>,
+}
+
+/// Why a wire record failed to parse. Every variant is a protocol error
+/// the dispatcher handles by policy (retry, respawn, quarantine) — none
+/// should ever abort the search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The record declares a protocol version this build does not speak.
+    Version {
+        /// Version the record declared.
+        got: u32,
+        /// Version this build speaks ([`PROTO_VERSION`]).
+        want: u32,
+    },
+    /// The record is not of the expected kind at all (wrong prefix — e.g.
+    /// a stray diagnostic line on the worker's stdout).
+    UnknownRecord,
+    /// The record ends mid-field (a worker killed while writing).
+    Truncated,
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field's value failed to parse.
+    BadValue {
+        /// Which field.
+        field: &'static str,
+        /// The offending text (truncated for display).
+        value: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Version { got, want } => {
+                write!(
+                    f,
+                    "protocol version mismatch: record v{got}, this build v{want}"
+                )
+            }
+            WireError::UnknownRecord => write!(f, "not a recognized wire record"),
+            WireError::Truncated => write!(f, "record truncated mid-field"),
+            WireError::MissingField(k) => write!(f, "missing field `{k}`"),
+            WireError::BadValue { field, value } => {
+                write!(f, "bad value for `{field}`: {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn enc_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn dec_f64(field: &'static str, s: &str) -> Result<f64, WireError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| bad(field, s))
+}
+
+fn bad(field: &'static str, value: &str) -> WireError {
+    let mut value: String = value.chars().take(40).collect();
+    if value.is_empty() {
+        value.push_str("<empty>");
+    }
+    WireError::BadValue { field, value }
+}
+
+/// Encode a job as one protocol line (no trailing newline).
+pub fn encode_job(job: &JobRecord) -> String {
+    use std::fmt::Write as _;
+    let c = &job.config;
+    let mut s = format!(
+        "spiffi-job/{PROTO_VERSION} id={} n={} r={}",
+        job.id, job.terminals, job.replication
+    );
+    let _ = write!(
+        s,
+        " nodes={} disks={} videos={} brate={} fps={} vdur={}",
+        c.topology.nodes,
+        c.topology.disks_per_node,
+        c.n_videos,
+        c.video.bit_rate_bps,
+        c.video.fps,
+        c.video.duration.0,
+    );
+    let _ = write!(
+        s,
+        " access={} place={} stripe={} smem={} tmem={} terms={}",
+        match c.access {
+            AccessPattern::Uniform => "uniform".to_string(),
+            AccessPattern::Zipf(z) => format!("zipf:{}", enc_f64(z)),
+        },
+        match c.placement {
+            Placement::Striped => "striped".to_string(),
+            Placement::NonStriped => "nonstriped".to_string(),
+            Placement::StripeGroup { width } => format!("group:{width}"),
+        },
+        c.stripe_bytes,
+        c.server_memory_bytes,
+        c.terminal_memory_bytes,
+        c.n_terminals,
+    );
+    let _ = write!(
+        s,
+        " sched={} policy={} pf={}",
+        match c.scheduler {
+            SchedulerKind::Fcfs => "fcfs".to_string(),
+            SchedulerKind::Edf => "edf".to_string(),
+            SchedulerKind::Elevator => "elevator".to_string(),
+            SchedulerKind::RoundRobin => "rr".to_string(),
+            SchedulerKind::Gss { groups } => format!("gss:{groups}"),
+            SchedulerKind::RealTime { classes, spacing } => {
+                format!("rt:{classes}:{}", spacing.0)
+            }
+        },
+        match c.policy {
+            PolicyKind::GlobalLru => "lru",
+            PolicyKind::LovePrefetch => "love",
+        },
+        match c.prefetch {
+            PrefetchKind::Off => "off".to_string(),
+            PrefetchKind::Standard { processes } => format!("std:{processes}"),
+            PrefetchKind::RealTime { processes } => format!("rt:{processes}"),
+            PrefetchKind::Delayed {
+                processes,
+                max_advance,
+            } => format!("delayed:{processes}:{}", max_advance.0),
+        },
+    );
+    let _ = write!(
+        s,
+        " dseek={} dsettle={} drot={} dxfer={} dcylb={} dctxs={} dctxb={} dncyl={}",
+        enc_f64(c.disk.seek_factor_ms),
+        c.disk.settle.0,
+        c.disk.rotation.0,
+        enc_f64(c.disk.transfer_bytes_per_sec),
+        c.disk.cylinder_bytes,
+        c.disk.cache_contexts,
+        c.disk.context_bytes,
+        c.disk.num_cylinders,
+    );
+    let _ = write!(
+        s,
+        " mips={} cio={} csend={} crecv={} netd={} netb={}",
+        enc_f64(c.cpu.mips),
+        c.cpu.start_io_instr,
+        c.cpu.send_msg_instr,
+        c.cpu.recv_msg_instr,
+        c.net.base_delay.0,
+        enc_f64(c.net.ns_per_byte),
+    );
+    let _ = write!(
+        s,
+        " pause={} piggy={} speedup={} ipos={} stagger={} warmup={} measure={} seed={}",
+        match c.pause {
+            None => "none".to_string(),
+            Some(p) => format!("{}:{}", enc_f64(p.mean_pauses_per_video), p.mean_duration.0),
+        },
+        match c.piggyback_delay {
+            None => "none".to_string(),
+            Some(d) => d.0.to_string(),
+        },
+        match c.search_speedup {
+            None => "none".to_string(),
+            Some(v) => v.to_string(),
+        },
+        match c.initial_position {
+            InitialPosition::Start => "start",
+            InitialPosition::UniformWithinVideo => "uniform",
+        },
+        c.timing.stagger.0,
+        c.timing.warmup.0,
+        c.timing.measure.0,
+        c.seed,
+    );
+    s
+}
+
+/// The `key=value` tokens of a job line, with version and kind checked.
+struct Fields<'a> {
+    tokens: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn of(line: &'a str) -> Result<Fields<'a>, WireError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let mut parts = line.split_ascii_whitespace();
+        let head = parts.next().ok_or(WireError::UnknownRecord)?;
+        let version = head
+            .strip_prefix("spiffi-job/")
+            .ok_or(WireError::UnknownRecord)?;
+        let got: u32 = version.parse().map_err(|_| bad("version", version))?;
+        if got != PROTO_VERSION {
+            return Err(WireError::Version {
+                got,
+                want: PROTO_VERSION,
+            });
+        }
+        let mut tokens = Vec::new();
+        for tok in parts {
+            let (k, v) = tok.split_once('=').ok_or(WireError::Truncated)?;
+            tokens.push((k, v));
+        }
+        Ok(Fields { tokens })
+    }
+
+    fn raw(&self, key: &'static str) -> Result<&'a str, WireError> {
+        self.tokens
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+            .ok_or(WireError::MissingField(key))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &'static str) -> Result<T, WireError> {
+        let raw = self.raw(key)?;
+        raw.parse().map_err(|_| bad(key, raw))
+    }
+
+    fn dur(&self, key: &'static str) -> Result<SimDuration, WireError> {
+        Ok(SimDuration(self.num(key)?))
+    }
+
+    fn f64(&self, key: &'static str) -> Result<f64, WireError> {
+        dec_f64(key, self.raw(key)?)
+    }
+}
+
+/// Parse one job line. Rejects wrong-version, truncated, and malformed
+/// lines with a typed [`WireError`].
+pub fn parse_job(line: &str) -> Result<JobRecord, WireError> {
+    let f = Fields::of(line)?;
+    let access = {
+        let raw = f.raw("access")?;
+        match raw.split_once(':') {
+            None if raw == "uniform" => AccessPattern::Uniform,
+            Some(("zipf", z)) => AccessPattern::Zipf(dec_f64("access", z)?),
+            _ => return Err(bad("access", raw)),
+        }
+    };
+    let placement = {
+        let raw = f.raw("place")?;
+        match raw.split_once(':') {
+            None if raw == "striped" => Placement::Striped,
+            None if raw == "nonstriped" => Placement::NonStriped,
+            Some(("group", w)) => Placement::StripeGroup {
+                width: w.parse().map_err(|_| bad("place", raw))?,
+            },
+            _ => return Err(bad("place", raw)),
+        }
+    };
+    let scheduler = {
+        let raw = f.raw("sched")?;
+        let mut it = raw.split(':');
+        match it.next() {
+            Some("fcfs") => SchedulerKind::Fcfs,
+            Some("edf") => SchedulerKind::Edf,
+            Some("elevator") => SchedulerKind::Elevator,
+            Some("rr") => SchedulerKind::RoundRobin,
+            Some("gss") => SchedulerKind::Gss {
+                groups: it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("sched", raw))?,
+            },
+            Some("rt") => SchedulerKind::RealTime {
+                classes: it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("sched", raw))?,
+                spacing: SimDuration(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("sched", raw))?,
+                ),
+            },
+            _ => return Err(bad("sched", raw)),
+        }
+    };
+    let policy = match f.raw("policy")? {
+        "lru" => PolicyKind::GlobalLru,
+        "love" => PolicyKind::LovePrefetch,
+        other => return Err(bad("policy", other)),
+    };
+    let prefetch = {
+        let raw = f.raw("pf")?;
+        let mut it = raw.split(':');
+        let proc_arg = |it: &mut std::str::Split<'_, char>| {
+            it.next()
+                .and_then(|v| v.parse::<u32>().ok())
+                .ok_or_else(|| bad("pf", raw))
+        };
+        match it.next() {
+            Some("off") => PrefetchKind::Off,
+            Some("std") => PrefetchKind::Standard {
+                processes: proc_arg(&mut it)?,
+            },
+            Some("rt") => PrefetchKind::RealTime {
+                processes: proc_arg(&mut it)?,
+            },
+            Some("delayed") => PrefetchKind::Delayed {
+                processes: proc_arg(&mut it)?,
+                max_advance: SimDuration(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("pf", raw))?,
+                ),
+            },
+            _ => return Err(bad("pf", raw)),
+        }
+    };
+    let pause = {
+        let raw = f.raw("pause")?;
+        match raw {
+            "none" => None,
+            _ => {
+                let (m, d) = raw.split_once(':').ok_or_else(|| bad("pause", raw))?;
+                Some(PauseConfig {
+                    mean_pauses_per_video: dec_f64("pause", m)?,
+                    mean_duration: SimDuration(d.parse().map_err(|_| bad("pause", raw))?),
+                })
+            }
+        }
+    };
+    let piggyback_delay = match f.raw("piggy")? {
+        "none" => None,
+        raw => Some(SimDuration(raw.parse().map_err(|_| bad("piggy", raw))?)),
+    };
+    let search_speedup = match f.raw("speedup")? {
+        "none" => None,
+        raw => Some(raw.parse().map_err(|_| bad("speedup", raw))?),
+    };
+    let initial_position = match f.raw("ipos")? {
+        "start" => InitialPosition::Start,
+        "uniform" => InitialPosition::UniformWithinVideo,
+        other => return Err(bad("ipos", other)),
+    };
+    let config = SystemConfig {
+        topology: spiffi_layout::Topology {
+            nodes: f.num("nodes")?,
+            disks_per_node: f.num("disks")?,
+        },
+        n_videos: f.num("videos")?,
+        video: spiffi_mpeg::VideoParams {
+            bit_rate_bps: f.num("brate")?,
+            fps: f.num("fps")?,
+            duration: f.dur("vdur")?,
+        },
+        access,
+        placement,
+        stripe_bytes: f.num("stripe")?,
+        server_memory_bytes: f.num("smem")?,
+        terminal_memory_bytes: f.num("tmem")?,
+        n_terminals: f.num("terms")?,
+        scheduler,
+        policy,
+        prefetch,
+        disk: spiffi_disk::DiskParams {
+            seek_factor_ms: f.f64("dseek")?,
+            settle: f.dur("dsettle")?,
+            rotation: f.dur("drot")?,
+            transfer_bytes_per_sec: f.f64("dxfer")?,
+            cylinder_bytes: f.num("dcylb")?,
+            cache_contexts: f.num("dctxs")?,
+            context_bytes: f.num("dctxb")?,
+            num_cylinders: f.num("dncyl")?,
+        },
+        cpu: spiffi_cpu::CpuParams {
+            mips: f.f64("mips")?,
+            start_io_instr: f.num("cio")?,
+            send_msg_instr: f.num("csend")?,
+            recv_msg_instr: f.num("crecv")?,
+        },
+        net: spiffi_net::NetParams {
+            base_delay: f.dur("netd")?,
+            ns_per_byte: f.f64("netb")?,
+        },
+        pause,
+        piggyback_delay,
+        search_speedup,
+        initial_position,
+        timing: crate::config::RunTiming {
+            stagger: f.dur("stagger")?,
+            warmup: f.dur("warmup")?,
+            measure: f.dur("measure")?,
+        },
+        seed: f.num("seed")?,
+    };
+    Ok(JobRecord {
+        id: f.num("id")?,
+        terminals: f.num("n")?,
+        replication: f.num("r")?,
+        config,
+    })
+}
+
+/// Encode a result as one JSONL record (no trailing newline).
+pub fn encode_result(result: &ResultRecord) -> String {
+    match &result.outcome {
+        Ok(out) => format!(
+            "{{\"spiffi_worker\":{PROTO_VERSION},\"job\":{},\"ok\":true,\
+             \"glitches\":{},\"events\":{},\"wall_nanos\":{}}}",
+            result.id, out.glitches, out.events, out.wall_nanos
+        ),
+        Err(msg) => format!(
+            "{{\"spiffi_worker\":{PROTO_VERSION},\"job\":{},\"ok\":false,\"error\":\"{}\"}}",
+            result.id,
+            msg.replace('\\', "\\\\").replace('"', "\\\"")
+        ),
+    }
+}
+
+/// Extract the numeric value of `"key":<digits>` from a flat JSON object.
+fn json_u64(line: &str, key: &'static str) -> Result<u64, WireError> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat).ok_or(WireError::MissingField(key))? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .ok_or(WireError::Truncated)?;
+    if end == 0 {
+        return Err(bad(key, &rest[..rest.len().min(12)]));
+    }
+    rest[..end].parse().map_err(|_| bad(key, &rest[..end]))
+}
+
+/// Parse one worker result record. Rejects wrong-version, truncated, and
+/// malformed records with a typed [`WireError`]; a lost closing brace (a
+/// worker killed mid-write) is [`WireError::Truncated`].
+pub fn parse_result(line: &str) -> Result<ResultRecord, WireError> {
+    let line = line.trim();
+    if !line.starts_with("{\"spiffi_worker\":") {
+        return Err(WireError::UnknownRecord);
+    }
+    let got = json_u64(line, "spiffi_worker")? as u32;
+    if got != PROTO_VERSION {
+        return Err(WireError::Version {
+            got,
+            want: PROTO_VERSION,
+        });
+    }
+    if !line.ends_with('}') {
+        return Err(WireError::Truncated);
+    }
+    let id = json_u64(line, "job")?;
+    let outcome = if line.contains("\"ok\":true") {
+        Ok(WorkerOutcome {
+            glitches: json_u64(line, "glitches")?,
+            events: json_u64(line, "events")?,
+            wall_nanos: json_u64(line, "wall_nanos")?,
+        })
+    } else if line.contains("\"ok\":false") {
+        let pat = "\"error\":\"";
+        let at = line.find(pat).ok_or(WireError::MissingField("error"))? + pat.len();
+        let mut msg = String::new();
+        let mut chars = line[at..].chars();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some(c) => msg.push(c),
+                    None => return Err(WireError::Truncated),
+                },
+                Some('"') => break,
+                Some(c) => msg.push(c),
+                None => return Err(WireError::Truncated),
+            }
+        }
+        Err(msg)
+    } else {
+        return Err(WireError::MissingField("ok"));
+    };
+    Ok(ResultRecord { id, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ProbeCache;
+
+    fn job(cfg: SystemConfig) -> JobRecord {
+        JobRecord {
+            id: 42,
+            terminals: 24,
+            replication: 1,
+            config: cfg,
+        }
+    }
+
+    #[test]
+    fn job_round_trips_bit_identically() {
+        // Exercise every enum arm and optional field the config can carry.
+        let mut exotic = SystemConfig::paper_base();
+        exotic.access = AccessPattern::Zipf(0.271828);
+        exotic.placement = Placement::StripeGroup { width: 4 };
+        exotic.scheduler = SchedulerKind::RealTime {
+            classes: 3,
+            spacing: SimDuration::from_secs(4),
+        };
+        exotic.prefetch = PrefetchKind::Delayed {
+            processes: 2,
+            max_advance: SimDuration::from_secs(8),
+        };
+        exotic.pause = Some(PauseConfig::default());
+        exotic.piggyback_delay = Some(SimDuration::from_secs(300));
+        exotic.search_speedup = Some(10);
+        for cfg in [
+            SystemConfig::small_test(),
+            SystemConfig::paper_base(),
+            exotic,
+        ] {
+            let sent = job(cfg);
+            let got = parse_job(&encode_job(&sent)).expect("round trip");
+            assert_eq!(got.id, 42);
+            assert_eq!(got.terminals, 24);
+            assert_eq!(got.replication, 1);
+            // The probe fingerprint renders every field but n_terminals;
+            // equal fingerprints mean the decoded config is bit-identical
+            // as a probe input.
+            assert_eq!(
+                ProbeCache::fingerprint(&got.config),
+                ProbeCache::fingerprint(&sent.config),
+                "config drifted across the wire"
+            );
+            assert_eq!(got.config.n_terminals, sent.config.n_terminals);
+        }
+    }
+
+    #[test]
+    fn job_parser_rejects_garbage_with_typed_errors() {
+        // SystemConfig has no PartialEq, so compare the errors alone.
+        let err = |line: &str| parse_job(line).expect_err("parse should fail");
+        assert_eq!(err(""), WireError::UnknownRecord);
+        assert_eq!(err("hello world"), WireError::UnknownRecord);
+        assert_eq!(
+            err("spiffi-job/999 id=1 n=2 r=0"),
+            WireError::Version {
+                got: 999,
+                want: PROTO_VERSION
+            }
+        );
+        // A token without `=` means the line was cut mid-token.
+        assert_eq!(err("spiffi-job/1 id=1 n=2 r=0 nod"), WireError::Truncated);
+        // A structurally fine line missing a config field.
+        assert_eq!(
+            err("spiffi-job/1 id=1 n=2 r=0"),
+            WireError::MissingField("access")
+        );
+        // A field with an unparseable value.
+        let good = encode_job(&job(SystemConfig::small_test()));
+        let mangled = good.replace("seed=", "seed=xyz_");
+        assert!(matches!(
+            parse_job(&mangled),
+            Err(WireError::BadValue { field: "seed", .. })
+        ));
+        // An unknown enum tag.
+        let mangled = good.replace("sched=", "sched=quantum_");
+        assert!(matches!(
+            parse_job(&mangled),
+            Err(WireError::BadValue { field: "sched", .. })
+        ));
+    }
+
+    #[test]
+    fn result_round_trips() {
+        let ok = ResultRecord {
+            id: 7,
+            outcome: Ok(WorkerOutcome {
+                glitches: 0,
+                events: 123_456,
+                wall_nanos: 9_876_543,
+            }),
+        };
+        assert_eq!(parse_result(&encode_result(&ok)), Ok(ok.clone()));
+        let err = ResultRecord {
+            id: 8,
+            outcome: Err("library \"x\" \\ exploded".into()),
+        };
+        assert_eq!(parse_result(&encode_result(&err)), Ok(err));
+    }
+
+    #[test]
+    fn result_parser_rejects_garbage_with_typed_errors() {
+        assert_eq!(parse_result(""), Err(WireError::UnknownRecord));
+        assert_eq!(parse_result("panic: oh no"), Err(WireError::UnknownRecord));
+        assert_eq!(
+            parse_result("{\"spiffi_worker\":2,\"job\":1,\"ok\":true}"),
+            Err(WireError::Version {
+                got: 2,
+                want: PROTO_VERSION
+            })
+        );
+        // Killed mid-write: no closing brace.
+        let full = encode_result(&ResultRecord {
+            id: 3,
+            outcome: Ok(WorkerOutcome {
+                glitches: 1,
+                events: 10,
+                wall_nanos: 20,
+            }),
+        });
+        for cut in [full.len() - 1, full.len() - 8, 20] {
+            assert_eq!(
+                parse_result(&full[..cut]),
+                Err(WireError::Truncated),
+                "prefix of {cut} bytes must read as truncated"
+            );
+        }
+        // Well-formed JSON but missing the outcome marker.
+        assert_eq!(
+            parse_result("{\"spiffi_worker\":1,\"job\":4}"),
+            Err(WireError::MissingField("ok"))
+        );
+        // Missing a counted field.
+        assert_eq!(
+            parse_result("{\"spiffi_worker\":1,\"job\":4,\"ok\":true,\"events\":5}"),
+            Err(WireError::MissingField("glitches"))
+        );
+        // Non-numeric where a number must be.
+        assert!(matches!(
+            parse_result("{\"spiffi_worker\":1,\"job\":nope,\"ok\":true}"),
+            Err(WireError::BadValue { field: "job", .. })
+        ));
+    }
+}

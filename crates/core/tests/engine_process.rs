@@ -1,0 +1,178 @@
+//! The process-level execution backend must be invisible in the results:
+//! a pool of `spiffi-worker` children at any worker count produces the
+//! same bytes as the one-thread in-process engine — capacity, probe log,
+//! counted events, bracket flag — because every job is a standalone
+//! replication slotted by `(count, replication)`. And it must stay
+//! invisible under fire: workers that crash mid-search or hang past the
+//! job timeout cost retries, respawns, and quarantines (all surfaced in
+//! the run journal), never a different answer.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use spiffi_core::{CapacityResult, CapacitySearch, Engine, ProcessConfig, SystemConfig};
+use spiffi_simcore::SimDuration;
+
+/// The tiny single-disk configuration used throughout the core tests.
+fn tiny() -> SystemConfig {
+    let mut c = SystemConfig::small_test();
+    c.topology = spiffi_layout::Topology {
+        nodes: 1,
+        disks_per_node: 1,
+    };
+    c.n_videos = 40;
+    c.access = spiffi_mpeg::AccessPattern::Uniform;
+    c.video.duration = SimDuration::from_secs(60);
+    c.server_memory_bytes = 16 * 1024 * 1024;
+    c.timing.stagger = SimDuration::from_secs(5);
+    c.timing.warmup = SimDuration::from_secs(10);
+    c.timing.measure = SimDuration::from_secs(30);
+    c
+}
+
+fn search() -> CapacitySearch {
+    CapacitySearch {
+        lo: 2,
+        hi: 40,
+        step: 2,
+        replications: 2,
+    }
+}
+
+/// The worker binary cargo built for this test run, passed explicitly so
+/// parallel tests never race on process-global environment variables.
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_spiffi-worker"))
+}
+
+fn assert_same_result(got: &CapacityResult, reference: &CapacityResult, what: &str) {
+    assert_eq!(
+        got.max_terminals, reference.max_terminals,
+        "{what} changed the capacity"
+    );
+    assert_eq!(got.probes, reference.probes, "{what} changed the probe log");
+    assert_eq!(
+        got.events_processed, reference.events_processed,
+        "{what} changed the counted event total"
+    );
+    assert_eq!(
+        got.below_bracket, reference.below_bracket,
+        "{what} changed the bracket flag"
+    );
+}
+
+#[test]
+fn process_backend_is_byte_identical_to_sequential() {
+    let cfg = tiny();
+    let search = search();
+    let reference = Engine::with_threads(1).max_glitch_free_terminals(&cfg, &search);
+
+    for workers in [1, 2, 4] {
+        let engine =
+            Engine::with_threads(1).with_process(ProcessConfig::new(workers, worker_bin()));
+        assert_eq!(engine.process_workers(), workers);
+        let got = engine.max_glitch_free_terminals(&cfg, &search);
+        assert_same_result(&got, &reference, &format!("{workers} workers"));
+
+        let journal = engine.journal().snapshot();
+        assert!(
+            journal.probes.iter().any(|p| p.worker),
+            "{workers} workers: no probe was resolved by a worker process"
+        );
+        assert_eq!(
+            journal.worker_retries, 0,
+            "healthy workers should not retry"
+        );
+        assert_eq!(journal.quarantined_jobs, 0);
+
+        // Same engine again: everything replays from the probe cache.
+        let warm = engine.max_glitch_free_terminals(&cfg, &search);
+        assert_same_result(&warm, &reference, "a warm process-backed search");
+        assert_eq!(
+            warm.speculative_events, 0,
+            "a fully warm search has nothing left to speculate"
+        );
+    }
+}
+
+/// Kill-one-worker-mid-search, repeatedly: every worker incarnation dies
+/// (without replying) when its second job arrives, so the search cannot
+/// finish without the crash-respawn-retry path. The answer must not move.
+#[test]
+fn worker_crashes_retry_and_do_not_change_the_answer() {
+    let cfg = tiny();
+    let search = search();
+    let reference = Engine::with_threads(1).max_glitch_free_terminals(&cfg, &search);
+
+    let mut pcfg = ProcessConfig::new(2, worker_bin());
+    pcfg.worker_env
+        .push(("SPIFFI_WORKER_EXIT_AFTER".into(), "2".into()));
+    let engine = Engine::with_threads(1).with_process(pcfg);
+    let got = engine.max_glitch_free_terminals(&cfg, &search);
+    assert_same_result(&got, &reference, "a crash-looping worker pool");
+
+    let journal = engine.journal().snapshot();
+    assert!(
+        journal.worker_respawns > 0,
+        "every incarnation dies on its second job; someone must have respawned"
+    );
+    assert!(
+        journal.worker_retries > 0 || journal.quarantined_jobs > 0,
+        "crashed jobs must be retried or quarantined"
+    );
+}
+
+/// Stalled workers hit the per-job wall-clock timeout; with a single
+/// attempt allowed, every job is quarantined as poisoned and the search
+/// falls back to resolving each replication in-process. Slowest possible
+/// pool, same exact answer.
+#[test]
+fn stalled_workers_time_out_into_quarantine_fallback() {
+    let cfg = tiny();
+    let search = search();
+    let reference = Engine::with_threads(1).max_glitch_free_terminals(&cfg, &search);
+
+    let mut pcfg = ProcessConfig::new(2, worker_bin());
+    pcfg.worker_env
+        .push(("SPIFFI_WORKER_STALL_MS".into(), "60000".into()));
+    pcfg.job_timeout = Duration::from_millis(25);
+    pcfg.max_attempts = 1;
+    let engine = Engine::with_threads(1).with_process(pcfg);
+    let got = engine.max_glitch_free_terminals(&cfg, &search);
+    assert_same_result(&got, &reference, "a fully stalled worker pool");
+
+    let journal = engine.journal().snapshot();
+    assert!(
+        journal.quarantined_jobs > 0,
+        "every attempt times out at one attempt per job; jobs must quarantine"
+    );
+    assert!(
+        journal.probes.iter().any(|p| !p.cached && !p.worker),
+        "quarantined jobs must be resolved by the in-process fallback"
+    );
+    assert!(
+        journal.probes.iter().all(|p| !p.worker),
+        "no stalled worker can have produced a result"
+    );
+}
+
+/// A pool pointed at a binary that does not exist must not take the
+/// search down: `max_glitch_free_terminals` falls back to the in-process
+/// path and still produces the reference bytes.
+#[test]
+fn unspawnable_pool_falls_back_to_in_process() {
+    let cfg = tiny();
+    let search = search();
+    let reference = Engine::with_threads(1).max_glitch_free_terminals(&cfg, &search);
+
+    let engine = Engine::with_threads(1).with_process(ProcessConfig::new(
+        2,
+        PathBuf::from("/nonexistent/spiffi-worker"),
+    ));
+    let got = engine.max_glitch_free_terminals(&cfg, &search);
+    assert_same_result(&got, &reference, "the spawn-failure fallback");
+    assert!(
+        engine.journal().snapshot().probes.iter().all(|p| !p.worker),
+        "no worker existed to resolve anything"
+    );
+}
