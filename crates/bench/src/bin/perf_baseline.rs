@@ -15,19 +15,22 @@
 //! against the recorded baseline, making it a coarse determinism check as
 //! well as a throughput meter.
 //!
-//! Three sections are measured and written to the JSON: the sequential
-//! bisection (`current`), the engine probe fan-out (`parallel`), and the
+//! Four sections are measured and written to the JSON: the sequential
+//! bisection (`current`), the engine probe fan-out (`parallel`), the
 //! speculative cached search (`speculative`) — the same bisection driven
 //! by `Engine::max_glitch_free_terminals`, whose counted outcome the
 //! binary asserts byte-identical to a fresh single-threaded search (the
-//! CI correctness gate; wall clock is reported but never gated).
+//! CI correctness gate; wall clock is reported but never gated) — and
+//! the warm-snapshot search (`snapshot`), which captures each base
+//! warm-up once and forks it per probe, gated byte-identical to a
+//! from-scratch sequential search on the same marginal timeline.
 
 use std::sync::atomic::AtomicU32;
 use std::time::Instant;
 
 use spiffi_core::{
     discover_worker_bin, engine_threads, fan_out, replication_seed, CapacitySearch, Engine,
-    ProcessConfig, SystemConfig, VodSystem,
+    JournalSnapshot, ProcessConfig, SnapshotMode, SystemConfig, VodSystem,
 };
 use spiffi_mpeg::{AccessPattern, Library};
 use spiffi_sched::SchedulerKind;
@@ -256,6 +259,39 @@ fn measure_process() -> Option<SpecSample> {
     })
 }
 
+/// The warm-snapshot variant: the same per-scheduler searches as the
+/// speculative section, but the engine runs in [`SnapshotMode::Warm`] —
+/// each base warm-up is simulated once, captured at the measurement
+/// boundary, and every later probe forks the snapshot and simulates only
+/// the marginal terminals. Snapshot modes use marginal timing (the
+/// warm-up is extended by one stagger window), so the correctness
+/// reference is a from-scratch sequential search in
+/// [`SnapshotMode::Cold`] — same timeline, no snapshots — not the legacy
+/// sections. Returns the sample plus the engine's journal so the JSON
+/// can report the snapshot hit counters.
+fn measure_snapshot(threads: usize) -> (SpecSample, JournalSnapshot) {
+    let engine = Engine::with_threads(threads).with_snapshot_mode(SnapshotMode::Warm);
+    let cold_start = Instant::now();
+    let (_, _, waste) = spec_workload(&engine);
+    let cold_wall = cold_start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let mut events = 0;
+    let mut capacity = 0;
+    for _ in 0..ITERS {
+        let (cap, e, _) = spec_workload(&engine);
+        events += e;
+        capacity = cap;
+    }
+    let sample = SpecSample {
+        cold_wall_seconds: cold_wall,
+        speculative_events: waste,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        events_processed: events,
+        capacity,
+    };
+    (sample, engine.journal().snapshot())
+}
+
 fn measure_speculative(threads: usize) -> SpecSample {
     let engine = Engine::with_threads(threads);
     let cold_start = Instant::now();
@@ -423,6 +459,48 @@ fn main() {
         speculative.capacity
     );
 
+    let (snapshot, snap_journal) = measure_snapshot(threads);
+    // Correctness gate for the warm-fork path: capacity and counted
+    // events must be byte-identical to a from-scratch sequential search
+    // on the same marginal timeline (Cold mode — every probe simulated
+    // from time zero, no snapshots, no speculation interleaving).
+    let (snap_seq_capacity, snap_seq_events) = {
+        let reference = Engine::with_threads(1).with_snapshot_mode(SnapshotMode::Cold);
+        let (cap, events, waste) = spec_workload(&reference);
+        assert_eq!(waste, 0, "sequential resolution must not speculate");
+        assert!(
+            reference.snapshot_cache().is_empty(),
+            "the cold reference must not capture snapshots"
+        );
+        (cap, events)
+    };
+    assert_eq!(
+        snapshot.capacity, snap_seq_capacity,
+        "warm-fork search changed the capacity"
+    );
+    assert_eq!(
+        snapshot.events_processed,
+        snap_seq_events * ITERS as u64,
+        "warm-fork search's counted events differ from the from-scratch sequential search"
+    );
+    assert!(
+        snap_journal.snapshot_hits > 0,
+        "the warm search never forked a captured snapshot"
+    );
+    let snap_speedup = parallel.wall_seconds / snapshot.wall_seconds;
+    println!(
+        "snapshot ({threads} thread(s), warm forks): cold: {:.3} s   warm: {:.3} s   \
+         events: {}   capacity: {} terminals   {} captures / {} forks \
+         ({} base-prefix events saved)   speedup vs parallel section: {snap_speedup:.2}x",
+        snapshot.cold_wall_seconds,
+        snapshot.wall_seconds,
+        snapshot.events_processed,
+        snapshot.capacity,
+        snap_journal.snapshot_captures,
+        snap_journal.snapshot_hits,
+        snap_journal.snapshot_saved_events,
+    );
+
     let process = measure_process();
     match &process {
         Some(p) => {
@@ -520,6 +598,23 @@ fn main() {
         speculative.wall_seconds,
         speculative.events_processed,
         speculative.capacity
+    ));
+    json.push_str(&format!(
+        "  \"snapshot\": {{\n    \"threads\": {threads},\n    \
+         \"cold_wall_seconds\": {:.4},\n    \"wall_seconds\": {:.4},\n    \
+         \"events_processed\": {},\n    \"capacity_terminals\": {},\n    \
+         \"speedup_vs_parallel\": {snap_speedup:.4},\n    \
+         \"snapshot_captures\": {},\n    \"snapshot_hits\": {},\n    \
+         \"forked_terminals\": {},\n    \"snapshot_saved_events\": {},\n    \
+         \"counted_matches_sequential\": true\n  }},\n",
+        snapshot.cold_wall_seconds,
+        snapshot.wall_seconds,
+        snapshot.events_processed,
+        snapshot.capacity,
+        snap_journal.snapshot_captures,
+        snap_journal.snapshot_hits,
+        snap_journal.forked_terminals,
+        snap_journal.snapshot_saved_events,
     ));
     match &process {
         Some(p) => json.push_str(&format!(

@@ -141,6 +141,15 @@ fn main() {
         journal.total_wall_nanos() as f64 / 1e6,
         journal.speculative_events,
     );
+    println!(
+        "journal: snapshots ({:?}): {} captured, {} warm forks, {} marginal terminals forked, \
+         {} base-prefix events saved",
+        engine.snapshot_mode(),
+        journal.snapshot_captures,
+        journal.snapshot_hits,
+        journal.forked_terminals,
+        journal.snapshot_saved_events,
+    );
     if journal.worker_retries + journal.worker_respawns + journal.quarantined_jobs > 0 {
         println!(
             "journal: worker faults: {} retries, {} respawns, {} quarantined jobs",

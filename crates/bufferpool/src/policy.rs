@@ -6,7 +6,7 @@ use crate::pool::FrameId;
 /// Replacement policy interface. The pool tells the policy about page
 /// lifecycle events; the policy answers victim queries. `evictable`
 /// reports whether a frame may be evicted right now (resident, unpinned).
-pub trait ReplacementPolicy: Send {
+pub trait ReplacementPolicy: Send + Sync {
     /// A page entered the pool. `prefetched` marks background prefetches.
     fn on_insert(&mut self, f: FrameId, prefetched: bool);
 
@@ -22,6 +22,16 @@ pub trait ReplacementPolicy: Send {
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Deep-copy this policy, LRU chains included, behind a fresh box.
+    /// Lets the pool implement `Clone` for snapshot/fork.
+    fn clone_box(&self) -> Box<dyn ReplacementPolicy>;
+}
+
+impl Clone for Box<dyn ReplacementPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Policy selection for configuration.
@@ -55,7 +65,7 @@ impl PolicyKind {
 /// queue. When a new page is needed, the buffer pool searches for the first
 /// available page starting from the head of the queue. This algorithm does
 /// not distinguish between prefetched pages and referenced pages."
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct GlobalLru {
     chain: LruList,
 }
@@ -91,6 +101,10 @@ impl ReplacementPolicy for GlobalLru {
     fn name(&self) -> &'static str {
         "global-lru"
     }
+
+    fn clone_box(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 /// §5.2.1 / Figure 4: "breaks the global LRU chain into two separate LRU
@@ -103,7 +117,7 @@ impl ReplacementPolicy for GlobalLru {
 /// chain, the buffer pool takes a page from the prefetched-pages LRU
 /// chain." Referenced video pages are almost always garbage (sequential
 /// access), so evicting them first protects prefetched-but-unconsumed data.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct LovePrefetch {
     prefetched: LruList,
     referenced: LruList,
@@ -166,6 +180,10 @@ impl ReplacementPolicy for LovePrefetch {
 
     fn name(&self) -> &'static str {
         "love-prefetch"
+    }
+
+    fn clone_box(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
     }
 }
 

@@ -26,7 +26,7 @@ enum FrameState {
     Resident { was_prefetch: bool },
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Frame {
     key: BlockAddr,
     state: FrameState,
@@ -94,6 +94,11 @@ impl PoolStats {
 }
 
 /// A fixed-capacity buffer pool of stripe-block page frames.
+///
+/// `Clone` deep-copies every frame, the free list, the page table and the
+/// replacement policy's chains (via [`ReplacementPolicy::clone_box`]), so a
+/// cloned pool evolves independently — the basis of simulation snapshots.
+#[derive(Clone)]
 pub struct BufferPool {
     frames: Vec<Frame>,
     free: Vec<FrameId>,

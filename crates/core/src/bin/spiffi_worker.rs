@@ -67,10 +67,15 @@ fn main() {
                         // Standalone probe: a fresh cancel flag means the
                         // run can only stop at its own first measured
                         // glitch or the window end — the deterministic,
-                        // cacheable outcome.
+                        // cacheable outcome. A `base=` token selects the
+                        // dispatcher's marginal-probe timing so the
+                        // outcome matches its snapshot-mode engine.
                         let cancel = AtomicU32::new(u32::MAX);
-                        let report = VodSystem::with_library(c, lib)
-                            .run_glitch_probe(&cancel, job.replication);
+                        let system = match job.base {
+                            Some(b) => VodSystem::with_library_marginal(c, lib, b),
+                            None => VodSystem::with_library(c, lib),
+                        };
+                        let report = system.run_glitch_probe(&cancel, job.replication);
                         ResultRecord {
                             id: job.id,
                             outcome: Ok(WorkerOutcome {

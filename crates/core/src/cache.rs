@@ -166,6 +166,19 @@ impl ProbeCache {
         Arc::from(format!("{c:?}"))
     }
 
+    /// [`ProbeCache::fingerprint`] for marginal-timing probes: the base
+    /// terminal count is part of a probe's identity under
+    /// [`VodSystem::with_library_marginal`] semantics (it decides which
+    /// terminals join late), so it is prefixed onto the fingerprint.
+    /// Marginal outcomes therefore never mix with standard-timing outcomes
+    /// for the same configuration, even before the warm-up transform is
+    /// taken into account.
+    pub fn fingerprint_with_base(cfg: &SystemConfig, base: u32) -> Arc<str> {
+        let mut c = cfg.clone();
+        c.n_terminals = 0;
+        Arc::from(format!("base={base}|{c:?}"))
+    }
+
     /// The cached outcome for replication `r` of a probe at `n` terminals,
     /// if a clean run has been recorded.
     pub fn get(&self, fp: &Arc<str>, n: u32, r: u32) -> Option<ProbeOutcome> {
@@ -205,6 +218,93 @@ impl ProbeCache {
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Cache key: `(marginal fingerprint, base terminal count, replication)`.
+type SnapshotKey = (Arc<str>, u32, u32);
+
+/// A search-wide, thread-safe cache of warm simulation snapshots: one
+/// [`VodSystem`] per `(marginal fingerprint, base count, replication)`,
+/// captured at the snapshot boundary by replaying the shared base warm-up
+/// once. Probing `n > base` terminals then costs one
+/// [`VodSystem::fork_to`] (a deep clone plus Δterminals join events) and
+/// the measurement window — O(Δterminals) instead of re-simulating the
+/// whole warm-up.
+///
+/// Unlike [`ProbeCache`], duplicate capture is *not* a benign race worth
+/// tolerating: a capture replays a full warm-up, so each key holds a
+/// `OnceLock` and concurrent requesters block on the single capturing
+/// thread instead of burning a core each on identical replays.
+#[derive(Default)]
+pub struct SnapshotCache {
+    #[allow(clippy::type_complexity)]
+    map: Mutex<HashMap<SnapshotKey, Arc<std::sync::OnceLock<Arc<VodSystem>>>>>,
+    captures: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl std::fmt::Debug for SnapshotCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCache")
+            .field("snapshots", &self.len())
+            .field("captures", &self.captures())
+            .field("hits", &self.hits())
+            .finish()
+    }
+}
+
+impl SnapshotCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SnapshotCache::default()
+    }
+
+    /// The snapshot for replication `r` of the `base`-terminal warm-up,
+    /// capturing it via `build` on first request. Returns the shared
+    /// snapshot and whether it was served warm (`true` = no replay ran on
+    /// this call's behalf).
+    pub fn get_or_capture(
+        &self,
+        fp: &Arc<str>,
+        base: u32,
+        r: u32,
+        build: impl FnOnce() -> VodSystem,
+    ) -> (Arc<VodSystem>, bool) {
+        let cell = {
+            let mut map = self.map.lock().unwrap();
+            Arc::clone(map.entry((Arc::clone(fp), base, r)).or_default())
+        };
+        let mut warm = true;
+        let snap = Arc::clone(cell.get_or_init(|| {
+            warm = false;
+            self.captures.fetch_add(1, Ordering::Relaxed);
+            Arc::new(build())
+        }));
+        if warm {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (snap, warm)
+    }
+
+    /// Distinct snapshots captured and held.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requests served from an already-captured snapshot.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Warm-up replays actually performed.
+    pub fn captures(&self) -> u64 {
+        self.captures.load(Ordering::Relaxed)
     }
 }
 
@@ -283,6 +383,44 @@ mod tests {
         assert_ne!(
             ProbeCache::fingerprint(&cfg),
             ProbeCache::fingerprint(&other_mem)
+        );
+    }
+
+    #[test]
+    fn snapshot_cache_captures_once_then_serves_warm() {
+        let cache = SnapshotCache::new();
+        let mut cfg = SystemConfig::small_test();
+        cfg.n_terminals = 2;
+        let fp = ProbeCache::fingerprint_with_base(&cfg, 2);
+        let lib = Arc::new(VodSystem::generate_library(&cfg));
+        let capture = |cfg: &SystemConfig| {
+            let mut sys = VodSystem::with_library_marginal(cfg.clone(), Arc::clone(&lib), 2);
+            sys.replay_to_snapshot();
+            sys
+        };
+        let (a, warm_a) = cache.get_or_capture(&fp, 2, 0, || capture(&cfg));
+        assert!(!warm_a, "first request must capture");
+        let (b, warm_b) = cache.get_or_capture(&fp, 2, 0, || capture(&cfg));
+        assert!(warm_b, "second request must be served warm");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.captures(), cache.hits(), cache.len()), (1, 1, 1));
+        // A different replication captures separately.
+        let (_, warm_c) = cache.get_or_capture(&fp, 2, 1, || capture(&cfg));
+        assert!(!warm_c);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn marginal_fingerprint_is_disjoint_from_standard() {
+        let cfg = SystemConfig::small_test();
+        assert_ne!(
+            ProbeCache::fingerprint(&cfg),
+            ProbeCache::fingerprint_with_base(&cfg, 10)
+        );
+        assert_ne!(
+            ProbeCache::fingerprint_with_base(&cfg, 10),
+            ProbeCache::fingerprint_with_base(&cfg, 20),
+            "the base count is part of a marginal probe's identity"
         );
     }
 

@@ -52,12 +52,13 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 
-use crate::cache::{LibraryCache, ProbeCache, ProbeOutcome};
+use crate::cache::{LibraryCache, ProbeCache, ProbeOutcome, SnapshotCache};
 use crate::config::SystemConfig;
 use crate::journal::{ProbeRun, RunJournal};
 use crate::metrics::RunReport;
 use crate::process::{ProcessConfig, ProcessPool};
 use crate::system::VodSystem;
+use spiffi_simcore::SimDuration;
 
 /// Run one configuration to completion.
 pub fn run_once(cfg: &SystemConfig) -> RunReport {
@@ -90,6 +91,44 @@ pub fn engine_threads() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+}
+
+/// How capacity probes reuse the shared warm-up across terminal counts.
+///
+/// Under [`SnapshotMode::Off`] every probe replays its full warm-up from
+/// scratch with all terminals joining in `[0, stagger)` — the legacy
+/// timeline. The other two modes switch probes to *marginal* timing
+/// ([`VodSystem::with_library_marginal`]): a base population (the search
+/// bracket's grid floor) warms the server up, the warm-up is extended by
+/// one stagger, and the terminals a probe adds beyond the base join during
+/// that final stagger window, immediately before measurement. The two
+/// marginal modes are byte-identical to each other by construction;
+/// [`SnapshotMode::Warm`] merely stops re-simulating the shared prefix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Legacy timing; no snapshot reuse.
+    #[default]
+    Off,
+    /// Marginal timing, every probe simulated from scratch. The reference
+    /// the warm path is validated against; rarely useful on its own.
+    Cold,
+    /// Marginal timing with per-replication warm snapshots: the base
+    /// warm-up is replayed once per replication seed, captured at the
+    /// snapshot boundary, and each probe above the base forks from it —
+    /// O(Δterminals) per bisection step.
+    Warm,
+}
+
+/// Snapshot mode from the `SPIFFI_SNAPSHOT` environment variable:
+/// `1`/`warm` selects [`SnapshotMode::Warm`], `cold` the from-scratch
+/// marginal reference, anything else (including unset and `0`) the legacy
+/// [`SnapshotMode::Off`].
+pub fn snapshot_mode_from_env() -> SnapshotMode {
+    match std::env::var("SPIFFI_SNAPSHOT").as_deref() {
+        Ok(v) if v.trim() == "1" || v.trim().eq_ignore_ascii_case("warm") => SnapshotMode::Warm,
+        Ok(v) if v.trim().eq_ignore_ascii_case("cold") => SnapshotMode::Cold,
+        _ => SnapshotMode::Off,
+    }
 }
 
 /// Run `f(i)` for every `i < n` on at most `threads` OS threads, returning
@@ -145,6 +184,8 @@ pub struct Engine {
     threads: usize,
     cache: Arc<LibraryCache>,
     probes: Arc<ProbeCache>,
+    snapshots: Arc<SnapshotCache>,
+    snapshot: SnapshotMode,
     journal: Arc<RunJournal>,
     process: Option<ProcessConfig>,
 }
@@ -162,6 +203,7 @@ impl Engine {
     pub fn new() -> Self {
         let mut engine = Engine::with_threads(engine_threads());
         engine.process = ProcessConfig::from_env();
+        engine.snapshot = snapshot_mode_from_env();
         engine
     }
 
@@ -189,9 +231,18 @@ impl Engine {
             threads: threads.max(1),
             cache,
             probes,
+            snapshots: Arc::new(SnapshotCache::new()),
+            snapshot: SnapshotMode::Off,
             journal: Arc::new(RunJournal::new()),
             process: None,
         }
+    }
+
+    /// Select how capacity probes reuse the shared warm-up (overriding the
+    /// ambient `SPIFFI_SNAPSHOT` setting [`Engine::new`] read).
+    pub fn with_snapshot_mode(mut self, mode: SnapshotMode) -> Self {
+        self.snapshot = mode;
+        self
     }
 
     /// Attach a process-level execution backend: capacity-search probe
@@ -223,6 +274,17 @@ impl Engine {
     /// The engine's search-wide probe cache.
     pub fn probe_cache(&self) -> &Arc<ProbeCache> {
         &self.probes
+    }
+
+    /// The engine's warm-snapshot cache (empty unless a search has run in
+    /// [`SnapshotMode::Warm`]).
+    pub fn snapshot_cache(&self) -> &Arc<SnapshotCache> {
+        &self.snapshots
+    }
+
+    /// The snapshot mode capacity searches on this engine will use.
+    pub fn snapshot_mode(&self) -> SnapshotMode {
+        self.snapshot
     }
 
     /// The engine's run journal: wall-clock and cache accounting for every
@@ -271,10 +333,41 @@ impl Engine {
         search: &CapacitySearch,
     ) -> CapacityResult {
         assert!(search.step > 0 && search.lo <= search.hi);
-        let fp = ProbeCache::fingerprint(cfg);
+        // Warm forking needs the marginal terminals to join strictly
+        // after the snapshot instant. With a zero stagger they would join
+        // *at* the BeginMeasure tick and tie-break on schedule sequence —
+        // deterministic, but ordered differently from the from-scratch
+        // marginal build. Degrade to Cold (same timing, no reuse) rather
+        // than diverge.
+        let mode = match self.snapshot {
+            SnapshotMode::Warm if cfg.timing.stagger == SimDuration::ZERO => SnapshotMode::Cold,
+            m => m,
+        };
+        let (probe_cfg, base) = match mode {
+            SnapshotMode::Off => (cfg.clone(), None),
+            SnapshotMode::Cold | SnapshotMode::Warm => {
+                // Marginal-probe timing: every probe at count `n` starts
+                // the base population (the bracket's grid floor) over the
+                // legacy stagger window and its `n - base` marginal
+                // terminals over one extra stagger window placed
+                // immediately before measurement; the warm-up is extended
+                // by that window so the base terminals' histories never
+                // depend on `n`. See [`VodSystem::with_library_marginal`].
+                let mut c = cfg.clone();
+                c.timing.warmup += c.timing.stagger;
+                let b = (search.lo / search.step).max(1) * search.step;
+                (c, Some(b))
+            }
+        };
+        let fp = match base {
+            Some(b) => ProbeCache::fingerprint_with_base(&probe_cfg, b),
+            None => ProbeCache::fingerprint(&probe_cfg),
+        };
+        let warm = mode == SnapshotMode::Warm;
+        let cfg = &probe_cfg;
         let result = if let Some(pcfg) = &self.process {
             match ProcessPool::spawn(pcfg.clone()) {
-                Ok(pool) => ProcessSearch::new(self, cfg, search, &fp, pool).run(),
+                Ok(pool) => ProcessSearch::new(self, cfg, search, &fp, base, warm, pool).run(),
                 Err(e) => {
                     // Spawning unavailable (missing binary, fork failure):
                     // degrade to the in-process engine rather than fail the
@@ -283,11 +376,11 @@ impl Engine {
                         "spiffi engine: process backend unavailable ({e}); \
                          using in-process execution"
                     );
-                    self.search_in_process(cfg, search, &fp)
+                    self.search_in_process(cfg, search, &fp, base, warm)
                 }
             }
         } else {
-            self.search_in_process(cfg, search, &fp)
+            self.search_in_process(cfg, search, &fp, base, warm)
         };
         self.journal.record_search(result.speculative_events);
         result
@@ -300,11 +393,13 @@ impl Engine {
         cfg: &SystemConfig,
         search: &CapacitySearch,
         fp: &Arc<str>,
+        base: Option<u32>,
+        warm: bool,
     ) -> CapacityResult {
         if self.threads <= 1 {
-            self.search_sequential(cfg, search, fp)
+            self.search_sequential(cfg, search, fp, base, warm)
         } else {
-            SpecSearch::new(self, cfg, search, fp).run()
+            SpecSearch::new(self, cfg, search, fp, base, warm).run()
         }
     }
 
@@ -316,6 +411,8 @@ impl Engine {
         cfg: &SystemConfig,
         search: &CapacitySearch,
         fp: &Arc<str>,
+        base: Option<u32>,
+        warm: bool,
     ) -> CapacityResult {
         let mut cursor = SearchCursor::new(search);
         let mut probes = Vec::new();
@@ -344,7 +441,7 @@ impl Engine {
                         let cancel = AtomicU32::new(u32::MAX);
                         let started = std::time::Instant::now();
                         let report = self
-                            .probe_replication(cfg, n, r)
+                            .probe_system(cfg, fp, base, warm, n, r)
                             .run_glitch_probe(&cancel, r);
                         self.journal.record_probe(ProbeRun {
                             terminals: n,
@@ -386,12 +483,42 @@ impl Engine {
 
     /// The assembled system for replication `r` of a probe at `n`
     /// terminals, its library drawn from the cache.
-    fn probe_replication(&self, cfg: &SystemConfig, n: u32, r: u32) -> VodSystem {
+    ///
+    /// With `base` set the system uses marginal-probe timing
+    /// ([`VodSystem::with_library_marginal`]); with `warm` additionally
+    /// set and terminals to spare beyond the base, the shared base prefix
+    /// is replayed once per `(config, base, replication)`, kept in the
+    /// engine's [`SnapshotCache`], and forked — so every probe after the
+    /// first pays only for its marginal terminals.
+    fn probe_system(
+        &self,
+        cfg: &SystemConfig,
+        fp: &Arc<str>,
+        base: Option<u32>,
+        warm: bool,
+        n: u32,
+        r: u32,
+    ) -> VodSystem {
         let mut c = cfg.clone();
         c.n_terminals = n;
         c.seed = replication_seed(cfg.seed, r);
         let lib = self.cache.get(&c);
-        VodSystem::with_library(c, lib)
+        let Some(b) = base else {
+            return VodSystem::with_library(c, lib);
+        };
+        if warm && n > b {
+            let (snap, hit) = self.snapshots.get_or_capture(fp, b, r, || {
+                let mut bc = c.clone();
+                bc.n_terminals = b;
+                let mut sys = VodSystem::with_library_marginal(bc, Arc::clone(&lib), b);
+                sys.replay_to_snapshot();
+                sys
+            });
+            self.journal
+                .record_snapshot(hit, n - b, snap.events_processed());
+            return snap.fork_to(n);
+        }
+        VodSystem::with_library_marginal(c, lib, b)
     }
 
     /// Estimate capacity with the paper's replication-until-confident rule
@@ -424,12 +551,34 @@ impl Engine {
         let grid = params.search.step.max(1);
         let mean = w.mean();
         ConfidentCapacityResult {
-            max_terminals: ((mean / grid as f64).round() as u32) * grid,
+            max_terminals: round_to_grid(mean, grid),
             estimates,
             ci_half_width: w.ci_half_width(params.confidence),
             converged,
         }
     }
+}
+
+/// Round a mean capacity estimate to the search grid, defensively.
+///
+/// The naive `(mean / grid).round() as u32 * grid` has two failure modes:
+/// a mean below half a grid step rounds to **zero terminals** (the search
+/// itself never reports an on-grid answer of 0 without flagging
+/// `below_bracket`), and a huge or non-finite mean saturates the `as u32`
+/// cast at `u32::MAX` and then *wraps* in the multiply. Here non-finite
+/// means collapse to the grid floor and the result is clamped to
+/// `[grid, largest grid-aligned u32]`.
+fn round_to_grid(mean: f64, grid: u32) -> u32 {
+    let grid = grid.max(1);
+    let max_aligned = u32::MAX - u32::MAX % grid;
+    if !mean.is_finite() || mean <= 0.0 {
+        return grid;
+    }
+    let steps = (mean / grid as f64).round();
+    if steps >= (max_aligned / grid) as f64 {
+        return max_aligned;
+    }
+    (steps as u32).max(1) * grid
 }
 
 /// Where the bracketed bisection stands.
@@ -631,6 +780,10 @@ struct SpecSearch<'a> {
     cfg: &'a SystemConfig,
     replications: u32,
     fp: &'a Arc<str>,
+    /// Marginal-probe base count (see [`SnapshotMode`]), `None` when off.
+    base: Option<u32>,
+    /// Serve probes above the base by forking warm snapshots.
+    warm: bool,
     state: Mutex<SpecState>,
     /// Signalled whenever an outcome lands or the search finishes.
     resolved: Condvar,
@@ -652,12 +805,16 @@ impl<'a> SpecSearch<'a> {
         cfg: &'a SystemConfig,
         search: &CapacitySearch,
         fp: &'a Arc<str>,
+        base: Option<u32>,
+        warm: bool,
     ) -> Self {
         SpecSearch {
             engine,
             cfg,
             replications: search.replications,
             fp,
+            base,
+            warm,
             state: Mutex::new(SpecState {
                 cursor: SearchCursor::new(search),
                 probes: Vec::new(),
@@ -723,7 +880,9 @@ impl<'a> SpecSearch<'a> {
                     st.running.insert((n, r));
                     drop(st);
                     let started = std::time::Instant::now();
-                    let system = self.engine.probe_replication(self.cfg, n, r);
+                    let system = self
+                        .engine
+                        .probe_system(self.cfg, self.fp, self.base, self.warm, n, r);
                     let (report, clean) =
                         system.run_glitch_probe_abortable(&cancel, r, &self.abort);
                     self.engine.journal.record_probe(ProbeRun {
@@ -901,6 +1060,12 @@ struct ProcessSearch<'a> {
     cfg: &'a SystemConfig,
     replications: u32,
     fp: &'a Arc<str>,
+    /// Marginal-probe base count (see [`SnapshotMode`]), `None` when off.
+    base: Option<u32>,
+    /// Serve in-process fallbacks above the base from warm snapshots.
+    /// Workers always build marginally from scratch — each child process
+    /// runs one replication, so there is no prefix to share.
+    warm: bool,
     pool: ProcessPool,
     cursor: SearchCursor,
     probes: Vec<(u32, u64)>,
@@ -922,6 +1087,8 @@ impl<'a> ProcessSearch<'a> {
         cfg: &'a SystemConfig,
         search: &CapacitySearch,
         fp: &'a Arc<str>,
+        base: Option<u32>,
+        warm: bool,
         pool: ProcessPool,
     ) -> Self {
         ProcessSearch {
@@ -929,6 +1096,8 @@ impl<'a> ProcessSearch<'a> {
             cfg,
             replications: search.replications,
             fp,
+            base,
+            warm,
             pool,
             cursor: SearchCursor::new(search),
             probes: Vec::new(),
@@ -1081,7 +1250,7 @@ impl<'a> ProcessSearch<'a> {
                     Some(_) => {}
                     None => {
                         if self.inflight.insert((n, r)) {
-                            self.pool.submit(n, r, self.cfg);
+                            self.pool.submit(n, r, self.base, self.cfg);
                             budget -= 1;
                             if budget == 0 {
                                 return;
@@ -1147,7 +1316,7 @@ impl<'a> ProcessSearch<'a> {
         let started = std::time::Instant::now();
         let report = self
             .engine
-            .probe_replication(self.cfg, n, r)
+            .probe_system(self.cfg, self.fp, self.base, self.warm, n, r)
             .run_glitch_probe(&cancel, r);
         self.engine.journal.record_probe(ProbeRun {
             terminals: n,
@@ -1318,6 +1487,30 @@ mod tests {
         // need a fixed budget use `Engine::with_threads` instead, so here
         // we only check the parse without mutating the process env.
         assert!(engine_threads() >= 1);
+    }
+
+    #[test]
+    fn round_to_grid_is_clamped_and_total() {
+        // Ordinary rounding stays on the grid.
+        assert_eq!(round_to_grid(12.4, 5), 10);
+        assert_eq!(round_to_grid(12.6, 5), 15);
+        assert_eq!(round_to_grid(40.0, 5), 40);
+        // Regression: a sub-half-step mean used to round to 0 terminals,
+        // an answer the search itself can never produce on-grid.
+        assert_eq!(round_to_grid(1.0, 5), 5);
+        assert_eq!(round_to_grid(2.4, 5), 5);
+        assert_eq!(round_to_grid(0.0, 5), 5);
+        // Regression: a huge mean used to saturate the `as u32` cast at
+        // u32::MAX and then *wrap* in the `* grid` multiply. Saturate at
+        // the largest grid-aligned count instead.
+        assert_eq!(round_to_grid(1e20, 5), u32::MAX); // u32::MAX is a multiple of 5
+        assert_eq!(round_to_grid(1e20, 4), u32::MAX - u32::MAX % 4);
+        assert_eq!(round_to_grid(f64::INFINITY, 7), 7);
+        // Non-finite and negative means collapse to the grid floor.
+        assert_eq!(round_to_grid(f64::NAN, 5), 5);
+        assert_eq!(round_to_grid(-3.0, 5), 5);
+        // A zero grid is repaired, never a divide-by-zero.
+        assert_eq!(round_to_grid(3.0, 0), 3);
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct RunJournal {
     worker_retries: AtomicU64,
     worker_respawns: AtomicU64,
     quarantined_jobs: AtomicU64,
+    snapshot_captures: AtomicU64,
+    snapshot_hits: AtomicU64,
+    forked_terminals: AtomicU64,
+    snapshot_saved_events: AtomicU64,
 }
 
 impl RunJournal {
@@ -83,6 +87,22 @@ impl RunJournal {
             .fetch_add(quarantined, Ordering::Relaxed);
     }
 
+    /// Record one warm-snapshot consultation: whether the base prefix was
+    /// already captured (`hit`), how many marginal terminals the fork
+    /// added, and how many base-prefix events the fork skipped re-running
+    /// (the events the snapshot replayed once, now reused).
+    pub fn record_snapshot(&self, hit: bool, forked_terminals: u32, prefix_events: u64) {
+        if hit {
+            self.snapshot_hits.fetch_add(1, Ordering::Relaxed);
+            self.snapshot_saved_events
+                .fetch_add(prefix_events, Ordering::Relaxed);
+        } else {
+            self.snapshot_captures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.forked_terminals
+            .fetch_add(forked_terminals as u64, Ordering::Relaxed);
+    }
+
     /// A consistent copy of the journal, entries sorted into search order.
     pub fn snapshot(&self) -> JournalSnapshot {
         let mut probes = self.probes.lock().unwrap().clone();
@@ -94,6 +114,10 @@ impl RunJournal {
             worker_retries: self.worker_retries.load(Ordering::Relaxed),
             worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             quarantined_jobs: self.quarantined_jobs.load(Ordering::Relaxed),
+            snapshot_captures: self.snapshot_captures.load(Ordering::Relaxed),
+            snapshot_hits: self.snapshot_hits.load(Ordering::Relaxed),
+            forked_terminals: self.forked_terminals.load(Ordering::Relaxed),
+            snapshot_saved_events: self.snapshot_saved_events.load(Ordering::Relaxed),
         }
     }
 }
@@ -116,6 +140,15 @@ pub struct JournalSnapshot {
     /// Jobs quarantined as poisoned after exhausting their attempts and
     /// resolved by the dispatcher's in-process fallback.
     pub quarantined_jobs: u64,
+    /// Warm base snapshots captured (base prefix simulated and kept).
+    pub snapshot_captures: u64,
+    /// Probe systems served by forking an already-captured snapshot.
+    pub snapshot_hits: u64,
+    /// Marginal terminals added across all snapshot forks (captures and
+    /// hits alike).
+    pub forked_terminals: u64,
+    /// Base-prefix events that snapshot hits did not have to re-simulate.
+    pub snapshot_saved_events: u64,
 }
 
 impl JournalSnapshot {
@@ -150,6 +183,8 @@ impl JournalSnapshot {
              \"probe_runs\": {},\n  \"cache_hits\": {},\n  \"simulated\": {},\n  \
              \"worker_runs\": {},\n  \"worker_retries\": {},\n  \
              \"worker_respawns\": {},\n  \"quarantined_jobs\": {},\n  \
+             \"snapshot_captures\": {},\n  \"snapshot_hits\": {},\n  \
+             \"forked_terminals\": {},\n  \"snapshot_saved_events\": {},\n  \
              \"total_wall_ms\": {:.3},\n  \"probes\": [",
             self.searches,
             self.speculative_events,
@@ -160,6 +195,10 @@ impl JournalSnapshot {
             self.worker_retries,
             self.worker_respawns,
             self.quarantined_jobs,
+            self.snapshot_captures,
+            self.snapshot_hits,
+            self.forked_terminals,
+            self.snapshot_saved_events,
             self.total_wall_nanos() as f64 / 1e6,
         );
         for (i, p) in self.probes.iter().enumerate() {
@@ -232,9 +271,15 @@ mod tests {
         j.record_probe(run(4, 0, false));
         j.record_search(7);
         j.record_worker_activity(3, 2, 1);
+        j.record_snapshot(false, 4, 0);
+        j.record_snapshot(true, 8, 1_000);
         let text = j.snapshot().to_json();
         assert!(text.contains("\"searches\": 1"));
         assert!(text.contains("\"speculative_events\": 7"));
+        assert!(text.contains("\"snapshot_captures\": 1"));
+        assert!(text.contains("\"snapshot_hits\": 1"));
+        assert!(text.contains("\"forked_terminals\": 12"));
+        assert!(text.contains("\"snapshot_saved_events\": 1000"));
         assert!(text.contains("\"worker_retries\": 3"));
         assert!(text.contains("\"worker_respawns\": 2"));
         assert!(text.contains("\"quarantined_jobs\": 1"));

@@ -32,12 +32,12 @@ pub mod system;
 pub mod terminal;
 pub mod wire;
 
-pub use cache::{LibraryCache, LibraryKey, ProbeCache, ProbeOutcome};
+pub use cache::{LibraryCache, LibraryKey, ProbeCache, ProbeOutcome, SnapshotCache};
 pub use config::{default_prefetch_for, PauseConfig, RunTiming, SystemConfig, KB, MB};
 pub use driver::{
     capacity_with_confidence, engine_threads, fan_out, max_glitch_free_terminals, replication_seed,
-    run_once, run_replications, CapacityResult, CapacitySearch, ConfidentCapacity,
-    ConfidentCapacityResult, Engine,
+    run_once, run_replications, snapshot_mode_from_env, CapacityResult, CapacitySearch,
+    ConfidentCapacity, ConfidentCapacityResult, Engine, SnapshotMode,
 };
 pub use journal::{JournalSnapshot, ProbeRun, RunJournal};
 pub use metrics::RunReport;

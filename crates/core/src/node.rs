@@ -84,6 +84,7 @@ pub struct PendingRead {
 }
 
 /// One disk with its scheduler, prefetch queue, and in-flight table.
+#[derive(Clone)]
 pub struct DiskUnit {
     /// The mechanical drive model.
     pub disk: Disk,
@@ -145,6 +146,7 @@ impl std::fmt::Debug for DiskUnit {
 }
 
 /// One server node.
+#[derive(Clone)]
 pub struct Node {
     /// The node CPU (FCFS).
     pub cpu: Cpu<CpuJob>,

@@ -35,7 +35,7 @@ pub enum StartDecision {
 }
 
 /// The piggyback batch manager.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Piggyback {
     delay: SimDuration,
     open: HashMap<VideoId, Vec<u32>>,

@@ -43,6 +43,13 @@ use crate::wire::{self, JobRecord, WorkerOutcome};
 /// the cargo target directory).
 pub const WORKER_BIN_NAME: &str = "spiffi-worker";
 
+/// Smallest per-job timeout the pool will accept, in milliseconds.
+/// Anything shorter than this cannot cover even a trivial probe's
+/// fork+exec+simulate round trip, so a tighter setting would make the
+/// pool kill every worker on its first job and quarantine the whole
+/// search into the in-process fallback.
+pub const MIN_JOB_TIMEOUT_MS: u64 = 1_000;
+
 /// How a [`ProcessPool`] is shaped and how patient it is.
 #[derive(Clone, Debug)]
 pub struct ProcessConfig {
@@ -93,11 +100,27 @@ impl ProcessConfig {
         if let Some(ms) = std::env::var("SPIFFI_WORKER_TIMEOUT_MS")
             .ok()
             .and_then(|v| v.trim().parse::<u64>().ok())
-            .filter(|&ms| ms >= 1)
         {
-            cfg.job_timeout = Duration::from_millis(ms);
+            cfg = cfg.with_job_timeout_ms(ms);
         }
         Some(cfg)
+    }
+
+    /// Set the per-job timeout, clamped to [`MIN_JOB_TIMEOUT_MS`]. A
+    /// zero or near-zero timeout (e.g. `SPIFFI_WORKER_TIMEOUT_MS=0`)
+    /// would expire before any worker could answer its first job,
+    /// insta-killing the whole pool; such values are corrected to the
+    /// floor and the correction is logged.
+    pub fn with_job_timeout_ms(mut self, ms: u64) -> Self {
+        let clamped = ms.max(MIN_JOB_TIMEOUT_MS);
+        if clamped != ms {
+            eprintln!(
+                "spiffi engine: job timeout {ms} ms is below the {MIN_JOB_TIMEOUT_MS} ms floor \
+                 (it would kill workers before their first result); using {clamped} ms"
+            );
+        }
+        self.job_timeout = Duration::from_millis(clamped);
+        self
     }
 }
 
@@ -312,15 +335,23 @@ impl ProcessPool {
 
     /// Accept a job: replication `replication` of a probe at `terminals`
     /// terminals of `config` (base seed; the worker derives the
-    /// replication seed). The job is written to an idle worker
-    /// immediately when one exists, otherwise queued.
-    pub fn submit(&mut self, terminals: u32, replication: u32, config: &SystemConfig) {
+    /// replication seed), built marginally against `base` when set. The
+    /// job is written to an idle worker immediately when one exists,
+    /// otherwise queued.
+    pub fn submit(
+        &mut self,
+        terminals: u32,
+        replication: u32,
+        base: Option<u32>,
+        config: &SystemConfig,
+    ) {
         let id = self.next_id;
         self.next_id += 1;
         let line = wire::encode_job(&JobRecord {
             id,
             terminals,
             replication,
+            base,
             config: config.clone(),
         });
         self.queue.push_back(PendingJob {

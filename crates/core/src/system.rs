@@ -161,6 +161,12 @@ pub enum Event {
     },
 }
 
+/// Base of the per-terminal RNG stream ids: terminal `t` draws from stream
+/// `TERMINAL_STREAM_BASE + t`. Chosen far above every other stream id in
+/// use (layout `0x1a70`, per-disk `(node << 16) | disk`) so terminal
+/// streams can never collide with component streams.
+const TERMINAL_STREAM_BASE: u64 = 0x7e20_0000_0000;
+
 /// Stable variant name of an event, for [`Probe::sim_event`] tallies.
 fn event_kind(ev: &Event) -> &'static str {
     match ev {
@@ -199,6 +205,15 @@ fn cpu_job_kind(job: &CpuJob) -> CpuJobKind {
 /// disk, CPU, network, buffer-pool, and terminal telemetry as the run
 /// unfolds. Probes are observation-only and cannot perturb the simulation;
 /// a traced run produces a [`RunReport`] bit-identical to an untraced one.
+///
+/// `Clone` (for probes that are themselves `Clone`, which includes the
+/// default [`NoopProbe`]) deep-copies the entire simulation state — the
+/// event calendar, every node's disk queues and buffer pool, the terminal
+/// vector, the piggyback manager and all RNG streams — except the video
+/// library, which is immutable and stays shared behind its `Arc`. A clone
+/// and its original evolve independently and deterministically, which is
+/// what makes warm snapshots ([`VodSystem::fork_to`]) possible.
+#[derive(Clone)]
 pub struct VodSystem<P: Probe = NoopProbe> {
     cfg: SystemConfig,
     cal: Calendar<Event>,
@@ -208,7 +223,12 @@ pub struct VodSystem<P: Probe = NoopProbe> {
     net: Network,
     nodes: Vec<Node>,
     terminals: Vec<Terminal>,
-    rng_workload: SimRng,
+    /// One independent RNG stream per terminal index (stream id
+    /// `TERMINAL_STREAM_BASE + t`). A terminal's join instant, title
+    /// choices, initial positions and pause plans are drawn exclusively
+    /// from its own stream, so adding terminal `n+1` never perturbs the
+    /// draws — and therefore the event history — of terminals `0..=n`.
+    term_rngs: Vec<SimRng>,
     piggyback: Option<Piggyback>,
     /// Active skip-based visual searches, by terminal.
     searches: std::collections::HashMap<u32, SearchState>,
@@ -281,6 +301,30 @@ impl VodSystem {
     pub fn with_library(cfg: SystemConfig, library: impl Into<std::sync::Arc<Library>>) -> Self {
         Self::with_probe(cfg, library, NoopProbe)
     }
+
+    /// Build the system with *marginal-probe* timing: terminals `0..base`
+    /// join staggered over `[0, stagger)` as usual, while terminals
+    /// `base..n_terminals` join staggered over `[warmup - stagger, warmup)`
+    /// — the last stagger-width slice of the warm-up, immediately before
+    /// `BeginMeasure`. With `base >= n_terminals` every terminal is
+    /// base-style and only the (shared) timeline differs from
+    /// [`VodSystem::with_library`] by nothing at all.
+    ///
+    /// This is the from-scratch twin of the snapshot/fork path: running a
+    /// system built here to completion produces the same report as
+    /// building at `base` terminals, [`VodSystem::replay_to_snapshot`],
+    /// then [`VodSystem::fork_to`]`(n_terminals)` — the capacity engine
+    /// uses that equivalence to make a bisection step cost O(Δterminals).
+    ///
+    /// # Panics
+    /// If the configuration fails [`SystemConfig::validate`].
+    pub fn with_library_marginal(
+        cfg: SystemConfig,
+        library: impl Into<std::sync::Arc<Library>>,
+        base: u32,
+    ) -> Self {
+        Self::build(cfg, library.into(), NoopProbe, Some(base))
+    }
 }
 
 impl<P: Probe> VodSystem<P> {
@@ -296,11 +340,21 @@ impl<P: Probe> VodSystem<P> {
         library: impl Into<std::sync::Arc<Library>>,
         probe: P,
     ) -> Self {
-        let library = library.into();
+        Self::build(cfg, library.into(), probe, None)
+    }
+
+    /// Shared constructor. `base = Some(b)` selects marginal-probe timing
+    /// (see [`VodSystem::with_library_marginal`]); `None` is the standard
+    /// timeline where every terminal joins in `[0, stagger)`.
+    fn build(
+        cfg: SystemConfig,
+        library: std::sync::Arc<Library>,
+        probe: P,
+        base: Option<u32>,
+    ) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid configuration: {e}");
         }
-        let mut rng_workload = SimRng::stream(cfg.seed, 0x17e2);
         let layout = match cfg.placement {
             Placement::Striped => Layout::striped(cfg.topology, cfg.stripe_bytes, &library),
             Placement::NonStriped => {
@@ -337,13 +391,21 @@ impl<P: Probe> VodSystem<P> {
         // growth reallocations.
         let mut cal = Calendar::with_capacity(8 * cfg.n_terminals as usize);
         // Staggered starts (§6): "the terminals start movies at random
-        // intervals."
+        // intervals." Each terminal's join instant is the first draw of
+        // its own RNG stream, so the set of other terminals never shifts
+        // it. Under marginal timing, terminals at or above `base` join in
+        // the last stagger-width slice of the warm-up instead — after the
+        // snapshot point a warm fork resumes from.
+        let mut term_rngs: Vec<SimRng> = (0..cfg.n_terminals)
+            .map(|t| SimRng::stream(cfg.seed, TERMINAL_STREAM_BASE + t as u64))
+            .collect();
+        let late_join = SimTime::ZERO + (cfg.timing.warmup - cfg.timing.stagger);
         for t in 0..cfg.n_terminals {
-            let at = uniform_time(
-                &mut rng_workload,
-                SimTime::ZERO,
-                SimTime::ZERO + cfg.timing.stagger,
-            );
+            let rng = &mut term_rngs[t as usize];
+            let at = match base {
+                Some(b) if t >= b => uniform_time(rng, late_join, late_join + cfg.timing.stagger),
+                _ => uniform_time(rng, SimTime::ZERO, SimTime::ZERO + cfg.timing.stagger),
+            };
             cal.schedule_at(at, Event::StartTerminal(t));
         }
         cal.schedule_at(SimTime::ZERO + cfg.timing.warmup, Event::BeginMeasure);
@@ -359,7 +421,7 @@ impl<P: Probe> VodSystem<P> {
             net: Network::default(),
             nodes,
             terminals,
-            rng_workload,
+            term_rngs,
             piggyback,
             searches: std::collections::HashMap::new(),
             search_sessions: 0,
@@ -465,6 +527,75 @@ impl<P: Probe> VodSystem<P> {
         }
         self.cal.advance_to(end);
         (self.collect_report(end), true)
+    }
+
+    /// Events processed so far (monotone; carried into clones and forks).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The snapshot boundary for marginal timing: the instant the late
+    /// joiners' stagger window opens, one stagger before `BeginMeasure`.
+    fn snapshot_time(&self) -> SimTime {
+        SimTime::ZERO + (self.cfg.timing.warmup - self.cfg.timing.stagger)
+    }
+
+    /// Replay the simulation up to (but excluding) the snapshot boundary
+    /// `warmup - stagger`, leaving the system in the exact state a
+    /// from-scratch marginal run passes through at that instant. Capture a
+    /// snapshot by cloning the system afterwards; extend it with
+    /// [`VodSystem::fork_to`].
+    ///
+    /// Only meaningful on a system built with
+    /// [`VodSystem::with_library_marginal`] (or an equivalent timeline):
+    /// under standard timing the warm-up before the boundary is not
+    /// reusable, because additional terminals would have joined inside it.
+    pub fn replay_to_snapshot(&mut self) {
+        let s = self.snapshot_time();
+        while self.cal.peek_time().is_some_and(|t| t < s) {
+            let (_, ev) = self.cal.pop().expect("peeked event vanished");
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        self.cal.advance_to(s);
+    }
+
+    /// Fork a replayed snapshot out to `n_terminals`: deep-clone the
+    /// simulation state and add the marginal terminals
+    /// `self.n_terminals..n_terminals`, each joining at an instant drawn
+    /// from its own fresh RNG stream, uniformly inside the late-join
+    /// window `[warmup - stagger, warmup)`. Because surviving terminals
+    /// own their RNG streams and the marginal joins land strictly after
+    /// every replayed event, the fork's event history is bit-identical to
+    /// a from-scratch [`VodSystem::with_library_marginal`] run at
+    /// `n_terminals` (up to ties at exact nanoseconds between a marginal
+    /// join and a pending event, which continuous draws make a
+    /// measure-zero, seed-deterministic coincidence). Retiring terminals
+    /// is not supported — probe below the snapshot's count from scratch.
+    ///
+    /// # Panics
+    /// If `n_terminals` is below the snapshot's terminal count.
+    pub fn fork_to(&self, n_terminals: u32) -> Self
+    where
+        P: Clone,
+    {
+        assert!(
+            n_terminals >= self.cfg.n_terminals,
+            "fork_to({n_terminals}) cannot retire terminals from a {}-terminal snapshot",
+            self.cfg.n_terminals
+        );
+        let mut sys = self.clone();
+        let s = sys.snapshot_time();
+        for t in sys.cfg.n_terminals..n_terminals {
+            let mut rng = SimRng::stream(sys.cfg.seed, TERMINAL_STREAM_BASE + t as u64);
+            let at = uniform_time(&mut rng, s, s + sys.cfg.timing.stagger);
+            sys.cal.schedule_at(at, Event::StartTerminal(t));
+            sys.terminals
+                .push(Terminal::new(t, sys.cfg.terminal_memory_bytes));
+            sys.term_rngs.push(rng);
+        }
+        sys.cfg.n_terminals = n_terminals;
+        sys
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -735,9 +866,9 @@ impl<P: Probe> VodSystem<P> {
         match self.cfg.initial_position {
             crate::config::InitialPosition::Start => self.start_next_title(t),
             crate::config::InitialPosition::UniformWithinVideo => {
-                let video = self.selector.select(&mut self.rng_workload);
+                let video = self.selector.select(&mut self.term_rngs[t as usize]);
                 let frames = self.library.get(video).num_frames();
-                let frame = self.rng_workload.u64_below(frames.max(1));
+                let frame = self.term_rngs[t as usize].u64_below(frames.max(1));
                 self.begin_stream_at(t, video, frame);
             }
         }
@@ -745,7 +876,7 @@ impl<P: Probe> VodSystem<P> {
 
     /// Select (and possibly batch) the next title for terminal `t`.
     fn start_next_title(&mut self, t: u32) {
-        let video = self.selector.select(&mut self.rng_workload);
+        let video = self.selector.select(&mut self.term_rngs[t as usize]);
         match self.piggyback.as_mut() {
             None => self.begin_stream(t, video),
             Some(pb) => {
@@ -787,7 +918,7 @@ impl<P: Probe> VodSystem<P> {
 
     /// Begin streaming `video` on terminal `t` from `start_frame`.
     fn begin_stream_at(&mut self, t: u32, video: VideoId, start_frame: u64) {
-        let mut pauses = self.draw_pause_plan(video);
+        let mut pauses = self.draw_pause_plan(t, video);
         // Pauses scheduled before the starting position already "happened";
         // keeping them would stall playback the moment it starts.
         pauses.retain(|&(frame, _)| frame >= start_frame);
@@ -799,26 +930,30 @@ impl<P: Probe> VodSystem<P> {
     /// Draw the pause plan for one viewing (§8.1): pause instants form a
     /// Poisson process over the title at the configured mean rate, with
     /// exponential durations.
-    fn draw_pause_plan(&mut self, video: VideoId) -> Vec<(u64, spiffi_simcore::SimDuration)> {
+    fn draw_pause_plan(
+        &mut self,
+        t: u32,
+        video: VideoId,
+    ) -> Vec<(u64, spiffi_simcore::SimDuration)> {
         let Some(pc) = self.cfg.pause else {
             return Vec::new();
         };
-        let v = self.library.get(video);
-        let frames = v.num_frames();
+        let frames = self.library.get(video).num_frames();
         let mean_gap_frames = frames as f64 / pc.mean_pauses_per_video;
         let gap = Exponential::new(mean_gap_frames);
         let dur = Exponential::new(pc.mean_duration.as_secs_f64());
+        let rng = &mut self.term_rngs[t as usize];
         let mut plan = Vec::new();
         let mut at = 0.0;
         loop {
-            at += gap.sample(&mut self.rng_workload);
+            at += gap.sample(rng);
             let frame = at as u64;
             if frame >= frames {
                 break;
             }
             plan.push((
                 frame,
-                spiffi_simcore::SimDuration::from_secs_f64(dur.sample(&mut self.rng_workload)),
+                spiffi_simcore::SimDuration::from_secs_f64(dur.sample(rng)),
             ));
         }
         plan

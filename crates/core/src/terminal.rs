@@ -76,7 +76,7 @@ pub struct Pump {
 }
 
 /// One subscriber's set-top terminal.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Terminal {
     id: u32,
     capacity: u64,

@@ -33,8 +33,9 @@ use crate::config::{InitialPosition, PauseConfig, SystemConfig};
 
 /// Protocol version; bumped whenever a record's shape changes. A
 /// dispatcher and worker must agree exactly — there is no negotiation,
-/// because both halves ship in one binary's workspace.
-pub const PROTO_VERSION: u32 = 1;
+/// because both halves ship in one binary's workspace. v2 added the
+/// `base=` job token carrying the marginal-probe base count.
+pub const PROTO_VERSION: u32 = 2;
 
 /// One probe-replication job: simulate `config` at `terminals` terminals,
 /// replication `replication` (the worker derives the replication seed from
@@ -47,6 +48,12 @@ pub struct JobRecord {
     pub terminals: u32,
     /// Replication index within the probe.
     pub replication: u32,
+    /// Marginal-probe base count: `Some(b)` selects
+    /// [`VodSystem::with_library_marginal`](crate::VodSystem::with_library_marginal)
+    /// timing with base `b`, `None` the legacy full-stagger build. Must
+    /// match the dispatcher's snapshot mode or outcomes would silently
+    /// diverge from the in-process engine's.
+    pub base: Option<u32>,
     /// Full system configuration (base seed included).
     pub config: SystemConfig,
 }
@@ -144,8 +151,14 @@ pub fn encode_job(job: &JobRecord) -> String {
     use std::fmt::Write as _;
     let c = &job.config;
     let mut s = format!(
-        "spiffi-job/{PROTO_VERSION} id={} n={} r={}",
-        job.id, job.terminals, job.replication
+        "spiffi-job/{PROTO_VERSION} id={} n={} r={} base={}",
+        job.id,
+        job.terminals,
+        job.replication,
+        match job.base {
+            None => "none".to_string(),
+            Some(b) => b.to_string(),
+        },
     );
     let _ = write!(
         s,
@@ -460,10 +473,15 @@ pub fn parse_job(line: &str) -> Result<JobRecord, WireError> {
         },
         seed: f.num("seed")?,
     };
+    let base = match f.raw("base")? {
+        "none" => None,
+        raw => Some(raw.parse().map_err(|_| bad("base", raw))?),
+    };
     Ok(JobRecord {
         id: f.num("id")?,
         terminals: f.num("n")?,
         replication: f.num("r")?,
+        base,
         config,
     })
 }
@@ -556,6 +574,7 @@ mod tests {
             id: 42,
             terminals: 24,
             replication: 1,
+            base: None,
             config: cfg,
         }
     }
@@ -582,6 +601,12 @@ mod tests {
             SystemConfig::paper_base(),
             exotic,
         ] {
+            for base in [None, Some(20u32)] {
+                let mut sent = job(cfg.clone());
+                sent.base = base;
+                let got = parse_job(&encode_job(&sent)).expect("round trip");
+                assert_eq!(got.base, base);
+            }
             let sent = job(cfg);
             let got = parse_job(&encode_job(&sent)).expect("round trip");
             assert_eq!(got.id, 42);
@@ -613,10 +638,10 @@ mod tests {
             }
         );
         // A token without `=` means the line was cut mid-token.
-        assert_eq!(err("spiffi-job/1 id=1 n=2 r=0 nod"), WireError::Truncated);
+        assert_eq!(err("spiffi-job/2 id=1 n=2 r=0 nod"), WireError::Truncated);
         // A structurally fine line missing a config field.
         assert_eq!(
-            err("spiffi-job/1 id=1 n=2 r=0"),
+            err("spiffi-job/2 id=1 n=2 r=0"),
             WireError::MissingField("access")
         );
         // A field with an unparseable value.
@@ -657,9 +682,9 @@ mod tests {
         assert_eq!(parse_result(""), Err(WireError::UnknownRecord));
         assert_eq!(parse_result("panic: oh no"), Err(WireError::UnknownRecord));
         assert_eq!(
-            parse_result("{\"spiffi_worker\":2,\"job\":1,\"ok\":true}"),
+            parse_result("{\"spiffi_worker\":999,\"job\":1,\"ok\":true}"),
             Err(WireError::Version {
-                got: 2,
+                got: 999,
                 want: PROTO_VERSION
             })
         );
@@ -681,17 +706,17 @@ mod tests {
         }
         // Well-formed JSON but missing the outcome marker.
         assert_eq!(
-            parse_result("{\"spiffi_worker\":1,\"job\":4}"),
+            parse_result("{\"spiffi_worker\":2,\"job\":4}"),
             Err(WireError::MissingField("ok"))
         );
         // Missing a counted field.
         assert_eq!(
-            parse_result("{\"spiffi_worker\":1,\"job\":4,\"ok\":true,\"events\":5}"),
+            parse_result("{\"spiffi_worker\":2,\"job\":4,\"ok\":true,\"events\":5}"),
             Err(WireError::MissingField("glitches"))
         );
         // Non-numeric where a number must be.
         assert!(matches!(
-            parse_result("{\"spiffi_worker\":1,\"job\":nope,\"ok\":true}"),
+            parse_result("{\"spiffi_worker\":2,\"job\":nope,\"ok\":true}"),
             Err(WireError::BadValue { field: "job", .. })
         ));
     }

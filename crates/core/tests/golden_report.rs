@@ -3,8 +3,9 @@
 //! Determinism is sacred: for a fixed seed and configuration, the
 //! simulator must produce a byte-identical [`RunReport`] across code
 //! changes that claim to be behavior-preserving (e.g. the allocation-free
-//! scheduler/disk hot-path rewrites). These constants were captured from
-//! the pre-rewrite implementation; any drift in them means the observable
+//! scheduler/disk hot-path rewrites). These constants were captured when
+//! workload randomness moved to per-terminal RNG streams (the
+//! snapshot/fork contract); any drift in them means the observable
 //! simulation changed, not just its speed.
 //!
 //! Float fields are compared by `to_bits()` — "byte-identical" means
@@ -75,13 +76,13 @@ fn golden_realtime() {
         g,
         Golden {
             glitches: 0,
-            blocks_delivered: 227,
+            blocks_delivered: 229,
             videos_completed: 0,
-            events_processed: 2295,
+            events_processed: 2441,
             deadline_misses: 0,
-            avg_disk_utilization_bits: 4596046562552118446,
+            avg_disk_utilization_bits: 4597346758475504232,
             net_peak_bits: 4707390259288080384,
-            io_latency_mean_bits: 0,
+            io_latency_mean_bits: 4635123579290191049,
         }
     );
 }
@@ -93,14 +94,14 @@ fn golden_elevator() {
     assert_eq!(
         g,
         Golden {
-            glitches: 135,
-            blocks_delivered: 996,
+            glitches: 107,
+            blocks_delivered: 1035,
             videos_completed: 0,
-            events_processed: 9724,
-            deadline_misses: 152,
-            avg_disk_utilization_bits: 4607177121074662944,
-            net_peak_bits: 4715974971199848448,
-            io_latency_mean_bits: 4652888396672545099,
+            events_processed: 10196,
+            deadline_misses: 89,
+            avg_disk_utilization_bits: 4607174054898085960,
+            net_peak_bits: 4716537989872746496,
+            io_latency_mean_bits: 4652885962662289357,
         }
     );
 }
@@ -112,14 +113,14 @@ fn golden_gss() {
     assert_eq!(
         g,
         Golden {
-            glitches: 58,
-            blocks_delivered: 999,
+            glitches: 45,
+            blocks_delivered: 1024,
             videos_completed: 0,
-            events_processed: 9794,
-            deadline_misses: 88,
-            avg_disk_utilization_bits: 4607178679334245293,
-            net_peak_bits: 4715975108638801920,
-            io_latency_mean_bits: 4652996071136580818,
+            events_processed: 10008,
+            deadline_misses: 57,
+            avg_disk_utilization_bits: 4607182418800017408,
+            net_peak_bits: 4716256514896035840,
+            io_latency_mean_bits: 4652994685457242973,
         }
     );
 }
@@ -138,14 +139,14 @@ fn golden_overloaded_realtime() {
     assert_eq!(
         g,
         Golden {
-            glitches: 131,
-            blocks_delivered: 984,
+            glitches: 67,
+            blocks_delivered: 1056,
             videos_completed: 0,
-            events_processed: 9722,
-            deadline_misses: 159,
-            avg_disk_utilization_bits: 4607170870533543956,
-            net_peak_bits: 4715974833760894976,
-            io_latency_mean_bits: 4652883206505385707,
+            events_processed: 10361,
+            deadline_misses: 64,
+            avg_disk_utilization_bits: 4607175913465347582,
+            net_peak_bits: 4716538161671438336,
+            io_latency_mean_bits: 4652513707330735653,
         }
     );
 }

@@ -52,7 +52,7 @@ impl CpuParams {
 }
 
 /// A single FCFS CPU executing jobs with payloads of type `T`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Cpu<T> {
     params: CpuParams,
     /// Queued jobs: (instruction cost, payload).

@@ -45,7 +45,7 @@ impl NetParams {
 }
 
 /// The shared bus: delay computation plus aggregate traffic accounting.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Network {
     params: NetParams,
     traffic: RateTracker,

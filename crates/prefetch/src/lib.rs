@@ -151,7 +151,7 @@ pub struct PrefetchStats {
 }
 
 /// One disk's prefetch queue and process pool.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PrefetchQueue {
     kind: PrefetchKind,
     fifo: VecDeque<PrefetchRequest>,

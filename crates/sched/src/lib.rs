@@ -71,7 +71,11 @@ pub struct DiskRequest {
 }
 
 /// Common interface of all disk schedulers.
-pub trait DiskScheduler: Send {
+///
+/// `Send + Sync` so a scheduler boxed inside simulation state can move
+/// across the experiment engine's worker threads and be shared read-only
+/// from a cached snapshot.
+pub trait DiskScheduler: Send + Sync {
     /// Enqueue a request.
     fn push(&mut self, req: DiskRequest);
 
@@ -95,6 +99,17 @@ pub trait DiskScheduler: Send {
 
     /// Algorithm name for reports.
     fn name(&self) -> &'static str;
+
+    /// Deep-copy this scheduler, queued requests and sweep state included,
+    /// behind a fresh box. Lets simulation state holding a
+    /// `Box<dyn DiskScheduler>` implement `Clone` for snapshot/fork.
+    fn clone_box(&self) -> Box<dyn DiskScheduler>;
+}
+
+impl Clone for Box<dyn DiskScheduler> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Scheduler selection, used by configuration and the experiment harness.

@@ -27,7 +27,7 @@ use crate::time::{SimDuration, SimTime};
 /// assert_eq!(cal.pop(), Some((SimTime::from_secs_f64(2.0), "second")));
 /// assert_eq!(cal.pop(), None);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Calendar<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     now: SimTime,
@@ -35,7 +35,7 @@ pub struct Calendar<E> {
     scheduled_total: u64,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,

@@ -371,11 +371,19 @@ impl Histogram {
     }
 
     /// Value at or below which `q` (0..=1) of observations fall,
-    /// approximated by the upper edge of the containing bin.
+    /// approximated by the upper edge of the containing bin. `q = 1`
+    /// returns the exact recorded [`Histogram::max`], so a reported p100
+    /// can never exceed an observed value.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q));
         if self.count == 0 {
             return 0.0;
+        }
+        if q >= 1.0 {
+            // The top bin's upper edge over-reports the true maximum by up
+            // to a full bin width; p100 is an observed value, so return it
+            // exactly.
+            return self.max;
         }
         let target = (q * self.count as f64).ceil() as u64;
         if target == 0 {
@@ -572,7 +580,8 @@ mod tests {
         assert_eq!(h.count(), 10);
         assert!((h.mean() - 5.0).abs() < 1e-12);
         assert!((h.quantile(0.5) - 5.0).abs() < 1e-12);
-        assert!((h.quantile(1.0) - 10.0).abs() < 1e-12);
+        assert!((h.quantile(0.9) - 9.0).abs() < 1e-12);
+        assert_eq!(h.quantile(1.0), 9.5); // the exact recorded max
         assert_eq!(h.overflow(), 0);
     }
 
@@ -667,6 +676,19 @@ mod tests {
         all_neg.add(-2.0);
         assert_eq!(all_neg.mean(), 0.0);
         assert_eq!(all_neg.max(), 0.0);
-        assert_eq!(all_neg.quantile(1.0), 1.0); // upper edge of bin 0
+        assert_eq!(all_neg.quantile(1.0), 0.0); // the clamped max, not bin 0's edge
+    }
+
+    #[test]
+    fn histogram_p100_never_exceeds_an_observation() {
+        // Regression: quantile(1.0) used to return the containing bin's
+        // upper edge, reporting a p100 latency no request ever saw (e.g.
+        // 1.0 for a single 0.1 observation in unit-width bins).
+        let mut h = Histogram::new(1.0, 10);
+        h.add(0.1);
+        assert_eq!(h.quantile(1.0), 0.1);
+        h.add(4.25);
+        assert_eq!(h.quantile(1.0), 4.25);
+        assert_eq!(h.quantile(1.0), h.max());
     }
 }
