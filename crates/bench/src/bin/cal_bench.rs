@@ -1,0 +1,136 @@
+//! Calendar-kernel microbenchmark: binary heap vs bucket queue.
+//!
+//! Drives both event kernels through the classic *hold model* — prime the
+//! calendar with `n` events, then repeatedly pop the minimum and schedule
+//! a replacement at `now + draw(distribution)` — so the pending-event
+//! population stays fixed at `n` while the clock advances. That isolates
+//! the per-event kernel cost from the rest of the simulator and is
+//! exactly the access pattern the VoD run loop produces (every popped
+//! wake/IO/reply schedules a successor a short horizon ahead).
+//!
+//! Four event-horizon distributions stress different kernel behaviours:
+//! near-future exponential (the VoD steady state — the bucket queue's
+//! home turf), uniform (wide spread, exercises bucket-width adaptation),
+//! bimodal with far outliers (cursor jumps over empty days), and massed
+//! ties (thousands of events on one instant — the rebuild-backoff path).
+//!
+//! Determinism is asserted, not assumed: both kernels must produce the
+//! same pop-sequence checksum for every (distribution, size) cell, the
+//! same tie-break included. Run with:
+//!
+//!   cargo run --release -p spiffi-bench --bin cal_bench
+
+use std::time::Instant;
+
+use spiffi_simcore::{Calendar, KernelKind, SimDuration, SimRng, SimTime};
+
+/// Pending-event populations to hold the calendar at.
+const SIZES: [usize; 3] = [1_024, 16_384, 131_072];
+
+/// Pop+schedule pairs measured per cell.
+const OPS: u64 = 1_000_000;
+
+/// Event-horizon distributions (how far ahead a popped event reschedules).
+#[derive(Clone, Copy, Debug)]
+enum Dist {
+    /// Exponential, mean 1 ms — the VoD steady state.
+    NearFuture,
+    /// Uniform on [0, 100 ms].
+    Uniform,
+    /// 90% exponential mean 1 ms, 10% uniform out to 10 s.
+    Bimodal,
+    /// Exponential mean 1 ms quantized to a 4 ms grid — heavy ties.
+    MassedTies,
+}
+
+impl Dist {
+    fn name(self) -> &'static str {
+        match self {
+            Dist::NearFuture => "near-future",
+            Dist::Uniform => "uniform",
+            Dist::Bimodal => "bimodal",
+            Dist::MassedTies => "massed-ties",
+        }
+    }
+
+    /// Draw one horizon in nanoseconds.
+    fn draw(self, rng: &mut SimRng) -> u64 {
+        const MS: f64 = 1e6;
+        match self {
+            Dist::NearFuture => (-MS * (1.0 - rng.f64()).ln()) as u64,
+            Dist::Uniform => rng.u64_below(100_000_000),
+            Dist::Bimodal => {
+                if rng.chance(0.9) {
+                    (-MS * (1.0 - rng.f64()).ln()) as u64
+                } else {
+                    rng.u64_below(10_000_000_000)
+                }
+            }
+            Dist::MassedTies => {
+                let grid = 4_000_000;
+                ((-MS * (1.0 - rng.f64()).ln()) as u64 / grid) * grid
+            }
+        }
+    }
+}
+
+/// One hold-model run: returns (ops per second, pop-sequence checksum).
+/// The checksum folds every popped (time, payload) through an FNV-style
+/// mix, so two kernels agree only if they popped the same events in the
+/// same order — ties included.
+fn hold(kind: KernelKind, dist: Dist, n: usize, seed: u64) -> (f64, u64) {
+    let mut cal: Calendar<u64> = Calendar::with_capacity_and_kernel(n, kind);
+    let mut rng = SimRng::stream(0xca1b, seed);
+    for i in 0..n {
+        cal.schedule_at(SimTime(dist.draw(&mut rng)), i as u64);
+    }
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |t: SimTime, p: u64| {
+        checksum = (checksum ^ t.0).wrapping_mul(0x100_0000_01b3);
+        checksum = (checksum ^ p).wrapping_mul(0x100_0000_01b3);
+    };
+    let start = Instant::now();
+    for _ in 0..OPS {
+        let (t, payload) = cal.pop().expect("hold model never drains");
+        fold(t, payload);
+        cal.schedule_in(SimDuration(dist.draw(&mut rng)), payload);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (OPS as f64 / wall, checksum)
+}
+
+fn main() {
+    println!("== cal_bench: event-kernel hold model, {OPS} pop+schedule pairs per cell ==\n");
+    println!(
+        "{:>12} {:>9} {:>14} {:>14} {:>9}",
+        "distribution", "events", "heap Mops/s", "bucket Mops/s", "speedup"
+    );
+    for dist in [
+        Dist::NearFuture,
+        Dist::Uniform,
+        Dist::Bimodal,
+        Dist::MassedTies,
+    ] {
+        for n in SIZES {
+            let seed = n as u64;
+            let (heap_rate, heap_sum) = hold(KernelKind::Heap, dist, n, seed);
+            let (bucket_rate, bucket_sum) = hold(KernelKind::Bucket, dist, n, seed);
+            assert_eq!(
+                heap_sum,
+                bucket_sum,
+                "pop sequences diverged: {} at {} events",
+                dist.name(),
+                n
+            );
+            println!(
+                "{:>12} {:>9} {:>14.2} {:>14.2} {:>8.2}x",
+                dist.name(),
+                n,
+                heap_rate / 1e6,
+                bucket_rate / 1e6,
+                bucket_rate / heap_rate
+            );
+        }
+    }
+    println!("\nall pop-sequence checksums identical across kernels");
+}

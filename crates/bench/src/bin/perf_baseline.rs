@@ -30,7 +30,7 @@ use std::time::Instant;
 
 use spiffi_core::{
     discover_worker_bin, engine_threads, fan_out, replication_seed, CapacitySearch, Engine,
-    JournalSnapshot, ProcessConfig, SnapshotMode, SystemConfig, VodSystem,
+    JournalSnapshot, KernelKind, ProcessConfig, SnapshotMode, SystemConfig, VodSystem,
 };
 use spiffi_mpeg::{AccessPattern, Library};
 use spiffi_sched::SchedulerKind;
@@ -208,6 +208,100 @@ fn spec_workload(engine: &Engine) -> (u32, u64, u64) {
         waste += r.speculative_events;
     }
     (capacity, events, waste)
+}
+
+/// Terminal populations for the scale section: a mid-size and a large
+/// steady-state pump, 32 terminals per 4-disk node (well inside the
+/// ~13-per-disk glitch knee, so the runs measure steady streaming, not
+/// overload churn).
+const SCALE_SIZES: [u32; 2] = [4_096, 16_384];
+
+/// Measured repetitions per (size, kernel) cell of the scale section.
+/// The recorded wall time is the best of these — the minimum is the
+/// least-noise estimator on a shared machine, and both kernels get the
+/// same treatment.
+const SCALE_ITERS: u32 = 5;
+
+/// The scale-section configuration: `terminals / 32` nodes of 4 disks
+/// each, uniform access over 64 one-minute titles, 32 MB of buffer per
+/// node, and a short schedule (the cost is in the population, not the
+/// window). Only the event-kernel choice varies between the two runs of
+/// each cell, so events processed must be byte-identical.
+fn scale_config(n_terminals: u32) -> SystemConfig {
+    let mut c = SystemConfig::small_test();
+    let nodes = (n_terminals / 32).max(1);
+    c.topology = spiffi_layout::Topology {
+        nodes,
+        disks_per_node: 4,
+    };
+    c.n_videos = 64;
+    c.access = AccessPattern::Uniform;
+    c.video.duration = SimDuration::from_secs(60);
+    c.server_memory_bytes = nodes as u64 * 32 * 1024 * 1024;
+    c.timing.stagger = SimDuration::from_secs(5);
+    c.timing.warmup = SimDuration::from_secs(10);
+    c.timing.measure = SimDuration::from_secs(20);
+    c.n_terminals = n_terminals;
+    c.seed = 0x005b_1ff1_9e4f;
+    c
+}
+
+/// One measured cell of the scale section.
+struct ScaleCell {
+    terminals: u32,
+    events_processed: u64,
+    heap_wall_seconds: f64,
+    bucket_wall_seconds: f64,
+}
+
+/// One steady-state pump at `n` terminals under `kind`: wall seconds,
+/// events processed, glitches.
+fn scale_run(n: u32, kind: KernelKind, library: &Library) -> (f64, u64, u64) {
+    let mut sys = VodSystem::with_library(scale_config(n), library.clone());
+    sys.set_calendar_kernel(kind);
+    let start = Instant::now();
+    let r = sys.run();
+    (
+        start.elapsed().as_secs_f64(),
+        r.events_processed,
+        r.glitches,
+    )
+}
+
+/// Measure the scale section: for each population, run both kernels and
+/// assert their counted events identical (the kernel swap must be
+/// invisible to everything but the clock on the wall).
+fn measure_scale() -> Vec<ScaleCell> {
+    // All scale configs share n_videos/video/seed, hence one library.
+    let library = VodSystem::generate_library(&scale_config(SCALE_SIZES[0]));
+    scale_run(SCALE_SIZES[0], KernelKind::Bucket, &library); // warm-up
+    SCALE_SIZES
+        .iter()
+        .map(|&n| {
+            let (mut heap_wall, mut bucket_wall) = (f64::INFINITY, f64::INFINITY);
+            let (mut events, mut glitches) = (0, 0);
+            for _ in 0..SCALE_ITERS {
+                let (w, e, g) = scale_run(n, KernelKind::Heap, &library);
+                heap_wall = heap_wall.min(w);
+                let (w2, e2, g2) = scale_run(n, KernelKind::Bucket, &library);
+                bucket_wall = bucket_wall.min(w2);
+                assert_eq!(
+                    (e, g),
+                    (e2, g2),
+                    "kernel swap changed the simulation at {n} terminals"
+                );
+                events = e;
+                glitches = g;
+            }
+            assert_eq!(glitches, 0, "scale workload must stay glitch-free at {n}");
+            ScaleCell {
+                terminals: n,
+                events_processed: events,
+                heap_wall_seconds: heap_wall,
+                bucket_wall_seconds: bucket_wall,
+            }
+        })
+        .collect()
 }
 
 /// One measured sample of the harness.
@@ -529,6 +623,21 @@ fn main() {
         None => println!("process: spiffi-worker binary not found; section skipped"),
     }
 
+    let scale = measure_scale();
+    for c in &scale {
+        let speedup = c.heap_wall_seconds / c.bucket_wall_seconds;
+        println!(
+            "scale ({} terminals): events: {}   heap: {:.3} s ({:.0} events/s)   \
+             bucket: {:.3} s ({:.0} events/s)   bucket speedup: {speedup:.2}x",
+            c.terminals,
+            c.events_processed,
+            c.heap_wall_seconds,
+            c.events_processed as f64 / c.heap_wall_seconds,
+            c.bucket_wall_seconds,
+            c.events_processed as f64 / c.bucket_wall_seconds,
+        );
+    }
+
     let baseline = if record_baseline {
         None
     } else {
@@ -616,6 +725,24 @@ fn main() {
         snap_journal.forked_terminals,
         snap_journal.snapshot_saved_events,
     ));
+    json.push_str("  \"scale\": {\n    \"kernels_agree\": true,\n    \"sizes\": [\n");
+    for (i, c) in scale.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\n        \"terminals\": {},\n        \"events_processed\": {},\n        \
+             \"heap_wall_seconds\": {:.4},\n        \"heap_events_per_sec\": {:.1},\n        \
+             \"bucket_wall_seconds\": {:.4},\n        \"bucket_events_per_sec\": {:.1},\n        \
+             \"bucket_speedup\": {:.4}\n      }}{}\n",
+            c.terminals,
+            c.events_processed,
+            c.heap_wall_seconds,
+            c.events_processed as f64 / c.heap_wall_seconds,
+            c.bucket_wall_seconds,
+            c.events_processed as f64 / c.bucket_wall_seconds,
+            c.heap_wall_seconds / c.bucket_wall_seconds,
+            if i + 1 == scale.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
     match &process {
         Some(p) => json.push_str(&format!(
             "  \"process\": {{\n    \"available\": true,\n    \"workers\": {PROCESS_WORKERS},\n    \

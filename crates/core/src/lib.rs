@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod cache;
 pub mod config;
 pub mod driver;
@@ -44,7 +45,9 @@ pub use metrics::RunReport;
 pub use process::{discover_worker_bin, ProcessConfig, ProcessPool};
 // The observability layer, re-exported so instrumented callers need only
 // depend on `spiffi-core`.
+pub use bitset::TermBitset;
 pub use piggyback::{Piggyback, StartDecision};
+pub use spiffi_simcore::KernelKind;
 pub use spiffi_trace::{NoopProbe, Probe, SampleRow, Sampler, TraceRecorder};
 pub use system::{Event, VisualSearch, VodSystem};
 pub use terminal::{PlayState, Pump, Terminal};

@@ -24,7 +24,7 @@ pub enum CpuJob {
         /// Requesting terminal.
         term: u32,
         /// Terminal's request epoch (stale-reply filtering).
-        epoch: u32,
+        epoch: u16,
         /// Requested stripe block.
         block: BlockAddr,
         /// Deadline the terminal assigned.
@@ -44,7 +44,7 @@ pub enum CpuJob {
         /// Destination terminal.
         term: u32,
         /// Epoch echoed from the request.
-        epoch: u32,
+        epoch: u16,
         /// The block being delivered.
         block: BlockAddr,
         /// Payload size in bytes.
@@ -76,7 +76,7 @@ pub struct PendingRead {
     /// Requesting terminal.
     pub term: u32,
     /// Terminal's request epoch.
-    pub epoch: u32,
+    pub epoch: u16,
     /// Requested block.
     pub block: BlockAddr,
     /// Deadline from the request.
@@ -115,6 +115,7 @@ impl DiskUnit {
         scheduler: SchedulerKind,
         prefetch: PrefetchKind,
         rng: SimRng,
+        inflight_hint: usize,
     ) -> Self {
         DiskUnit {
             disk: Disk::new(params),
@@ -122,8 +123,8 @@ impl DiskUnit {
             prefetch: PrefetchQueue::new(prefetch),
             rng,
             current: None,
-            inflight: FastHashMap::default(),
-            by_block: FastHashMap::default(),
+            inflight: FastHashMap::with_capacity_and_hasher(inflight_hint, Default::default()),
+            by_block: FastHashMap::with_capacity_and_hasher(inflight_hint, Default::default()),
             release_gen: 0,
             release_timer: None,
         }
@@ -159,7 +160,9 @@ pub struct Node {
 }
 
 impl Node {
-    /// Build a node with `n_disks` disks.
+    /// Build a node with `n_disks` disks. `inflight_hint` pre-sizes each
+    /// disk's in-flight maps (steady-state I/Os queued per disk, a small
+    /// multiple of the terminal count per disk); pass 0 when unknown.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         node_index: u32,
@@ -171,18 +174,19 @@ impl Node {
         scheduler: SchedulerKind,
         prefetch: PrefetchKind,
         seed: u64,
+        inflight_hint: usize,
     ) -> Self {
         let disks = (0..n_disks)
             .map(|d| {
                 let rng = SimRng::stream(seed, ((node_index as u64) << 16) | d as u64);
-                DiskUnit::new(disk, scheduler, prefetch, rng)
+                DiskUnit::new(disk, scheduler, prefetch, rng, inflight_hint)
             })
             .collect();
         Node {
             cpu: Cpu::new(cpu),
             pool: BufferPool::new(pool_frames, policy),
             disks,
-            pending_reads: VecDeque::new(),
+            pending_reads: VecDeque::with_capacity(16),
         }
     }
 }
@@ -198,14 +202,15 @@ impl std::fmt::Debug for Node {
 }
 
 /// Encode a waiter as (terminal, epoch) for the buffer pool's opaque
-/// waiter tokens.
-pub fn waiter_token(term: u32, epoch: u32) -> u64 {
+/// waiter tokens. The epoch occupies the low 32-bit slot (zero-extended)
+/// so tokens keep their historical values.
+pub fn waiter_token(term: u32, epoch: u16) -> u64 {
     ((term as u64) << 32) | epoch as u64
 }
 
 /// Decode a waiter token back to (terminal, epoch).
-pub fn decode_waiter(token: u64) -> (u32, u32) {
-    ((token >> 32) as u32, token as u32)
+pub fn decode_waiter(token: u64) -> (u32, u16) {
+    ((token >> 32) as u32, token as u16)
 }
 
 #[cfg(test)]
@@ -214,7 +219,7 @@ mod tests {
 
     #[test]
     fn waiter_token_round_trips() {
-        for (t, e) in [(0u32, 0u32), (1, 2), (u32::MAX, u32::MAX), (760, 3)] {
+        for (t, e) in [(0u32, 0u16), (1, 2), (u32::MAX, u16::MAX), (760, 3)] {
             assert_eq!(decode_waiter(waiter_token(t, e)), (t, e));
         }
     }
@@ -231,6 +236,7 @@ mod tests {
             SchedulerKind::Elevator,
             PrefetchKind::Standard { processes: 1 },
             7,
+            32,
         );
         assert_eq!(n.disks.len(), 4);
         assert_eq!(n.pool.capacity(), 64);
@@ -250,6 +256,7 @@ mod tests {
             SchedulerKind::Elevator,
             PrefetchKind::Off,
             7,
+            0,
         );
         let x = a.disks[0].rng.next_u64_raw();
         let y = a.disks[1].rng.next_u64_raw();

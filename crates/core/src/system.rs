@@ -68,6 +68,13 @@ pub const REQUEST_MSG_BYTES: u64 = 128;
 pub const REPLY_HEADER_BYTES: u64 = 128;
 
 /// Simulation events.
+///
+/// The enum is kept at 24 bytes (checked by a compile-time assertion
+/// below): millions of these sit in the calendar's buckets at scale, so
+/// every field earns its place. `RequestArrive` carries no target node —
+/// the node is a pure function of the block's layout placement and is
+/// recomputed at dispatch — and epochs travel as the `u16` the terminal
+/// stores (see [`Terminal::epoch`]).
 #[derive(Clone, Copy, Debug)]
 pub enum Event {
     /// A terminal comes online and selects its first title.
@@ -79,14 +86,13 @@ pub enum Event {
         /// Generation at scheduling time.
         gen: u64,
     },
-    /// A read request reached its target node.
+    /// A read request reached its target node (the node owning `block`
+    /// per the layout).
     RequestArrive {
-        /// Target node.
-        node: u32,
         /// Requesting terminal.
         term: u32,
         /// Terminal epoch.
-        epoch: u32,
+        epoch: u16,
         /// Requested block.
         block: BlockAddr,
         /// Deadline assigned by the terminal.
@@ -97,7 +103,7 @@ pub enum Event {
         /// Destination terminal.
         term: u32,
         /// Epoch echoed from the request.
-        epoch: u32,
+        epoch: u16,
         /// Delivered block.
         block: BlockAddr,
     },
@@ -167,6 +173,12 @@ pub enum Event {
 /// streams can never collide with component streams.
 const TERMINAL_STREAM_BASE: u64 = 0x7e20_0000_0000;
 
+/// The hot-state compaction contract: an [`Event`] stays within 24 bytes
+/// so calendar buckets hold three per cacheline. Growing a variant past
+/// this is a deliberate decision, not an accident — this assertion makes
+/// it one.
+const _: () = assert!(std::mem::size_of::<Event>() <= 24);
+
 /// Stable variant name of an event, for [`Probe::sim_event`] tallies.
 fn event_kind(ev: &Event) -> &'static str {
     match ev {
@@ -183,6 +195,18 @@ fn event_kind(ev: &Event) -> &'static str {
         Event::SearchStep { .. } => "SearchStep",
         Event::SmoothSearchBegin { .. } => "SmoothSearchBegin",
         Event::SmoothSearchEnd { .. } => "SmoothSearchEnd",
+    }
+}
+
+/// The calendar kernel selected by `SPIFFI_CAL_KERNEL`: `heap` picks the
+/// reference binary heap, anything else (including unset) the default
+/// bucket queue. Both kernels pop the identical `(time, seq)` order, so
+/// this knob trades only wall-clock speed, never results — which is what
+/// lets CI diff the two kernels' reports byte-for-byte.
+fn kernel_from_env() -> spiffi_simcore::KernelKind {
+    match std::env::var("SPIFFI_CAL_KERNEL") {
+        Ok(v) if v.eq_ignore_ascii_case("heap") => spiffi_simcore::KernelKind::Heap,
+        _ => spiffi_simcore::KernelKind::Bucket,
     }
 }
 
@@ -237,7 +261,7 @@ pub struct VodSystem<P: Probe = NoopProbe> {
     next_req_id: u64,
     // --- measurement-window counters ---
     glitches_measured: u64,
-    glitching_terminals: std::collections::BTreeSet<u32>,
+    glitching_terminals: crate::bitset::TermBitset,
     blocks_delivered: u64,
     events_processed: u64,
     /// Disk I/O latency (scheduler queueing + service), seconds; 5 ms bins
@@ -366,6 +390,13 @@ impl<P: Probe> VodSystem<P> {
             }
         };
         let disk_params = cfg.disk.with_capacity_for(layout.max_disk_used_bytes());
+        // Steady-state I/Os in flight per disk track the terminals served
+        // per disk (each keeps a handful of demand + prefetch reads
+        // queued); pre-size the per-disk maps so the hot path never
+        // rehashes.
+        let inflight_hint = (4 * cfg.n_terminals as usize)
+            .div_ceil(cfg.topology.total_disks().max(1) as usize)
+            .clamp(16, 4096);
         let nodes = (0..cfg.topology.nodes)
             .map(|n| {
                 Node::new(
@@ -378,6 +409,7 @@ impl<P: Probe> VodSystem<P> {
                     cfg.scheduler,
                     cfg.prefetch,
                     cfg.seed ^ 0xd15c,
+                    inflight_hint,
                 )
             })
             .collect();
@@ -387,9 +419,13 @@ impl<P: Probe> VodSystem<P> {
         let selector = TitleSelector::new(cfg.access, cfg.n_videos);
 
         // Steady state holds a few pending events per terminal (wake,
-        // in-flight I/O, prefetch); pre-size the heap to skip its early
-        // growth reallocations.
-        let mut cal = Calendar::with_capacity(8 * cfg.n_terminals as usize);
+        // in-flight I/O, prefetch); pre-size the kernel to skip its early
+        // growth reallocations. `SPIFFI_CAL_KERNEL=heap` selects the
+        // reference binary-heap kernel (benchmarks, determinism diffs);
+        // pop order — and therefore every report — is byte-identical
+        // either way.
+        let mut cal =
+            Calendar::with_capacity_and_kernel(8 * cfg.n_terminals as usize, kernel_from_env());
         // Staggered starts (§6): "the terminals start movies at random
         // intervals." Each terminal's join instant is the first draw of
         // its own RNG stream, so the set of other terminals never shifts
@@ -412,6 +448,11 @@ impl<P: Probe> VodSystem<P> {
 
         let piggyback = cfg.piggyback_delay.map(Piggyback::new);
 
+        let glitching_terminals = crate::bitset::TermBitset::with_capacity(cfg.n_terminals);
+        // A pump can request at most one terminal buffer's worth of
+        // blocks; size the scratch so the first pump already fits.
+        let pump_cap = (cfg.terminal_memory_bytes / cfg.stripe_bytes.max(1) + 1) as usize;
+
         VodSystem {
             cfg,
             cal,
@@ -428,13 +469,13 @@ impl<P: Probe> VodSystem<P> {
             measuring: false,
             next_req_id: 0,
             glitches_measured: 0,
-            glitching_terminals: std::collections::BTreeSet::new(),
+            glitching_terminals,
             blocks_delivered: 0,
             events_processed: 0,
             io_latency: Histogram::new(0.005, 400),
             deadline_misses: 0,
-            pump_scratch: Vec::new(),
-            waiter_scratch: Vec::new(),
+            pump_scratch: Vec::with_capacity(pump_cap),
+            waiter_scratch: Vec::with_capacity(16),
             probe,
         }
     }
@@ -534,6 +575,30 @@ impl<P: Probe> VodSystem<P> {
         self.events_processed
     }
 
+    /// Events currently pending in the calendar.
+    pub fn pending_events(&self) -> usize {
+        self.cal.len()
+    }
+
+    /// Events ever scheduled on the calendar (processed + pending +
+    /// truncated; monotone, kernel-independent — the counted-work gates
+    /// rely on this surviving kernel swaps unchanged).
+    pub fn scheduled_events_total(&self) -> u64 {
+        self.cal.scheduled_total()
+    }
+
+    /// The calendar kernel this system runs on.
+    pub fn calendar_kernel(&self) -> spiffi_simcore::KernelKind {
+        self.cal.kernel_kind()
+    }
+
+    /// Move the pending-event set onto `kind` mid-run. Pop order is
+    /// preserved exactly, so the remainder of the run — and its report —
+    /// is byte-identical to never having switched.
+    pub fn set_calendar_kernel(&mut self, kind: spiffi_simcore::KernelKind) {
+        self.cal.set_kernel(kind);
+    }
+
     /// The snapshot boundary for marginal timing: the instant the late
     /// joiners' stagger window opens, one stagger before `BeginMeasure`.
     fn snapshot_time(&self) -> SimTime {
@@ -552,8 +617,10 @@ impl<P: Probe> VodSystem<P> {
     /// reusable, because additional terminals would have joined inside it.
     pub fn replay_to_snapshot(&mut self) {
         let s = self.snapshot_time();
-        while self.cal.peek_time().is_some_and(|t| t < s) {
-            let (_, ev) = self.cal.pop().expect("peeked event vanished");
+        // pop_before locates the minimum once per event (the peek-compare
+        // result stays memoized inside the kernel when the bound refuses
+        // it), instead of the peek-then-pop double traversal.
+        while let Some((_, ev)) = self.cal.pop_before(s) {
             self.events_processed += 1;
             self.dispatch(ev);
         }
@@ -586,6 +653,9 @@ impl<P: Probe> VodSystem<P> {
         );
         let mut sys = self.clone();
         let s = sys.snapshot_time();
+        let added = (n_terminals - sys.cfg.n_terminals) as usize;
+        sys.terminals.reserve(added);
+        sys.term_rngs.reserve(added);
         for t in sys.cfg.n_terminals..n_terminals {
             let mut rng = SimRng::stream(sys.cfg.seed, TERMINAL_STREAM_BASE + t as u64);
             let at = uniform_time(&mut rng, s, s + sys.cfg.timing.stagger);
@@ -610,12 +680,14 @@ impl<P: Probe> VodSystem<P> {
                 }
             }
             Event::RequestArrive {
-                node,
                 term,
                 epoch,
                 block,
                 deadline,
             } => {
+                // The owning node is a pure function of the placement;
+                // recomputing it here keeps the event 8 bytes slimmer.
+                let node = self.layout.locate(block).disk.node.0;
                 self.submit_cpu(
                     node,
                     self.cfg.cpu.recv_msg_instr,
@@ -1043,7 +1115,6 @@ impl<P: Probe> VodSystem<P> {
             now,
         );
         let epoch = self.terminals[t as usize].epoch();
-        let loc = self.layout.locate(block);
         let delay = self.net.send(now, REQUEST_MSG_BYTES);
         if P::ENABLED {
             self.probe.net_send(
@@ -1058,7 +1129,6 @@ impl<P: Probe> VodSystem<P> {
         self.cal.schedule_at(
             now + delay,
             Event::RequestArrive {
-                node: loc.disk.node.0,
                 term: t,
                 epoch,
                 block,
@@ -1124,7 +1194,7 @@ impl<P: Probe> VodSystem<P> {
         &mut self,
         node: u32,
         term: u32,
-        epoch: u32,
+        epoch: u16,
         block: BlockAddr,
         deadline: SimTime,
     ) {
@@ -1573,7 +1643,7 @@ impl<P: Probe> VodSystem<P> {
             terminals: self.cfg.n_terminals,
             measured: self.cfg.timing.measure,
             glitches: self.glitches_measured,
-            glitching_terminals: self.glitching_terminals.len() as u32,
+            glitching_terminals: self.glitching_terminals.len(),
             blocks_delivered: self.blocks_delivered,
             videos_completed: self.terminals.iter().map(|t| t.videos_completed()).sum(),
             avg_disk_utilization: avg(&disk_utils),

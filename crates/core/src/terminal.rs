@@ -76,6 +76,13 @@ pub struct Pump {
 }
 
 /// One subscriber's set-top terminal.
+///
+/// The struct is split hot/cold for cache behaviour at large populations:
+/// the fields every pump and every block arrival touch live inline (with
+/// the play cursor, which the frame-consumption loop reads constantly),
+/// while rarely-touched containers and lifetime statistics sit behind one
+/// pointer in `TerminalCold`. A million-terminal vector thus keeps its
+/// per-wake working set to the terminal's own few cachelines.
 #[derive(Clone, Debug)]
 pub struct Terminal {
     id: u32,
@@ -89,27 +96,49 @@ pub struct Terminal {
     /// produce negative virtual origins.
     base_frame: u64,
     /// Bumped on every video start/seek; replies from older epochs are
-    /// stale and ignored.
-    epoch: u32,
+    /// stale and ignored. 16 bits suffice: a stale collision would need
+    /// 65 536 starts/seeks while a single reply is on the wire.
+    epoch: u16,
     /// Bumped on every pump; wake events from older generations are stale.
     gen: u64,
     /// Next block index expected to extend the contiguous prefix.
     frontier_block: u32,
     /// End (exclusive, video-stream byte offset) of contiguous data.
     contiguous_end: u64,
-    /// Blocks arrived beyond the frontier.
-    ooo: BTreeSet<u32>,
+    /// Byte total of the blocks parked in [`TerminalCold::ooo`]; doubles
+    /// as the is-empty fast path that keeps arrivals off the cold box.
     ooo_bytes: u64,
     /// Next block index to request.
     next_request: u32,
     /// Requested bytes that have not arrived yet.
     outstanding: u64,
+    /// Frame of the next scheduled pause (`u64::MAX` when none): the
+    /// head of [`TerminalCold::pauses`], mirrored here so the per-frame
+    /// consumption loop never dereferences the cold box.
+    next_pause_frame: u64,
+    /// Memoized bulk-advance bound: first frame not fully inside the
+    /// contiguous prefix, valid while `contiguous_end == data_stop_end`
+    /// (`u64::MAX` = stale). `frame_at_byte` is a binary search over the
+    /// frame index; the prefix only moves on block arrival, so caching it
+    /// keeps that search off the per-pump path.
+    data_stop: u64,
+    data_stop_end: u64,
+    blocks_received: u64,
+    /// Rarely-touched state, one pointer away.
+    cold: Box<TerminalCold>,
+}
+
+/// The cold half of a [`Terminal`]: containers touched only on
+/// out-of-order arrivals, pause transitions, and title changes, plus
+/// lifetime statistics read at report collection.
+#[derive(Clone, Debug, Default)]
+struct TerminalCold {
+    /// Blocks arrived beyond the frontier.
+    ooo: BTreeSet<u32>,
     /// Pauses still pending for this title: (frame, duration), ascending.
     pauses: VecDeque<(u64, SimDuration)>,
-    // --- statistics ---
     glitches_total: u64,
     videos_completed: u64,
-    blocks_received: u64,
 }
 
 impl Terminal {
@@ -126,14 +155,14 @@ impl Terminal {
             gen: 0,
             frontier_block: 0,
             contiguous_end: 0,
-            ooo: BTreeSet::new(),
             ooo_bytes: 0,
             next_request: 0,
             outstanding: 0,
-            pauses: VecDeque::new(),
-            glitches_total: 0,
-            videos_completed: 0,
+            next_pause_frame: u64::MAX,
+            data_stop: 0,
+            data_stop_end: u64::MAX,
             blocks_received: 0,
+            cold: Box::default(),
         }
     }
 
@@ -153,7 +182,7 @@ impl Terminal {
     }
 
     /// The request epoch (stale-reply filtering).
-    pub fn epoch(&self) -> u32 {
+    pub fn epoch(&self) -> u16 {
         self.epoch
     }
 
@@ -164,12 +193,12 @@ impl Terminal {
 
     /// Total glitches since creation.
     pub fn glitches_total(&self) -> u64 {
-        self.glitches_total
+        self.cold.glitches_total
     }
 
     /// Titles finished since creation.
     pub fn videos_completed(&self) -> u64 {
-        self.videos_completed
+        self.cold.videos_completed
     }
 
     /// Stripe blocks received since creation.
@@ -205,19 +234,22 @@ impl Terminal {
         let start_block = (start_byte / block_bytes) as u32;
         self.cursor = Some(cursor);
         self.base_frame = start_frame;
-        self.epoch += 1;
+        self.epoch = self.epoch.wrapping_add(1);
         self.state = PlayState::Priming;
         self.frontier_block = start_block;
         self.contiguous_end = start_block as u64 * block_bytes;
-        self.ooo.clear();
+        self.data_stop_end = u64::MAX; // new title: cached stop is for the old frame index
+        self.cold.ooo.clear();
         self.ooo_bytes = 0;
         self.next_request = start_block;
         self.outstanding = 0;
-        self.pauses = pauses.into();
+        self.cold.pauses = pauses.into();
+        self.next_pause_frame = self.cold.pauses.front().map_or(u64::MAX, |&(f, _)| f);
         debug_assert!(
-            self.pauses
+            self.cold
+                .pauses
                 .iter()
-                .zip(self.pauses.iter().skip(1))
+                .zip(self.cold.pauses.iter().skip(1))
                 .all(|(a, b)| a.0 <= b.0),
             "pause plan must be frame-ordered"
         );
@@ -230,7 +262,7 @@ impl Terminal {
         video: &Video,
         block_bytes: u64,
         index: u32,
-        epoch: u32,
+        epoch: u16,
     ) -> bool {
         if epoch != self.epoch {
             return false;
@@ -242,15 +274,19 @@ impl Terminal {
         self.outstanding -= len;
         if index == self.frontier_block {
             self.frontier_block += 1;
-            // Pull any out-of-order successors into the contiguous prefix.
-            while self.ooo.remove(&self.frontier_block) {
-                self.ooo_bytes -= block_len(total, block_bytes, self.frontier_block);
-                self.frontier_block += 1;
+            // Pull any out-of-order successors into the contiguous prefix
+            // (`ooo_bytes > 0` keeps the common in-order case off the cold
+            // box entirely).
+            if self.ooo_bytes > 0 {
+                while self.cold.ooo.remove(&self.frontier_block) {
+                    self.ooo_bytes -= block_len(total, block_bytes, self.frontier_block);
+                    self.frontier_block += 1;
+                }
             }
             self.contiguous_end = (self.frontier_block as u64 * block_bytes).min(total);
         } else {
             debug_assert!(index > self.frontier_block, "duplicate block arrival");
-            self.ooo.insert(index);
+            self.cold.ooo.insert(index);
             self.ooo_bytes += len;
         }
         true
@@ -336,7 +372,7 @@ impl Terminal {
                 let end_at = display_time(video, origin, self.base_frame, num_frames);
                 if end_at <= now {
                     self.state = PlayState::Finished;
-                    self.videos_completed += 1;
+                    self.cold.videos_completed += 1;
                     out.finished = true;
                 }
                 break;
@@ -346,25 +382,58 @@ impl Terminal {
             if ft > now {
                 break;
             }
-            // A scheduled pause takes effect at its frame's display instant.
-            if let Some(&(pf, dur)) = self.pauses.front() {
-                if frame >= pf {
-                    self.pauses.pop_front();
-                    self.state = PlayState::Paused {
-                        origin,
-                        paused_at: ft,
-                        resume_at: ft + dur,
-                    };
-                    out.paused = true;
-                    continue; // re-enter: the pause may already be over
-                }
+            // A scheduled pause takes effect at its frame's display
+            // instant. The mirrored head frame keeps this per-frame check
+            // to one inline compare; the cold deque is touched only when a
+            // pause actually fires.
+            if frame >= self.next_pause_frame {
+                let (_, dur) = self
+                    .cold
+                    .pauses
+                    .pop_front()
+                    .expect("pause mirror out of sync");
+                self.next_pause_frame = self.cold.pauses.front().map_or(u64::MAX, |&(f, _)| f);
+                self.state = PlayState::Paused {
+                    origin,
+                    paused_at: ft,
+                    resume_at: ft + dur,
+                };
+                out.paused = true;
+                continue; // re-enter: the pause may already be over
             }
             if cursor.bytes_through_frame() <= self.contiguous_end {
-                cursor.advance(video);
+                // Every frame strictly before `stop` passes the same three
+                // checks just made for this one — due by `now`, below the
+                // pause threshold, inside contiguous data — because each
+                // predicate is monotone in the frame index. Jump the
+                // cursor there in one seek instead of spending a loop
+                // iteration (display-time math and all) per frame; the
+                // loop's next pass handles whatever `stop` ran into, in
+                // the original per-frame priority order.
+                let played =
+                    SimDuration(now.0 + video.frame_display_offset(self.base_frame).0 - origin.0);
+                // First frame not fully inside the contiguous prefix; once
+                // the prefix covers the whole file the data never stops us
+                // (frame_at_byte clamps to the last frame, which would pin
+                // `stop` at the current frame on the final iteration).
+                if self.data_stop_end != self.contiguous_end {
+                    self.data_stop = if self.contiguous_end >= total {
+                        num_frames
+                    } else {
+                        video.frame_at_byte(self.contiguous_end)
+                    };
+                    self.data_stop_end = self.contiguous_end;
+                }
+                let stop = video
+                    .first_frame_after(played)
+                    .min(self.next_pause_frame)
+                    .min(self.data_stop);
+                debug_assert!(stop > frame, "bulk pump advance must make progress");
+                cursor.seek(video, stop);
             } else {
                 // Out of data at this frame's display instant: glitch and
                 // re-prime (§5.1).
-                self.glitches_total += 1;
+                self.cold.glitches_total += 1;
                 out.glitched = true;
                 self.state = PlayState::Priming;
                 break;
@@ -455,9 +524,9 @@ impl Terminal {
                     }
                 }
 
-                // Next scheduled pause.
-                if let Some(&(pf, _)) = self.pauses.front() {
-                    let pf = pf.max(cursor.frame());
+                // Next scheduled pause (mirrored head frame; MAX = none).
+                if self.next_pause_frame != u64::MAX {
+                    let pf = self.next_pause_frame.max(cursor.frame());
                     consider(display_time(video, origin, self.base_frame, pf));
                 }
 

@@ -11,7 +11,7 @@
 //! Float fields are compared by `to_bits()` — "byte-identical" means
 //! exactly that, not approximately equal.
 
-use spiffi_core::{run_once, SystemConfig};
+use spiffi_core::{run_once, KernelKind, RunReport, SystemConfig, VodSystem};
 use spiffi_mpeg::AccessPattern;
 use spiffi_sched::SchedulerKind;
 use spiffi_simcore::SimDuration;
@@ -123,6 +123,74 @@ fn golden_gss() {
             io_latency_mean_bits: 4652994685457242973,
         }
     );
+}
+
+/// Project a report onto the golden row (same fields as [`capture`]).
+fn golden_of(r: &RunReport) -> Golden {
+    Golden {
+        glitches: r.glitches,
+        blocks_delivered: r.blocks_delivered,
+        videos_completed: r.videos_completed,
+        events_processed: r.events_processed,
+        deadline_misses: r.deadline_misses,
+        avg_disk_utilization_bits: r.avg_disk_utilization.to_bits(),
+        net_peak_bits: r.net_peak_bytes_per_sec.to_bits(),
+        io_latency_mean_bits: r.io_latency_mean_ms.to_bits(),
+    }
+}
+
+/// The bucket-queue kernel swap must be invisible: the calendar's
+/// lifetime accounting (`scheduled_total`, `len`) at the snapshot
+/// boundary and the full golden report of a snapshot-fork run must be
+/// byte-identical under both kernels — and under a mid-run swap from one
+/// kernel to the other.
+#[test]
+fn kernel_swap_preserves_calendar_accounting_and_reports() {
+    let base = 8u32;
+    let total = 12u32;
+    let cfg = {
+        let mut c = tiny(SchedulerKind::Elevator, total);
+        c.timing.measure = SimDuration::from_secs(20);
+        c
+    };
+    let lib = VodSystem::generate_library(&cfg);
+
+    // (accounting at the snapshot point, golden row of the forked run)
+    let run_with = |kind: KernelKind, swap_to: Option<KernelKind>| {
+        let mut bc = cfg.clone();
+        bc.n_terminals = base;
+        let mut sys = VodSystem::with_library(bc, lib.clone());
+        sys.set_calendar_kernel(kind);
+        sys.replay_to_snapshot();
+        if let Some(other) = swap_to {
+            sys.set_calendar_kernel(other);
+        }
+        let accounting = (
+            sys.pending_events(),
+            sys.scheduled_events_total(),
+            sys.events_processed(),
+        );
+        (accounting, golden_of(&sys.fork_to(total).run()))
+    };
+
+    let bucket = run_with(KernelKind::Bucket, None);
+    let heap = run_with(KernelKind::Heap, None);
+    let swapped = run_with(KernelKind::Heap, Some(KernelKind::Bucket));
+    println!(
+        "kernel accounting (pending, scheduled, processed): {:?}",
+        bucket.0
+    );
+    assert!(bucket.0 .0 > 0, "snapshot must leave events pending");
+    assert!(
+        bucket.0 .1 >= bucket.0 .2 + bucket.0 .0 as u64,
+        "scheduled_total must cover processed + pending events"
+    );
+    assert_eq!(
+        bucket.0, heap.0,
+        "calendar accounting diverged across kernels"
+    );
+    assert_eq!(bucket.1, heap.1, "forked report diverged across kernels");
+    assert_eq!(bucket, swapped, "mid-run kernel swap was visible");
 }
 
 #[test]

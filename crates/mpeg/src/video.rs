@@ -39,8 +39,30 @@ impl VideoParams {
     }
 
     /// Display instant of frame `f` relative to playback start.
+    #[inline]
     pub fn frame_display_offset(&self, f: u64) -> SimDuration {
-        SimDuration((f as u128 * NANOS_PER_SEC as u128 / self.fps as u128) as u64)
+        // Exactly floor(f·1e9 / fps), without the 128-bit soft division
+        // (`__udivti3`) that a widened `f * 1e9 / fps` costs on the pump
+        // hot path: with 1e9 = q·fps + r, the quotient decomposes into
+        // f·q + ⌊f·r / fps⌋, and both products stay far inside u64 for
+        // any in-range frame index (r < fps, f·q ≈ the offset itself).
+        let fps = self.fps as u64;
+        let q = NANOS_PER_SEC / fps;
+        let r = NANOS_PER_SEC % fps;
+        SimDuration(f * q + f * r / fps)
+    }
+
+    /// Smallest frame index whose display offset exceeds `t` — the first
+    /// frame *not yet due* at playback offset `t`. Exact inverse of
+    /// [`VideoParams::frame_display_offset`]'s floor quantization:
+    /// `offset(f) > t ⇔ f·1e9 ≥ (t+1)·fps`, so the answer is
+    /// `⌈(t+1)·fps / 1e9⌉` (saturating in regimes far past any title).
+    #[inline]
+    pub fn first_frame_after(&self, t: SimDuration) -> u64 {
+        let fps = self.fps as u64;
+        t.0.saturating_add(1)
+            .saturating_mul(fps)
+            .div_ceil(NANOS_PER_SEC)
     }
 
     /// Mean stream rate in bytes/second.
@@ -158,6 +180,7 @@ impl Video {
 
     /// The frame containing byte offset `byte` (clamped to the last frame
     /// at or past end of title).
+    #[inline]
     pub fn frame_at_byte(&self, byte: u64) -> u64 {
         if byte >= self.total_bytes() {
             return self.num_frames.saturating_sub(1);
@@ -167,13 +190,29 @@ impl Video {
     }
 
     /// Display instant of frame `f`, as an offset from playback start.
+    #[inline]
     pub fn frame_display_offset(&self, f: u64) -> SimDuration {
         self.params.frame_display_offset(f)
     }
 
+    /// Smallest frame index whose display offset exceeds `t` (see
+    /// [`VideoParams::first_frame_after`]).
+    #[inline]
+    pub fn first_frame_after(&self, t: SimDuration) -> u64 {
+        self.params.first_frame_after(t)
+    }
+
     /// The frame on display at playback offset `t` (clamped to last frame).
+    #[inline]
     pub fn frame_at_offset(&self, t: SimDuration) -> u64 {
-        let f = (t.0 as u128 * self.params.fps as u128 / NANOS_PER_SEC as u128) as u64;
+        // Exactly floor(t·fps / 1e9) in u64: split t into whole seconds
+        // and a sub-second remainder — the remainder term's product is
+        // < fps·1e9 — and let the compiler strength-reduce the
+        // divisions by the constant 1e9 into multiplies.
+        let fps = self.params.fps as u64;
+        let secs = t.0 / NANOS_PER_SEC;
+        let rem = t.0 % NANOS_PER_SEC;
+        let f = secs * fps + rem * fps / NANOS_PER_SEC;
         f.min(self.num_frames.saturating_sub(1))
     }
 

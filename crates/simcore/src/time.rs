@@ -28,11 +28,13 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Instant `secs` seconds after the epoch.
+    #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         SimTime(secs_to_nanos(secs))
     }
 
     /// Seconds since the epoch, as a float (for reporting only).
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_SEC as f64
     }
@@ -71,11 +73,13 @@ impl SimDuration {
     }
 
     /// A duration of `secs` seconds, rounding to the nearest nanosecond.
+    #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         SimDuration(secs_to_nanos(secs))
     }
 
     /// This duration in seconds, as a float (for reporting only).
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_SEC as f64
     }
@@ -96,6 +100,7 @@ impl SimDuration {
     }
 }
 
+#[inline]
 fn secs_to_nanos(secs: f64) -> u64 {
     assert!(
         secs.is_finite() && secs >= 0.0,
