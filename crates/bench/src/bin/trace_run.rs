@@ -18,15 +18,25 @@
 //! - `TRACE_journal.json` — the engine's run-journal snapshot.
 //!
 //! Usage:
-//!   trace_run           # full workload (120 s measurement window)
-//!   trace_run --small   # CI-sized run (30 s window, fewer terminals)
+//!   trace_run                # full workload (120 s measurement window)
+//!   trace_run --small        # CI-sized run (30 s window, fewer terminals)
+//!   trace_run --dump-state   # additionally write TRACE_state.snap
+//!
+//! `--dump-state` replays the workload's warmed-up base prefix exactly as
+//! the warm snapshot path would (marginal timing, replication 0) and
+//! writes the versioned wire frame (`spiffi-snapshot/3`) the dispatcher
+//! would ship to a worker — a post-mortem artifact whose digest can be
+//! matched against worker stderr and whose body is the full serialized
+//! system state.
 //!
 //! The binary cross-checks the trace against the report it rode along
 //! with: the sampled per-disk utilization mean over the measurement window
 //! must match `RunReport::avg_disk_utilization` within 1%, and the
 //! recorder's dispatch tally must equal `events_processed`.
 
-use spiffi_core::{CapacitySearch, Engine, Sampler, SystemConfig, TraceRecorder, VodSystem};
+use spiffi_core::{
+    replication_seed, wire, CapacitySearch, Engine, Sampler, SystemConfig, TraceRecorder, VodSystem,
+};
 use spiffi_mpeg::AccessPattern;
 use spiffi_simcore::{SimDuration, SimTime};
 use spiffi_trace::export;
@@ -56,8 +66,31 @@ fn workload_config(small: bool) -> SystemConfig {
 /// report's window aggregate.
 const SAMPLE_INTERVAL: SimDuration = SimDuration::from_secs(1);
 
+/// Replay the workload's base prefix under marginal timing (replication 0,
+/// the dispatcher's seeding) and write the wire snapshot frame to
+/// `TRACE_state.snap`.
+fn dump_state(cfg: &SystemConfig) {
+    let base = cfg.n_terminals;
+    let mut c = cfg.clone();
+    c.seed = replication_seed(cfg.seed, 0);
+    c.timing.warmup += c.timing.stagger;
+    let library = VodSystem::generate_library(&c);
+    let mut sys = VodSystem::with_library_marginal(c, library, base);
+    sys.replay_to_snapshot();
+    let body = sys.snap_export();
+    let frame = wire::encode_snapshot(base, 0, &body);
+    std::fs::write("TRACE_state.snap", &frame).expect("write TRACE_state.snap");
+    println!(
+        "wrote TRACE_state.snap: digest {:016x}, {} bytes, {} base-prefix events replayed",
+        wire::snapshot_digest(&body),
+        frame.len(),
+        sys.events_processed(),
+    );
+}
+
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
+    let dump = std::env::args().any(|a| a == "--dump-state");
     let cfg = workload_config(small);
     let nodes = cfg.topology.nodes as usize;
     let disks_per_node = cfg.topology.disks_per_node as usize;
@@ -159,6 +192,9 @@ fn main() {
     std::fs::write("TRACE_journal.json", journal.to_json()).expect("write TRACE_journal.json");
 
     println!("\nwrote TRACE_run.jsonl ({} lines)", jsonl.lines().count());
+    if dump {
+        dump_state(&workload_config(small));
+    }
     println!("wrote TRACE_run.trace.json (open in https://ui.perfetto.dev)");
     println!("wrote TRACE_journal.json");
 }

@@ -1,5 +1,7 @@
 //! Page replacement policies.
 
+use spiffi_simcore::{SnapError, SnapReader, SnapWriter};
+
 use crate::lru::LruList;
 use crate::pool::FrameId;
 
@@ -26,6 +28,12 @@ pub trait ReplacementPolicy: Send + Sync {
     /// Deep-copy this policy, LRU chains included, behind a fresh box.
     /// Lets the pool implement `Clone` for snapshot/fork.
     fn clone_box(&self) -> Box<dyn ReplacementPolicy>;
+
+    /// Serialize the policy's chains as snapshot tokens.
+    fn snap_export(&self, w: &mut SnapWriter);
+
+    /// Rebuild the chains into this freshly built (empty) policy.
+    fn snap_import(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
 }
 
 impl Clone for Box<dyn ReplacementPolicy> {
@@ -104,6 +112,14 @@ impl ReplacementPolicy for GlobalLru {
 
     fn clone_box(&self) -> Box<dyn ReplacementPolicy> {
         Box::new(self.clone())
+    }
+
+    fn snap_export(&self, w: &mut SnapWriter) {
+        self.chain.snap_export("pg", w);
+    }
+
+    fn snap_import(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.chain.snap_import("pg", r)
     }
 }
 
@@ -184,6 +200,16 @@ impl ReplacementPolicy for LovePrefetch {
 
     fn clone_box(&self) -> Box<dyn ReplacementPolicy> {
         Box::new(self.clone())
+    }
+
+    fn snap_export(&self, w: &mut SnapWriter) {
+        self.prefetched.snap_export("pp", w);
+        self.referenced.snap_export("pr", w);
+    }
+
+    fn snap_import(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.prefetched.snap_import("pp", r)?;
+        self.referenced.snap_import("pr", r)
     }
 }
 

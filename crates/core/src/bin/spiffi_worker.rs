@@ -3,13 +3,26 @@
 //! Reads one [`spiffi_core::wire`] job line per probe replication from
 //! stdin, simulates it, and writes one versioned JSONL result record to
 //! stdout. The worker is stateless across jobs except for a
-//! [`LibraryCache`], so a respawned worker is indistinguishable from a
-//! fresh one — which is exactly what makes the dispatcher's
-//! crash-respawn-retry policy sound.
+//! [`LibraryCache`] and the digest-addressed snapshot store below, so a
+//! respawned worker is indistinguishable from a fresh one — which is
+//! exactly what makes the dispatcher's crash-respawn-retry policy sound
+//! (the dispatcher re-ships snapshots to every new incarnation).
 //!
 //! Every simulation runs standalone (fresh cancel flag, never truncated),
 //! so each result is the replication's deterministic clean outcome: the
 //! same bytes the in-process engine would have computed and cached.
+//!
+//! # Snapshot frames
+//!
+//! A `spiffi-snapshot/3` frame carries a serialized warmed-up base
+//! prefix ([`VodSystem::snap_export`]). The worker stores the body under
+//! its content digest and sends no reply. A later job whose `snap=`
+//! token names a stored digest imports the prefix once
+//! ([`VodSystem::snap_import`], cached per digest) and forks it to the
+//! job's population instead of replaying the base warm-up from scratch.
+//! The `snap=` token is an optimization hint, never a correctness
+//! requirement: an unknown digest or a failed import falls back to the
+//! full marginal build, which is bit-identical by construction.
 //!
 //! Fault injection for the dispatcher's tests (never set in production):
 //!
@@ -20,21 +33,75 @@
 //!   counter restarts with the process, so respawned workers die again
 //!   every k jobs.
 
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
 use std::time::Instant;
 
 use spiffi_core::wire::{self, ResultRecord, WorkerOutcome};
-use spiffi_core::{replication_seed, LibraryCache, VodSystem};
+use spiffi_core::{replication_seed, LibraryCache, SystemConfig, VodSystem};
 
 fn env_u64(key: &str) -> Option<u64> {
     std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// The worker half of snapshot shipping: raw frame bodies keyed by their
+/// content digest, plus the systems already imported from them (importing
+/// is the expensive step — each digest pays it once per incarnation).
+#[derive(Default)]
+struct SnapshotStore {
+    bodies: HashMap<u64, String>,
+    imported: HashMap<u64, Arc<VodSystem>>,
+}
+
+impl SnapshotStore {
+    /// The base system for `digest` under the job's config `c` (already
+    /// reseeded, terminals still at the probe population) and base
+    /// population `b`, imported on first use. `None` means the fast path
+    /// is unavailable and the caller must build from scratch.
+    fn base_system(
+        &mut self,
+        digest: u64,
+        c: &SystemConfig,
+        b: u32,
+        cache: &LibraryCache,
+    ) -> Option<Arc<VodSystem>> {
+        if let Some(sys) = self.imported.get(&digest) {
+            return Some(Arc::clone(sys));
+        }
+        let body = self.bodies.get(&digest)?;
+        let mut bc = c.clone();
+        bc.n_terminals = b;
+        // `snap_import` shares the constructors' panic-on-invalid-config
+        // contract; the job's config was validated, but the narrowed base
+        // config is checked on its own before crossing that boundary.
+        if let Err(why) = bc.validate() {
+            eprintln!(
+                "spiffi-worker: snapshot {digest:016x} base config invalid ({why}), rebuilding"
+            );
+            return None;
+        }
+        let lib = cache.get(&bc);
+        match VodSystem::snap_import(bc, lib, body) {
+            Ok(sys) => {
+                let sys = Arc::new(sys);
+                self.imported.insert(digest, Arc::clone(&sys));
+                Some(sys)
+            }
+            Err(e) => {
+                eprintln!("spiffi-worker: snapshot {digest:016x} import failed ({e}), rebuilding");
+                None
+            }
+        }
+    }
 }
 
 fn main() {
     let stall_ms = env_u64("SPIFFI_WORKER_STALL_MS");
     let exit_after = env_u64("SPIFFI_WORKER_EXIT_AFTER");
     let cache = LibraryCache::new();
+    let mut snapshots = SnapshotStore::default();
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -45,6 +112,21 @@ fn main() {
             Err(_) => break, // dispatcher hung up
         };
         if line.trim().is_empty() {
+            continue;
+        }
+        if line.starts_with("spiffi-snapshot/") {
+            // State shipment, not a job: store it (no reply), and keep it
+            // out of the fault-injection job counter so `EXIT_AFTER=k`
+            // still means "die on the k-th *job*".
+            match wire::parse_snapshot(&line) {
+                Ok(snap) => {
+                    snapshots
+                        .bodies
+                        .entry(snap.digest)
+                        .or_insert_with(|| snap.body.to_string());
+                }
+                Err(e) => eprintln!("spiffi-worker: bad snapshot frame dropped ({e})"),
+            }
             continue;
         }
         jobs_seen += 1;
@@ -71,9 +153,16 @@ fn main() {
                         // dispatcher's marginal-probe timing so the
                         // outcome matches its snapshot-mode engine.
                         let cancel = AtomicU32::new(u32::MAX);
-                        let system = match job.base {
-                            Some(b) => VodSystem::with_library_marginal(c, lib, b),
-                            None => VodSystem::with_library(c, lib),
+                        let forked = match (job.base, job.snapshot) {
+                            (Some(b), Some(digest)) if job.terminals > b => snapshots
+                                .base_system(digest, &c, b, &cache)
+                                .map(|base| base.fork_to(job.terminals)),
+                            _ => None,
+                        };
+                        let system = match (forked, job.base) {
+                            (Some(sys), _) => sys,
+                            (None, Some(b)) => VodSystem::with_library_marginal(c, lib, b),
+                            (None, None) => VodSystem::with_library(c, lib),
                         };
                         let report = system.run_glitch_probe(&cancel, job.replication);
                         ResultRecord {

@@ -56,7 +56,7 @@ use crate::cache::{LibraryCache, ProbeCache, ProbeOutcome, SnapshotCache};
 use crate::config::SystemConfig;
 use crate::journal::{ProbeRun, RunJournal};
 use crate::metrics::RunReport;
-use crate::process::{ProcessConfig, ProcessPool};
+use crate::process::{ProcessConfig, ProcessPool, SnapshotBlob};
 use crate::system::VodSystem;
 use spiffi_simcore::SimDuration;
 
@@ -119,15 +119,42 @@ pub enum SnapshotMode {
     Warm,
 }
 
+/// Parse a `SPIFFI_SNAPSHOT` setting: unset, empty, `0` or `off` select
+/// [`SnapshotMode::Off`]; `1` or `warm` [`SnapshotMode::Warm`]; `cold`
+/// [`SnapshotMode::Cold`] (all case-insensitive, whitespace-trimmed).
+/// Anything else is an error carrying the offending text — a typo like
+/// `SPIFFI_SNAPSHOT=wram` must not silently run the legacy timeline.
+pub(crate) fn parse_snapshot_mode(v: Option<&str>) -> Result<SnapshotMode, String> {
+    let t = v.unwrap_or("").trim();
+    if t.is_empty() || t == "0" || t.eq_ignore_ascii_case("off") {
+        Ok(SnapshotMode::Off)
+    } else if t == "1" || t.eq_ignore_ascii_case("warm") {
+        Ok(SnapshotMode::Warm)
+    } else if t.eq_ignore_ascii_case("cold") {
+        Ok(SnapshotMode::Cold)
+    } else {
+        Err(t.to_string())
+    }
+}
+
 /// Snapshot mode from the `SPIFFI_SNAPSHOT` environment variable:
 /// `1`/`warm` selects [`SnapshotMode::Warm`], `cold` the from-scratch
-/// marginal reference, anything else (including unset and `0`) the legacy
-/// [`SnapshotMode::Off`].
+/// marginal reference, `0`/`off`/unset the legacy [`SnapshotMode::Off`].
+/// Any other value is rejected with a diagnostic and a non-zero exit —
+/// matching the strict `SPIFFI_CAL_KERNEL` parse — because an experiment
+/// silently running the wrong probe timeline is far worse than one that
+/// refuses to start.
 pub fn snapshot_mode_from_env() -> SnapshotMode {
-    match std::env::var("SPIFFI_SNAPSHOT").as_deref() {
-        Ok(v) if v.trim() == "1" || v.trim().eq_ignore_ascii_case("warm") => SnapshotMode::Warm,
-        Ok(v) if v.trim().eq_ignore_ascii_case("cold") => SnapshotMode::Cold,
-        _ => SnapshotMode::Off,
+    let raw = std::env::var("SPIFFI_SNAPSHOT").ok();
+    match parse_snapshot_mode(raw.as_deref()) {
+        Ok(mode) => mode,
+        Err(bad) => {
+            eprintln!(
+                "spiffi: unknown SPIFFI_SNAPSHOT value {bad:?} \
+                 (expected \"0\"/\"off\", \"1\"/\"warm\", or \"cold\")"
+            );
+            std::process::exit(2);
+        }
     }
 }
 
@@ -1062,10 +1089,17 @@ struct ProcessSearch<'a> {
     fp: &'a Arc<str>,
     /// Marginal-probe base count (see [`SnapshotMode`]), `None` when off.
     base: Option<u32>,
-    /// Serve in-process fallbacks above the base from warm snapshots.
-    /// Workers always build marginally from scratch — each child process
-    /// runs one replication, so there is no prefix to share.
+    /// Serve probes above the base from warm snapshots: in-process
+    /// fallbacks fork the engine's [`SnapshotCache`] directly, and worker
+    /// jobs carry a `snap=` digest referencing a serialized copy of the
+    /// same snapshot ([`ProcessSearch::snapshot_blob`]) that the pool
+    /// ships down each worker's stdin once per incarnation.
     warm: bool,
+    /// Serialized snapshot frames by replication index (the fingerprint
+    /// and base are fixed for one search), each built at most once.
+    /// The second element is the base prefix's event count, for the
+    /// journal's saved-events accounting on reuse.
+    blobs: HashMap<u32, (Arc<SnapshotBlob>, u64)>,
     pool: ProcessPool,
     cursor: SearchCursor,
     probes: Vec<(u32, u64)>,
@@ -1098,6 +1132,7 @@ impl<'a> ProcessSearch<'a> {
             fp,
             base,
             warm,
+            blobs: HashMap::new(),
             pool,
             cursor: SearchCursor::new(search),
             probes: Vec::new(),
@@ -1144,6 +1179,9 @@ impl<'a> ProcessSearch<'a> {
             self.pool.respawns(),
             self.pool.quarantined(),
         );
+        self.engine
+            .journal
+            .record_snapshot_shipping(self.pool.snapshot_bytes_shipped(), self.pool.worker_forks());
         let (max_terminals, below_bracket) = self.cursor.answer();
         // Waste accounting mirrors SpecSearch: everything executed for
         // this call minus the executed events the search counted (counted
@@ -1223,6 +1261,45 @@ impl<'a> ProcessSearch<'a> {
         Some(out)
     }
 
+    /// The serialized base-prefix snapshot frame to ship alongside a job
+    /// at `(n, r)`, if warm forking applies (`warm` set, a base in play,
+    /// and terminals to spare beyond it).
+    ///
+    /// The first consultation per replication replays the base prefix
+    /// through the engine's [`SnapshotCache`] (exactly the in-process
+    /// warm path of [`Engine::probe_system`]) and serializes it once;
+    /// repeats reuse the stored frame. Every consultation is journaled
+    /// as a snapshot capture or hit so the warm-path counters stay
+    /// meaningful under the worker backend.
+    fn snapshot_blob(&mut self, n: u32, r: u32) -> Option<Arc<SnapshotBlob>> {
+        let b = self.base?;
+        if !self.warm || n <= b {
+            return None;
+        }
+        if let Some((blob, prefix_events)) = self.blobs.get(&r) {
+            self.engine
+                .journal
+                .record_snapshot(true, n - b, *prefix_events);
+            return Some(Arc::clone(blob));
+        }
+        let mut c = self.cfg.clone();
+        c.n_terminals = b;
+        c.seed = replication_seed(self.cfg.seed, r);
+        let lib = self.engine.cache.get(&c);
+        let (snap, hit) = self.engine.snapshots.get_or_capture(self.fp, b, r, || {
+            let mut sys = VodSystem::with_library_marginal(c, lib, b);
+            sys.replay_to_snapshot();
+            sys
+        });
+        self.engine
+            .journal
+            .record_snapshot(hit, n - b, snap.events_processed());
+        let blob = Arc::new(SnapshotBlob::new(b, r, &snap.snap_export()));
+        self.blobs
+            .insert(r, (Arc::clone(&blob), snap.events_processed()));
+        Some(blob)
+    }
+
     /// Keep idle workers fed: breadth-first over the cursor's reachable
     /// futures (the priority order of [`SpecSearch::pick_task`]), submit
     /// every missing, not-in-flight replication until the pool has no
@@ -1250,7 +1327,8 @@ impl<'a> ProcessSearch<'a> {
                     Some(_) => {}
                     None => {
                         if self.inflight.insert((n, r)) {
-                            self.pool.submit(n, r, self.base, self.cfg);
+                            let blob = self.snapshot_blob(n, r);
+                            self.pool.submit(n, r, self.base, self.cfg, blob);
                             budget -= 1;
                             if budget == 0 {
                                 return;
@@ -1479,6 +1557,41 @@ mod tests {
         }
         // Wrapping, not panicking, at the top of the seed space.
         let _ = replication_seed(u64::MAX, u32::MAX);
+    }
+
+    #[test]
+    fn snapshot_mode_env_values_parse_or_error() {
+        // Accepted spellings, case-insensitive where worded.
+        for off in [
+            None,
+            Some(""),
+            Some("  "),
+            Some("0"),
+            Some("off"),
+            Some("OFF"),
+        ] {
+            assert_eq!(parse_snapshot_mode(off), Ok(SnapshotMode::Off), "{off:?}");
+        }
+        for warm in [Some("1"), Some("warm"), Some(" Warm ")] {
+            assert_eq!(
+                parse_snapshot_mode(warm),
+                Ok(SnapshotMode::Warm),
+                "{warm:?}"
+            );
+        }
+        for cold in [Some("cold"), Some("COLD")] {
+            assert_eq!(
+                parse_snapshot_mode(cold),
+                Ok(SnapshotMode::Cold),
+                "{cold:?}"
+            );
+        }
+        // Regression: unknown values used to map silently to Off, turning
+        // a typo like SPIFFI_SNAPSHOT=2 into a disabled warm path. They
+        // must be rejected (the env reader exits with a diagnostic).
+        for bad in ["2", "warmish", "on", "true"] {
+            assert_eq!(parse_snapshot_mode(Some(bad)), Err(bad.to_string()));
+        }
     }
 
     #[test]

@@ -56,6 +56,8 @@ pub struct RunJournal {
     snapshot_hits: AtomicU64,
     forked_terminals: AtomicU64,
     snapshot_saved_events: AtomicU64,
+    snapshot_bytes_shipped: AtomicU64,
+    worker_forks: AtomicU64,
 }
 
 impl RunJournal {
@@ -103,6 +105,17 @@ impl RunJournal {
             .fetch_add(forked_terminals as u64, Ordering::Relaxed);
     }
 
+    /// Record the snapshot-shipping work of one process-backed search:
+    /// bytes of serialized snapshot frames written to worker stdins
+    /// (re-ships to respawned workers included) and jobs the workers
+    /// resolved by forking a shipped snapshot rather than rebuilding the
+    /// base prefix.
+    pub fn record_snapshot_shipping(&self, bytes_shipped: u64, worker_forks: u64) {
+        self.snapshot_bytes_shipped
+            .fetch_add(bytes_shipped, Ordering::Relaxed);
+        self.worker_forks.fetch_add(worker_forks, Ordering::Relaxed);
+    }
+
     /// A consistent copy of the journal, entries sorted into search order.
     pub fn snapshot(&self) -> JournalSnapshot {
         let mut probes = self.probes.lock().unwrap().clone();
@@ -118,6 +131,8 @@ impl RunJournal {
             snapshot_hits: self.snapshot_hits.load(Ordering::Relaxed),
             forked_terminals: self.forked_terminals.load(Ordering::Relaxed),
             snapshot_saved_events: self.snapshot_saved_events.load(Ordering::Relaxed),
+            snapshot_bytes_shipped: self.snapshot_bytes_shipped.load(Ordering::Relaxed),
+            worker_forks: self.worker_forks.load(Ordering::Relaxed),
         }
     }
 }
@@ -149,6 +164,12 @@ pub struct JournalSnapshot {
     pub forked_terminals: u64,
     /// Base-prefix events that snapshot hits did not have to re-simulate.
     pub snapshot_saved_events: u64,
+    /// Bytes of serialized snapshot frames shipped to worker stdins,
+    /// including re-ships to respawned workers (process backend only).
+    pub snapshot_bytes_shipped: u64,
+    /// Worker jobs resolved by forking a shipped snapshot instead of
+    /// rebuilding the base prefix from scratch.
+    pub worker_forks: u64,
 }
 
 impl JournalSnapshot {
@@ -185,6 +206,7 @@ impl JournalSnapshot {
              \"worker_respawns\": {},\n  \"quarantined_jobs\": {},\n  \
              \"snapshot_captures\": {},\n  \"snapshot_hits\": {},\n  \
              \"forked_terminals\": {},\n  \"snapshot_saved_events\": {},\n  \
+             \"snapshot_bytes_shipped\": {},\n  \"worker_forks\": {},\n  \
              \"total_wall_ms\": {:.3},\n  \"probes\": [",
             self.searches,
             self.speculative_events,
@@ -199,6 +221,8 @@ impl JournalSnapshot {
             self.snapshot_hits,
             self.forked_terminals,
             self.snapshot_saved_events,
+            self.snapshot_bytes_shipped,
+            self.worker_forks,
             self.total_wall_nanos() as f64 / 1e6,
         );
         for (i, p) in self.probes.iter().enumerate() {
@@ -273,6 +297,8 @@ mod tests {
         j.record_worker_activity(3, 2, 1);
         j.record_snapshot(false, 4, 0);
         j.record_snapshot(true, 8, 1_000);
+        j.record_snapshot_shipping(65_536, 5);
+        j.record_snapshot_shipping(1_024, 2);
         let text = j.snapshot().to_json();
         assert!(text.contains("\"searches\": 1"));
         assert!(text.contains("\"speculative_events\": 7"));
@@ -280,6 +306,8 @@ mod tests {
         assert!(text.contains("\"snapshot_hits\": 1"));
         assert!(text.contains("\"forked_terminals\": 12"));
         assert!(text.contains("\"snapshot_saved_events\": 1000"));
+        assert!(text.contains("\"snapshot_bytes_shipped\": 66560"));
+        assert!(text.contains("\"worker_forks\": 7"));
         assert!(text.contains("\"worker_retries\": 3"));
         assert!(text.contains("\"worker_respawns\": 2"));
         assert!(text.contains("\"quarantined_jobs\": 1"));

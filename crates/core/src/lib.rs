@@ -42,7 +42,7 @@ pub use driver::{
 };
 pub use journal::{JournalSnapshot, ProbeRun, RunJournal};
 pub use metrics::RunReport;
-pub use process::{discover_worker_bin, ProcessConfig, ProcessPool};
+pub use process::{discover_worker_bin, ProcessConfig, ProcessPool, SnapshotBlob};
 // The observability layer, re-exported so instrumented callers need only
 // depend on `spiffi-core`.
 pub use bitset::TermBitset;

@@ -28,12 +28,25 @@
 //! Worker death never loses determinism because jobs carry no state: a
 //! replication's clean outcome is a pure function of the config bytes on
 //! the job line, no matter which incarnation of which worker computes it.
+//!
+//! # Snapshot shipping
+//!
+//! Under warm snapshot mode the dispatcher serializes each base prefix
+//! once ([`VodSystem::snap_export`](crate::VodSystem::snap_export)) and
+//! ships it as a [`wire`] snapshot frame down a worker's stdin *before*
+//! the first job line that references its digest — at most once per
+//! worker **incarnation**, because a respawned worker lost its cache and
+//! must be re-sent the frame. The snapshot is a pure optimization on the
+//! wire too: a worker that never saw (or failed to decode) the frame
+//! builds the same replication from scratch, bit-identically, so none of
+//! the fault handling above needed to change.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::config::SystemConfig;
@@ -147,6 +160,43 @@ pub fn discover_worker_bin() -> Option<PathBuf> {
     None
 }
 
+/// A serialized base snapshot ready to ship: the encoded wire frame plus
+/// its content digest. Built once per `(config, base, replication)` by the
+/// dispatcher and shared (via `Arc`) by every job that forks from it.
+#[derive(Debug)]
+pub struct SnapshotBlob {
+    digest: u64,
+    line: String,
+}
+
+impl SnapshotBlob {
+    /// Encode `body` — a
+    /// [`VodSystem::snap_export`](crate::VodSystem::snap_export) token
+    /// stream captured at `base` terminals under replication
+    /// `replication` — as a shippable wire frame.
+    pub fn new(base: u32, replication: u32, body: &str) -> Self {
+        SnapshotBlob {
+            digest: wire::snapshot_digest(body),
+            line: wire::encode_snapshot(base, replication, body),
+        }
+    }
+
+    /// The content digest job lines reference via their `snap=` token.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Size of the encoded frame in bytes (sans newline).
+    pub fn len(&self) -> usize {
+        self.line.len()
+    }
+
+    /// Always false — an encoded frame has at least its header.
+    pub fn is_empty(&self) -> bool {
+        self.line.is_empty()
+    }
+}
+
 /// A job the pool has accepted but not yet resolved.
 #[derive(Debug)]
 struct PendingJob {
@@ -155,6 +205,9 @@ struct PendingJob {
     replication: u32,
     /// The encoded wire line (constant across retries).
     line: String,
+    /// The snapshot frame the job's `snap=` token references, if any —
+    /// shipped to whichever worker incarnation the job lands on.
+    snapshot: Option<Arc<SnapshotBlob>>,
     /// Attempts consumed so far.
     attempts: u32,
 }
@@ -190,6 +243,10 @@ struct Slot {
     stdin: ChildStdin,
     gen: u64,
     active: Option<(PendingJob, Instant)>,
+    /// Digests of snapshot frames already written to *this incarnation's*
+    /// stdin. Dies with the incarnation: a respawned worker has an empty
+    /// cache and is re-shipped on its next snapshot-referencing job.
+    shipped: HashSet<u64>,
 }
 
 /// A pool of `spiffi-worker` children with timeout/retry/quarantine
@@ -206,6 +263,8 @@ pub struct ProcessPool {
     retries: u64,
     respawns: u64,
     quarantined: u64,
+    snapshot_bytes_shipped: u64,
+    worker_forks: u64,
 }
 
 impl std::fmt::Debug for ProcessPool {
@@ -237,6 +296,8 @@ impl ProcessPool {
             retries: 0,
             respawns: 0,
             quarantined: 0,
+            snapshot_bytes_shipped: 0,
+            worker_forks: 0,
         };
         for i in 0..pool.cfg.workers {
             let slot = pool.spawn_worker_at(i)?;
@@ -305,6 +366,7 @@ impl ProcessPool {
             stdin,
             gen,
             active: None,
+            shipped: HashSet::new(),
         })
     }
 
@@ -333,17 +395,35 @@ impl ProcessPool {
         self.quarantined
     }
 
+    /// Bytes of snapshot frames written to worker stdins so far,
+    /// re-ships to respawned incarnations included.
+    pub fn snapshot_bytes_shipped(&self) -> u64 {
+        self.snapshot_bytes_shipped
+    }
+
+    /// Snapshot-referencing jobs a worker resolved successfully — each one
+    /// a base prefix the worker forked instead of re-simulating. (A worker
+    /// that failed to decode its frame falls back to a from-scratch build
+    /// with a bit-identical outcome; the dispatcher cannot see the
+    /// difference, so this counts shipped-and-answered, the intent.)
+    pub fn worker_forks(&self) -> u64 {
+        self.worker_forks
+    }
+
     /// Accept a job: replication `replication` of a probe at `terminals`
     /// terminals of `config` (base seed; the worker derives the
-    /// replication seed), built marginally against `base` when set. The
-    /// job is written to an idle worker immediately when one exists,
-    /// otherwise queued.
+    /// replication seed), built marginally against `base` when set. With
+    /// `snapshot` set the job line carries the blob's digest and the blob
+    /// is shipped ahead of the job to whichever worker incarnation it
+    /// lands on. The job is written to an idle worker immediately when one
+    /// exists, otherwise queued.
     pub fn submit(
         &mut self,
         terminals: u32,
         replication: u32,
         base: Option<u32>,
         config: &SystemConfig,
+        snapshot: Option<Arc<SnapshotBlob>>,
     ) {
         let id = self.next_id;
         self.next_id += 1;
@@ -352,6 +432,7 @@ impl ProcessPool {
             terminals,
             replication,
             base,
+            snapshot: snapshot.as_ref().map(|b| b.digest),
             config: config.clone(),
         });
         self.queue.push_back(PendingJob {
@@ -359,6 +440,7 @@ impl ProcessPool {
             terminals,
             replication,
             line,
+            snapshot,
             attempts: 0,
         });
         self.dispatch();
@@ -375,9 +457,24 @@ impl ProcessPool {
             };
             let mut job = self.queue.pop_front().expect("non-empty queue");
             job.attempts += 1;
-            if writeln!(self.slots[slot].stdin, "{}", job.line)
-                .and_then(|_| self.slots[slot].stdin.flush())
-                .is_ok()
+            // Ship the snapshot frame ahead of the first job line that
+            // references it on this incarnation. `shipped` lives on the
+            // Slot, so a respawned worker (which lost its cache) is
+            // re-sent the frame automatically.
+            let mut wrote = Ok(());
+            if let Some(blob) = &job.snapshot {
+                if !self.slots[slot].shipped.contains(&blob.digest) {
+                    wrote = writeln!(self.slots[slot].stdin, "{}", blob.line);
+                    if wrote.is_ok() {
+                        self.slots[slot].shipped.insert(blob.digest);
+                        self.snapshot_bytes_shipped += blob.line.len() as u64 + 1;
+                    }
+                }
+            }
+            if wrote.is_ok()
+                && writeln!(self.slots[slot].stdin, "{}", job.line)
+                    .and_then(|_| self.slots[slot].stdin.flush())
+                    .is_ok()
             {
                 let deadline = Instant::now() + self.cfg.job_timeout;
                 self.slots[slot].active = Some((job, deadline));
@@ -456,6 +553,7 @@ impl ProcessPool {
                             let (job, _) = self.slots[slot].active.take().expect("matched above");
                             match result.outcome {
                                 Ok(out) => {
+                                    self.worker_forks += job.snapshot.is_some() as u64;
                                     self.dispatch();
                                     return Some(Resolved {
                                         terminals: job.terminals,

@@ -14,6 +14,14 @@
 //!   line, `{"spiffi_worker":<version>,"job":…,"ok":true,"glitches":…,
 //!   "events":…,"wall_nanos":…}` (or `"ok":false,"error":"…"`). JSONL so
 //!   the records double as a machine-readable run log.
+//! * **Snapshot frames** (dispatcher → worker stdin): one line per warm
+//!   base snapshot, `spiffi-snapshot/<version> digest=… base=… repl=…
+//!   <snap tokens…>`. The body is the
+//!   [`VodSystem::snap_export`](crate::VodSystem::snap_export) token
+//!   stream verbatim — floats as IEEE-754 bit patterns — and the digest
+//!   (FNV-1a 64 over the body) content-addresses it, so a job's `snap=`
+//!   token can reference a frame shipped earlier and the parser detects
+//!   any corruption in between.
 //!
 //! Both parsers reject version-mismatched, truncated, or malformed input
 //! with a typed [`WireError`] — never a panic — because worker output is
@@ -34,8 +42,10 @@ use crate::config::{InitialPosition, PauseConfig, SystemConfig};
 /// Protocol version; bumped whenever a record's shape changes. A
 /// dispatcher and worker must agree exactly — there is no negotiation,
 /// because both halves ship in one binary's workspace. v2 added the
-/// `base=` job token carrying the marginal-probe base count.
-pub const PROTO_VERSION: u32 = 2;
+/// `base=` job token carrying the marginal-probe base count; v3 added the
+/// `spiffi-snapshot` state frame and the job line's optional `snap=`
+/// digest token referencing it.
+pub const PROTO_VERSION: u32 = 3;
 
 /// One probe-replication job: simulate `config` at `terminals` terminals,
 /// replication `replication` (the worker derives the replication seed from
@@ -54,8 +64,30 @@ pub struct JobRecord {
     /// match the dispatcher's snapshot mode or outcomes would silently
     /// diverge from the in-process engine's.
     pub base: Option<u32>,
+    /// Digest of a previously shipped [`SnapshotRecord`] the worker should
+    /// fork from instead of rebuilding the base prefix from scratch.
+    /// `None` (and any job whose digest the worker has not seen) builds
+    /// from scratch — the outcome is bit-identical either way, so the
+    /// token is an optimization hint, never a correctness requirement.
+    pub snapshot: Option<u64>,
     /// Full system configuration (base seed included).
     pub config: SystemConfig,
+}
+
+/// One parsed snapshot frame: a content digest, the base population and
+/// replication index the snapshot was captured at, and the raw snap-token
+/// body (borrowed from the line — snapshot bodies are large).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotRecord<'a> {
+    /// FNV-1a 64 digest of `body`, verified by [`parse_snapshot`].
+    pub digest: u64,
+    /// Base terminal population the snapshot was captured at.
+    pub base: u32,
+    /// Replication index whose seed the snapshot was built under.
+    pub replication: u32,
+    /// The [`VodSystem::snap_export`](crate::VodSystem::snap_export)
+    /// token stream, verbatim.
+    pub body: &'a str,
 }
 
 /// What a worker measured for one job.
@@ -144,6 +176,83 @@ fn bad(field: &'static str, value: &str) -> WireError {
         value.push_str("<empty>");
     }
     WireError::BadValue { field, value }
+}
+
+/// FNV-1a 64: the content digest for snapshot frames. Chosen for being
+/// four lines of dependency-free code with good avalanche on text — the
+/// digest guards against truncation and byte corruption on a local pipe,
+/// not against an adversary.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content digest a snapshot body will carry on the wire — what a
+/// job's `snap=` token references.
+pub fn snapshot_digest(body: &str) -> u64 {
+    fnv1a64(body.as_bytes())
+}
+
+/// Encode a snapshot frame as one protocol line (no trailing newline).
+/// `body` is the [`VodSystem::snap_export`](crate::VodSystem::snap_export)
+/// token stream; the digest is computed here so an encoded frame always
+/// verifies.
+pub fn encode_snapshot(base: u32, replication: u32, body: &str) -> String {
+    format!(
+        "spiffi-snapshot/{PROTO_VERSION} digest={:016x} base={base} repl={replication} {body}",
+        snapshot_digest(body)
+    )
+}
+
+/// Split `key=value ` off the front of a snapshot-frame header, returning
+/// `(value, rest)`. Header fields are single-space separated by
+/// construction ([`encode_snapshot`]); a missing key is
+/// [`WireError::MissingField`], a missing separator (line cut inside the
+/// header) is [`WireError::Truncated`].
+fn take_kv<'a>(rest: &'a str, key: &'static str) -> Result<(&'a str, &'a str), WireError> {
+    let rest = rest
+        .strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or(WireError::MissingField(key))?;
+    rest.split_once(' ').ok_or(WireError::Truncated)
+}
+
+/// Parse one snapshot frame, verifying the digest over the body. A digest
+/// mismatch — a frame truncated or corrupted anywhere in its (large) body
+/// — is `BadValue{field:"digest"}`, so the worker falls back to building
+/// from scratch instead of importing corrupt state.
+pub fn parse_snapshot(line: &str) -> Result<SnapshotRecord<'_>, WireError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let rest = line
+        .strip_prefix("spiffi-snapshot/")
+        .ok_or(WireError::UnknownRecord)?;
+    let (version, rest) = rest.split_once(' ').ok_or(WireError::Truncated)?;
+    let got: u32 = version.parse().map_err(|_| bad("version", version))?;
+    if got != PROTO_VERSION {
+        return Err(WireError::Version {
+            got,
+            want: PROTO_VERSION,
+        });
+    }
+    let (d, rest) = take_kv(rest, "digest")?;
+    let digest = u64::from_str_radix(d, 16).map_err(|_| bad("digest", d))?;
+    let (b, rest) = take_kv(rest, "base")?;
+    let base = b.parse().map_err(|_| bad("base", b))?;
+    let (r, body) = take_kv(rest, "repl")?;
+    let replication = r.parse().map_err(|_| bad("repl", r))?;
+    if snapshot_digest(body) != digest {
+        return Err(bad("digest", d));
+    }
+    Ok(SnapshotRecord {
+        digest,
+        base,
+        replication,
+        body,
+    })
 }
 
 /// Encode a job as one protocol line (no trailing newline).
@@ -260,6 +369,9 @@ pub fn encode_job(job: &JobRecord) -> String {
         c.timing.measure.0,
         c.seed,
     );
+    if let Some(digest) = job.snapshot {
+        let _ = write!(s, " snap={digest:016x}");
+    }
     s
 }
 
@@ -292,11 +404,11 @@ impl<'a> Fields<'a> {
     }
 
     fn raw(&self, key: &'static str) -> Result<&'a str, WireError> {
-        self.tokens
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|&(_, v)| v)
-            .ok_or(WireError::MissingField(key))
+        self.opt(key).ok_or(WireError::MissingField(key))
+    }
+
+    fn opt(&self, key: &'static str) -> Option<&'a str> {
+        self.tokens.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
     }
 
     fn num<T: std::str::FromStr>(&self, key: &'static str) -> Result<T, WireError> {
@@ -477,11 +589,19 @@ pub fn parse_job(line: &str) -> Result<JobRecord, WireError> {
         "none" => None,
         raw => Some(raw.parse().map_err(|_| bad("base", raw))?),
     };
+    // `snap=` is the one optional token: v3 dispatchers only emit it for
+    // jobs that can fork a shipped snapshot, and its absence means "build
+    // from scratch" — not a malformed line.
+    let snapshot = match f.opt("snap") {
+        None => None,
+        Some(raw) => Some(u64::from_str_radix(raw, 16).map_err(|_| bad("snap", raw))?),
+    };
     Ok(JobRecord {
         id: f.num("id")?,
         terminals: f.num("n")?,
         replication: f.num("r")?,
         base,
+        snapshot,
         config,
     })
 }
@@ -524,7 +644,12 @@ pub fn parse_result(line: &str) -> Result<ResultRecord, WireError> {
     if !line.starts_with("{\"spiffi_worker\":") {
         return Err(WireError::UnknownRecord);
     }
-    let got = json_u64(line, "spiffi_worker")? as u32;
+    // Checked narrowing: a 64-bit "version" (corrupt output, or a future
+    // build whose version outgrew u32) must surface as a typed error, not
+    // silently truncate into a version we think we speak.
+    let raw_version = json_u64(line, "spiffi_worker")?;
+    let got =
+        u32::try_from(raw_version).map_err(|_| bad("spiffi_worker", &raw_version.to_string()))?;
     if got != PROTO_VERSION {
         return Err(WireError::Version {
             got,
@@ -575,6 +700,7 @@ mod tests {
             terminals: 24,
             replication: 1,
             base: None,
+            snapshot: None,
             config: cfg,
         }
     }
@@ -607,6 +733,18 @@ mod tests {
                 let got = parse_job(&encode_job(&sent)).expect("round trip");
                 assert_eq!(got.base, base);
             }
+            for snapshot in [
+                None,
+                Some(0u64),
+                Some(u64::MAX),
+                Some(0x00ab_cdef_0123_4567),
+            ] {
+                let mut sent = job(cfg.clone());
+                sent.base = Some(20);
+                sent.snapshot = snapshot;
+                let got = parse_job(&encode_job(&sent)).expect("round trip");
+                assert_eq!(got.snapshot, snapshot, "snap token drifted");
+            }
             let sent = job(cfg);
             let got = parse_job(&encode_job(&sent)).expect("round trip");
             assert_eq!(got.id, 42);
@@ -638,10 +776,10 @@ mod tests {
             }
         );
         // A token without `=` means the line was cut mid-token.
-        assert_eq!(err("spiffi-job/2 id=1 n=2 r=0 nod"), WireError::Truncated);
+        assert_eq!(err("spiffi-job/3 id=1 n=2 r=0 nod"), WireError::Truncated);
         // A structurally fine line missing a config field.
         assert_eq!(
-            err("spiffi-job/2 id=1 n=2 r=0"),
+            err("spiffi-job/3 id=1 n=2 r=0"),
             WireError::MissingField("access")
         );
         // A field with an unparseable value.
@@ -657,6 +795,133 @@ mod tests {
             parse_job(&mangled),
             Err(WireError::BadValue { field: "sched", .. })
         ));
+        // A non-hex snap digest.
+        let mut with_snap = job(SystemConfig::small_test());
+        with_snap.snapshot = Some(7);
+        let good = encode_job(&with_snap);
+        let mangled = good.replace("snap=", "snap=zz_");
+        assert!(matches!(
+            parse_job(&mangled),
+            Err(WireError::BadValue { field: "snap", .. })
+        ));
+    }
+
+    /// Satellite coverage: adversarial configs at the edges of their
+    /// domains must round-trip bit-identically, and truncated or mangled
+    /// lines must come back as typed errors — never a panic, never a
+    /// silently wrong record.
+    #[test]
+    fn job_round_trips_adversarial_configs_and_survives_truncation() {
+        let mut cases = Vec::new();
+        // Zipf exponents hugging both ends of (0, 1): the f64 hex encoding
+        // must carry every bit.
+        let just_above_half = f64::from_bits(0.5f64.to_bits() + 1);
+        for z in [1e-12, 1.0 - 1e-12, just_above_half, f64::MIN_POSITIVE] {
+            let mut c = SystemConfig::small_test();
+            c.access = AccessPattern::Zipf(z);
+            cases.push(c);
+        }
+        // Extreme stripe sizes and populations. These configs need not
+        // validate — the wire layer round-trips what it is given; the
+        // worker validates before simulating.
+        let mut c = SystemConfig::small_test();
+        c.stripe_bytes = 1;
+        c.n_terminals = u32::MAX;
+        cases.push(c);
+        let mut c = SystemConfig::small_test();
+        c.stripe_bytes = u64::MAX;
+        c.server_memory_bytes = u64::MAX;
+        c.seed = u64::MAX;
+        cases.push(c);
+        for cfg in cases {
+            let mut sent = job(cfg);
+            sent.id = u64::MAX;
+            sent.terminals = u32::MAX;
+            sent.replication = u32::MAX;
+            sent.base = Some(u32::MAX);
+            sent.snapshot = Some(u64::MAX);
+            let line = encode_job(&sent);
+            let got = parse_job(&line).expect("adversarial round trip");
+            assert_eq!(got.id, sent.id);
+            assert_eq!(got.terminals, sent.terminals);
+            assert_eq!(got.replication, sent.replication);
+            assert_eq!(got.base, sent.base);
+            assert_eq!(got.snapshot, sent.snapshot);
+            assert_eq!(
+                ProbeCache::fingerprint(&got.config),
+                ProbeCache::fingerprint(&sent.config),
+                "adversarial config drifted across the wire"
+            );
+            assert_eq!(got.config.n_terminals, sent.config.n_terminals);
+            // Every prefix must parse without panicking (job lines are
+            // ASCII, so every byte offset is a char boundary). A prefix
+            // that happens to cut inside a trailing numeric value can
+            // still parse — the job framing is newline-delimited, so a
+            // short read never reaches the parser in practice — but it
+            // must never panic or loop.
+            for cut in 0..line.len() {
+                let _ = parse_job(&line[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_frame_round_trips_and_verifies_its_digest() {
+        // A body shaped like real snap tokens: space-joined key=value.
+        let body = "cn=1234 cq=9 ct=42 ce=1 et=99 es=3 ek=1 ev=7 ew=2";
+        let line = encode_snapshot(14, 3, body);
+        let rec = parse_snapshot(&line).expect("round trip");
+        assert_eq!(rec.base, 14);
+        assert_eq!(rec.replication, 3);
+        assert_eq!(rec.body, body);
+        assert_eq!(rec.digest, snapshot_digest(body));
+        // Re-encoding the parsed record reproduces the line byte for byte.
+        assert_eq!(encode_snapshot(rec.base, rec.replication, rec.body), line);
+        // The digest is over the exact bytes: a one-character body edit
+        // must be caught.
+        let corrupt = line.replace("ev=7", "ev=8");
+        assert!(matches!(
+            parse_snapshot(&corrupt),
+            Err(WireError::BadValue {
+                field: "digest",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn snapshot_parser_rejects_garbage_with_typed_errors() {
+        let err = |line: &str| parse_snapshot(line).expect_err("parse should fail");
+        assert_eq!(err(""), WireError::UnknownRecord);
+        assert_eq!(err("spiffi-job/3 id=1"), WireError::UnknownRecord);
+        assert_eq!(
+            err("spiffi-snapshot/999 digest=0 base=1 repl=0 x=1"),
+            WireError::Version {
+                got: 999,
+                want: PROTO_VERSION
+            }
+        );
+        assert!(matches!(
+            err("spiffi-snapshot/3 digest=nothex base=1 repl=0 x=1"),
+            WireError::BadValue {
+                field: "digest",
+                ..
+            }
+        ));
+        assert_eq!(
+            err("spiffi-snapshot/3 base=1 repl=0 x=1"),
+            WireError::MissingField("digest")
+        );
+        // Every truncation of a valid frame errors: header cuts read as
+        // Truncated/MissingField, body cuts break the digest. (The frame
+        // is ASCII, so every byte offset is a char boundary.)
+        let line = encode_snapshot(20, 0, "aa=1 bb=2 cc=3");
+        for cut in 0..line.len() {
+            assert!(
+                parse_snapshot(&line[..cut]).is_err(),
+                "a {cut}-byte prefix must not parse as a valid frame"
+            );
+        }
     }
 
     #[test]
@@ -706,18 +971,33 @@ mod tests {
         }
         // Well-formed JSON but missing the outcome marker.
         assert_eq!(
-            parse_result("{\"spiffi_worker\":2,\"job\":4}"),
+            parse_result("{\"spiffi_worker\":3,\"job\":4}"),
             Err(WireError::MissingField("ok"))
         );
         // Missing a counted field.
         assert_eq!(
-            parse_result("{\"spiffi_worker\":2,\"job\":4,\"ok\":true,\"events\":5}"),
+            parse_result("{\"spiffi_worker\":3,\"job\":4,\"ok\":true,\"events\":5}"),
             Err(WireError::MissingField("glitches"))
         );
         // Non-numeric where a number must be.
         assert!(matches!(
-            parse_result("{\"spiffi_worker\":2,\"job\":nope,\"ok\":true}"),
+            parse_result("{\"spiffi_worker\":3,\"job\":nope,\"ok\":true}"),
             Err(WireError::BadValue { field: "job", .. })
+        ));
+        // Regression: a version that overflows u32 used to truncate via
+        // `as u32` — 2^32 + PROTO_VERSION read as the current version and
+        // the garbage record was accepted. It must be a typed error.
+        let overflowed = format!(
+            "{{\"spiffi_worker\":{},\"job\":4,\"ok\":true,\
+             \"glitches\":0,\"events\":5,\"wall_nanos\":6}}",
+            (1u64 << 32) + PROTO_VERSION as u64
+        );
+        assert!(matches!(
+            parse_result(&overflowed),
+            Err(WireError::BadValue {
+                field: "spiffi_worker",
+                ..
+            })
         ));
     }
 }

@@ -221,6 +221,74 @@ fn remove_is_precise() {
     }
 }
 
+/// Snapshot round trip: after an arbitrary prefix of pushes and pops, a
+/// scheduler exported and re-imported onto a fresh instance of the same
+/// kind must (a) re-export to byte-identical tokens and (b) drain in
+/// exactly the order the original would have.
+#[test]
+fn snapshot_round_trip_mid_workload() {
+    use spiffi_simcore::{SnapReader, SnapWriter};
+    for seed in 0..64u64 {
+        let mut rng = SimRng::stream(0x54a9, seed);
+        let n = 1 + rng.index(40);
+        let specs: Vec<DiskRequest> = (0..n).map(|i| random_req(&mut rng, i as u64)).collect();
+        let pops = rng.index(n + 1);
+        for kind in all_kinds() {
+            let mut s = kind.build();
+            let mut now = SimTime::ZERO;
+            let mut head = 0;
+            for r in &specs {
+                s.push(*r);
+            }
+            for _ in 0..pops {
+                if let Some(r) = s.pop_next(now, head) {
+                    head = r.cylinder;
+                    now += SimDuration::from_millis(7);
+                }
+            }
+
+            let mut w = SnapWriter::new();
+            s.snap_export(&mut w);
+            let bytes = w.finish();
+
+            let mut clone = kind.build();
+            let mut rd = SnapReader::new(&bytes);
+            clone
+                .snap_import(&mut rd)
+                .unwrap_or_else(|e| panic!("seed {seed} import under {}: {e}", s.name()));
+            rd.finish()
+                .unwrap_or_else(|e| panic!("seed {seed} trailing under {}: {e}", s.name()));
+
+            let mut w2 = SnapWriter::new();
+            clone.snap_export(&mut w2);
+            assert_eq!(
+                bytes,
+                w2.finish(),
+                "seed {seed}: re-export not byte-identical under {}",
+                s.name()
+            );
+
+            assert_eq!(s.len(), clone.len(), "seed {seed} under {}", s.name());
+            let mut head2 = head;
+            let mut now2 = now;
+            loop {
+                let a = s.pop_next(now, head);
+                let b = clone.pop_next(now2, head2);
+                assert_eq!(a, b, "seed {seed}: drain diverged under {}", s.name());
+                match a {
+                    Some(r) => {
+                        head = r.cylinder;
+                        head2 = r.cylinder;
+                        now += SimDuration::from_millis(7);
+                        now2 += SimDuration::from_millis(7);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
 /// Under GSS, between two consecutive services of the same stream no other
 /// stream is serviced twice from the batch the stream was waiting in —
 /// i.e. at most one request per stream per group pass.
