@@ -35,6 +35,7 @@ use spiffi_core::{
 use spiffi_mpeg::{AccessPattern, Library};
 use spiffi_sched::SchedulerKind;
 use spiffi_simcore::SimDuration;
+use spiffi_trace::json::f64_fixed;
 
 /// The fixed workload configuration: one node, four disks, uniform access
 /// over 64 one-minute titles, memory far below the working set.
@@ -455,8 +456,11 @@ fn measure_engine(threads: usize) -> Sample {
 
 fn sample_json(s: &Sample, indent: &str) -> String {
     format!(
-        "{{\n{indent}  \"wall_seconds\": {:.4},\n{indent}  \"events_processed\": {},\n{indent}  \"events_per_sec\": {:.1},\n{indent}  \"capacity_terminals\": {}\n{indent}}}",
-        s.wall_seconds, s.events_processed, s.events_per_sec, s.capacity
+        "{{\n{indent}  \"wall_seconds\": {},\n{indent}  \"events_processed\": {},\n{indent}  \"events_per_sec\": {},\n{indent}  \"capacity_terminals\": {}\n{indent}}}",
+        f64_fixed(s.wall_seconds, 4),
+        s.events_processed,
+        f64_fixed(s.events_per_sec, 1),
+        s.capacity
     )
 }
 
@@ -674,8 +678,8 @@ fn main() {
                 sample_json(&current, "  ")
             ));
             json.push_str(&format!(
-                "  \"events_per_sec_improvement\": {:.4},\n  \"deterministic_vs_baseline\": {},\n",
-                improvement,
+                "  \"events_per_sec_improvement\": {},\n  \"deterministic_vs_baseline\": {},\n",
+                f64_fixed(improvement, 4),
                 b.events_processed == current.events_processed
             ));
         }
@@ -688,38 +692,41 @@ fn main() {
         }
     }
     json.push_str(&format!(
-        "  \"parallel\": {{\n    \"threads\": {threads},\n    \"wall_seconds\": {:.4},\n    \
-         \"events_processed\": {},\n    \"events_per_sec\": {:.1},\n    \
-         \"capacity_terminals\": {},\n    \"speedup_vs_single_thread\": {speedup:.4}\n  }},\n",
-        parallel.wall_seconds,
+        "  \"parallel\": {{\n    \"threads\": {threads},\n    \"wall_seconds\": {},\n    \
+         \"events_processed\": {},\n    \"events_per_sec\": {},\n    \
+         \"capacity_terminals\": {},\n    \"speedup_vs_single_thread\": {}\n  }},\n",
+        f64_fixed(parallel.wall_seconds, 4),
         parallel.events_processed,
-        parallel.events_per_sec,
-        parallel.capacity
+        f64_fixed(parallel.events_per_sec, 1),
+        parallel.capacity,
+        f64_fixed(speedup, 4)
     ));
     json.push_str(&format!(
         "  \"speculative\": {{\n    \"threads\": {threads},\n    \
-         \"cold_wall_seconds\": {:.4},\n    \"speculative_events\": {},\n    \
-         \"wall_seconds\": {:.4},\n    \"events_processed\": {},\n    \
-         \"capacity_terminals\": {},\n    \"speedup_vs_parallel\": {spec_speedup:.4},\n    \
+         \"cold_wall_seconds\": {},\n    \"speculative_events\": {},\n    \
+         \"wall_seconds\": {},\n    \"events_processed\": {},\n    \
+         \"capacity_terminals\": {},\n    \"speedup_vs_parallel\": {},\n    \
          \"counted_matches_sequential\": true\n  }},\n",
-        speculative.cold_wall_seconds,
+        f64_fixed(speculative.cold_wall_seconds, 4),
         speculative.speculative_events,
-        speculative.wall_seconds,
+        f64_fixed(speculative.wall_seconds, 4),
         speculative.events_processed,
-        speculative.capacity
+        speculative.capacity,
+        f64_fixed(spec_speedup, 4)
     ));
     json.push_str(&format!(
         "  \"snapshot\": {{\n    \"threads\": {threads},\n    \
-         \"cold_wall_seconds\": {:.4},\n    \"wall_seconds\": {:.4},\n    \
+         \"cold_wall_seconds\": {},\n    \"wall_seconds\": {},\n    \
          \"events_processed\": {},\n    \"capacity_terminals\": {},\n    \
-         \"speedup_vs_parallel\": {snap_speedup:.4},\n    \
+         \"speedup_vs_parallel\": {},\n    \
          \"snapshot_captures\": {},\n    \"snapshot_hits\": {},\n    \
          \"forked_terminals\": {},\n    \"snapshot_saved_events\": {},\n    \
          \"counted_matches_sequential\": true\n  }},\n",
-        snapshot.cold_wall_seconds,
-        snapshot.wall_seconds,
+        f64_fixed(snapshot.cold_wall_seconds, 4),
+        f64_fixed(snapshot.wall_seconds, 4),
         snapshot.events_processed,
         snapshot.capacity,
+        f64_fixed(snap_speedup, 4),
         snap_journal.snapshot_captures,
         snap_journal.snapshot_hits,
         snap_journal.forked_terminals,
@@ -729,16 +736,16 @@ fn main() {
     for (i, c) in scale.iter().enumerate() {
         json.push_str(&format!(
             "      {{\n        \"terminals\": {},\n        \"events_processed\": {},\n        \
-             \"heap_wall_seconds\": {:.4},\n        \"heap_events_per_sec\": {:.1},\n        \
-             \"bucket_wall_seconds\": {:.4},\n        \"bucket_events_per_sec\": {:.1},\n        \
-             \"bucket_speedup\": {:.4}\n      }}{}\n",
+             \"heap_wall_seconds\": {},\n        \"heap_events_per_sec\": {},\n        \
+             \"bucket_wall_seconds\": {},\n        \"bucket_events_per_sec\": {},\n        \
+             \"bucket_speedup\": {}\n      }}{}\n",
             c.terminals,
             c.events_processed,
-            c.heap_wall_seconds,
-            c.events_processed as f64 / c.heap_wall_seconds,
-            c.bucket_wall_seconds,
-            c.events_processed as f64 / c.bucket_wall_seconds,
-            c.heap_wall_seconds / c.bucket_wall_seconds,
+            f64_fixed(c.heap_wall_seconds, 4),
+            f64_fixed(c.events_processed as f64 / c.heap_wall_seconds, 1),
+            f64_fixed(c.bucket_wall_seconds, 4),
+            f64_fixed(c.events_processed as f64 / c.bucket_wall_seconds, 1),
+            f64_fixed(c.heap_wall_seconds / c.bucket_wall_seconds, 4),
             if i + 1 == scale.len() { "" } else { "," }
         ));
     }
@@ -746,10 +753,13 @@ fn main() {
     match &process {
         Some(p) => json.push_str(&format!(
             "  \"process\": {{\n    \"available\": true,\n    \"workers\": {PROCESS_WORKERS},\n    \
-             \"cold_wall_seconds\": {:.4},\n    \"wall_seconds\": {:.4},\n    \
+             \"cold_wall_seconds\": {},\n    \"wall_seconds\": {},\n    \
              \"events_processed\": {},\n    \"capacity_terminals\": {},\n    \
              \"counted_matches_sequential\": true\n  }}\n}}\n",
-            p.cold_wall_seconds, p.wall_seconds, p.events_processed, p.capacity
+            f64_fixed(p.cold_wall_seconds, 4),
+            f64_fixed(p.wall_seconds, 4),
+            p.events_processed,
+            p.capacity
         )),
         None => json.push_str("  \"process\": {\n    \"available\": false\n  }\n}\n"),
     }

@@ -15,31 +15,47 @@
 //!   in timestamp order (every line carries `type` and `t_ns`).
 //! - `TRACE_run.trace.json` — Chrome `trace_event` JSON; open it in
 //!   <https://ui.perfetto.dev> or `chrome://tracing`.
+//! - `TRACE_merged.trace.json` — the dispatcher trace plus one track per
+//!   worker telemetry stream (populated when `SPIFFI_WORKERS` and
+//!   `SPIFFI_TELEMETRY` are set), merged in canonical order so the bytes
+//!   are identical regardless of worker count or arrival interleaving.
 //! - `TRACE_journal.json` — the engine's run-journal snapshot.
 //!
 //! Usage:
 //!   trace_run                # full workload (120 s measurement window)
 //!   trace_run --small        # CI-sized run (30 s window, fewer terminals)
 //!   trace_run --dump-state   # additionally write TRACE_state.snap
+//!   trace_run --forensics    # overload run + TRACE_forensics.json dump
 //!
 //! `--dump-state` replays the workload's warmed-up base prefix exactly as
 //! the warm snapshot path would (marginal timing, replication 0) and
-//! writes the versioned wire frame (`spiffi-snapshot/3`) the dispatcher
+//! writes the versioned wire frame (`spiffi-snapshot/4`) the dispatcher
 //! would ship to a worker — a post-mortem artifact whose digest can be
 //! matched against worker stderr and whose body is the full serialized
 //! system state.
+//!
+//! `--forensics` additionally runs a deliberately overloaded population
+//! under a [`GlitchForensics`] probe: bounded rings of recent per-terminal
+//! transitions and system context freeze at the first glitch, land in
+//! `TRACE_forensics.json`, and ride the merged trace as an instant event
+//! on a dedicated forensics track.
 //!
 //! The binary cross-checks the trace against the report it rode along
 //! with: the sampled per-disk utilization mean over the measurement window
 //! must match `RunReport::avg_disk_utilization` within 1%, and the
 //! recorder's dispatch tally must equal `events_processed`.
 
+use std::collections::BTreeMap;
+
 use spiffi_core::{
-    replication_seed, wire, CapacitySearch, Engine, Sampler, SystemConfig, TraceRecorder, VodSystem,
+    replication_seed, wire, CapacitySearch, Engine, GlitchForensics, PhaseKind, Sampler,
+    SystemConfig, TraceRecorder, VodSystem, WorkerStream,
 };
 use spiffi_mpeg::AccessPattern;
 use spiffi_simcore::{SimDuration, SimTime};
 use spiffi_trace::export;
+use spiffi_trace::merge::merged_chrome_trace;
+use spiffi_trace::ForensicsDump;
 
 /// The perf_baseline workload shape: one node, four disks, uniform access
 /// over 64 one-minute titles, memory far below the working set.
@@ -88,9 +104,40 @@ fn dump_state(cfg: &SystemConfig) {
     );
 }
 
+/// Forensics ring depth: the last 64 probe events per ring is enough to
+/// see the I/O backlog leading into a glitch without ballooning the dump.
+const FORENSICS_DEPTH: usize = 64;
+
+/// Run a deliberately overloaded population (far above the workload's
+/// ~60-terminal capacity) under a [`GlitchForensics`] probe and return the
+/// dump frozen at the first glitch.
+fn forensics_run(cfg: &SystemConfig) -> Option<ForensicsDump> {
+    let mut c = cfg.clone();
+    c.n_terminals = 200;
+    c.timing.measure = SimDuration::from_secs(10);
+    let library = VodSystem::generate_library(&c);
+    let system = VodSystem::with_probe(c, library, GlitchForensics::new(FORENSICS_DEPTH));
+    let (report, probe) = system.run_traced();
+    let dump = probe.dump().cloned();
+    match &dump {
+        Some(d) => println!(
+            "forensics: terminal {} glitched at {:.3} s ({} history entries, {} context events; \
+             {} glitches measured in the overload run)",
+            d.terminal,
+            d.at.saturating_since(SimTime::ZERO).as_secs_f64(),
+            d.history.len(),
+            d.context.len(),
+            report.glitches,
+        ),
+        None => println!("forensics: the overload run never glitched — no dump to write"),
+    }
+    dump
+}
+
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
     let dump = std::env::args().any(|a| a == "--dump-state");
+    let forensics = std::env::args().any(|a| a == "--forensics");
     let cfg = workload_config(small);
     let nodes = cfg.topology.nodes as usize;
     let disks_per_node = cfg.topology.disks_per_node as usize;
@@ -189,12 +236,134 @@ fn main() {
             journal.worker_retries, journal.worker_respawns, journal.quarantined_jobs,
         );
     }
+    for fault in &journal.worker_faults {
+        println!(
+            "journal: fault on slot {} ({} terminals, rep {}): {}{}",
+            fault.slot,
+            fault.terminals,
+            fault.replication,
+            fault.reason,
+            fault
+                .stderr_tail
+                .last()
+                .map(|l| format!(" — stderr: {l}"))
+                .unwrap_or_default(),
+        );
+    }
+
+    // Per-phase wall-time breakdown: where the search actually spent its
+    // wall clock, across the dispatcher and (when telemetry is on) the
+    // workers' own measured deltas.
+    let phase_total: u64 = journal.phase_wall_nanos.iter().sum();
+    let phases = PhaseKind::ALL
+        .iter()
+        .map(|p| {
+            format!(
+                "{} {:.1} ms",
+                p.name(),
+                journal.phase_wall_nanos[p.index()] as f64 / 1e6
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "journal: phase walls: {} (phase total {:.1} ms)",
+        phases,
+        phase_total as f64 / 1e6
+    );
+    if journal.telemetry_frames + journal.telemetry_dropped > 0 {
+        println!(
+            "journal: telemetry: {} frames, {} samples, {} dropped",
+            journal.telemetry_frames, journal.telemetry_samples, journal.telemetry_dropped,
+        );
+    }
+
+    // Worker telemetry streams: per-worker sample counts, then the PR 4
+    // sampler-vs-report utilization gate applied across the process
+    // boundary to every clean stream.
+    let streams: Vec<WorkerStream> = engine.take_worker_telemetry();
+    let mut per_slot: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+    for s in &streams {
+        let e = per_slot.entry(s.slot).or_default();
+        e.0 += 1;
+        e.1 += s.samples.len() as u64;
+    }
+    for (slot, (jobs, samples)) in &per_slot {
+        println!("worker {slot}: {jobs} telemetry streams, {samples} samples");
+    }
+    for s in &streams {
+        if s.glitches > 0 || s.report_disk_utilization < 1e-6 {
+            continue;
+        }
+        let Some(measure) = s.spans.iter().find(|sp| sp.label == "measure") else {
+            continue;
+        };
+        let sampled = s.mean_disk_utilization(measure.sim_start, measure.sim_end);
+        let rel = (sampled - s.report_disk_utilization).abs() / s.report_disk_utilization;
+        assert!(
+            rel < 0.01,
+            "worker stream ({} terminals, rep {}): sampled disk utilization {sampled:.4} \
+             diverges from the worker's reported {:.4}",
+            s.terminals,
+            s.replication,
+            s.report_disk_utilization,
+        );
+    }
+    if !streams.is_empty() {
+        println!(
+            "worker streams: {} clean streams pass the 1% sampled-vs-reported utilization gate",
+            streams
+                .iter()
+                .filter(|s| s.glitches == 0 && s.report_disk_utilization >= 1e-6)
+                .count()
+        );
+    }
+
     std::fs::write("TRACE_journal.json", journal.to_json()).expect("write TRACE_journal.json");
+
+    let fdump = if forensics {
+        forensics_run(&workload_config(small))
+    } else {
+        None
+    };
+    if forensics {
+        let fjson = match &fdump {
+            Some(d) => d.to_json(),
+            None => "null".to_string(),
+        };
+        std::fs::write("TRACE_forensics.json", fjson).expect("write TRACE_forensics.json");
+    }
+
+    // The merged trace carries only the probes the search *counted*
+    // (replications = 1, so replication 0 of every probed count):
+    // speculative jobs vary with pool width, counted ones do not, which
+    // keeps the merged bytes identical at any SPIFFI_WORKERS setting.
+    let counted: std::collections::HashSet<(u32, u32)> =
+        result.probes.iter().map(|&(n, _)| (n, 0)).collect();
+    let counted_streams: Vec<WorkerStream> = streams
+        .iter()
+        .filter(|s| counted.contains(&(s.terminals, s.replication)))
+        .cloned()
+        .collect();
+    let merged = merged_chrome_trace(
+        recorder.events(),
+        sampler.rows(),
+        &counted_streams,
+        fdump.as_ref(),
+    );
+    std::fs::write("TRACE_merged.trace.json", &merged).expect("write TRACE_merged.trace.json");
 
     println!("\nwrote TRACE_run.jsonl ({} lines)", jsonl.lines().count());
     if dump {
         dump_state(&workload_config(small));
     }
     println!("wrote TRACE_run.trace.json (open in https://ui.perfetto.dev)");
+    println!(
+        "wrote TRACE_merged.trace.json ({} worker tracks)",
+        spiffi_trace::merge::canonical_streams(&counted_streams).len()
+    );
+    if forensics {
+        println!("wrote TRACE_forensics.json");
+    }
     println!("wrote TRACE_journal.json");
 }

@@ -14,7 +14,7 @@
 //!
 //! # Snapshot frames
 //!
-//! A `spiffi-snapshot/3` frame carries a serialized warmed-up base
+//! A `spiffi-snapshot/4` frame carries a serialized warmed-up base
 //! prefix ([`VodSystem::snap_export`]). The worker stores the body under
 //! its content digest and sends no reply. A later job whose `snap=`
 //! token names a stored digest imports the prefix once
@@ -35,12 +35,16 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::sync::atomic::AtomicU32;
+use std::sync::atomic::{AtomicBool, AtomicU32};
 use std::sync::Arc;
 use std::time::Instant;
 
-use spiffi_core::wire::{self, ResultRecord, WorkerOutcome};
-use spiffi_core::{replication_seed, LibraryCache, SystemConfig, VodSystem};
+use spiffi_core::wire::{
+    self, ResultRecord, TelemetryDelta, TelemetryRecord, TelemetrySample, TelemetrySpan,
+    WorkerOutcome,
+};
+use spiffi_core::{replication_seed, LibraryCache, RunReport, Sampler, SystemConfig, VodSystem};
+use spiffi_simcore::SimDuration;
 
 fn env_u64(key: &str) -> Option<u64> {
     std::env::var(key).ok()?.trim().parse().ok()
@@ -97,6 +101,150 @@ impl SnapshotStore {
     }
 }
 
+/// Simulate one validated job: resolve the snapshot fast path (measuring
+/// its import and fork walls), then run either the plain zero-cost path
+/// or — when the job carries a `telem=` request — a [`Sampler`]-probed
+/// run whose samples, phase spans, and journal delta are folded into a
+/// [`TelemetryRecord`] for the dispatcher. Probes are observation-only,
+/// so the report is bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+fn simulate(
+    c: SystemConfig,
+    job_id: u64,
+    terminals: u32,
+    replication: u32,
+    base: Option<u32>,
+    snapshot: Option<u64>,
+    telemetry: Option<u64>,
+    cache: &LibraryCache,
+    snapshots: &mut SnapshotStore,
+) -> (RunReport, Option<TelemetryRecord>) {
+    // Standalone probe: a fresh cancel flag means the run can only stop
+    // at its own first measured glitch or the window end — the
+    // deterministic, cacheable outcome. A `base=` token selects the
+    // dispatcher's marginal-probe timing so the outcome matches its
+    // snapshot-mode engine.
+    let cancel = AtomicU32::new(u32::MAX);
+    let lib = cache.get(&c);
+    let warmup_ns = c.timing.warmup.0;
+    let total_ns = c.timing.total().0;
+    let snap_ns = c.timing.warmup.saturating_sub(c.timing.stagger).0;
+
+    let mut import_wall = 0u64;
+    let mut fork_wall = 0u64;
+    let mut forked = None;
+    if let (Some(b), Some(digest)) = (base, snapshot) {
+        if terminals > b {
+            let t0 = Instant::now();
+            let base_sys = snapshots.base_system(digest, &c, b, cache);
+            import_wall = t0.elapsed().as_nanos() as u64;
+            if let Some(base_sys) = base_sys {
+                let t1 = Instant::now();
+                forked = Some(base_sys.fork_to(terminals));
+                fork_wall = t1.elapsed().as_nanos() as u64;
+            }
+        }
+    }
+    let was_forked = forked.is_some();
+
+    let Some(interval_ns) = telemetry.filter(|&ns| ns > 0) else {
+        let report = match (forked, base) {
+            (Some(sys), _) => sys.run_glitch_probe(&cancel, replication),
+            (None, Some(b)) => {
+                VodSystem::with_library_marginal(c, lib, b).run_glitch_probe(&cancel, replication)
+            }
+            (None, None) => VodSystem::with_library(c, lib).run_glitch_probe(&cancel, replication),
+        };
+        return (report, None);
+    };
+
+    let sampler = Sampler::new(
+        SimDuration(interval_ns),
+        c.topology.nodes as usize,
+        c.topology.disks_per_node as usize,
+    );
+    let abort = AtomicBool::new(false);
+    let t2 = Instant::now();
+    let (report, _clean, probe) =
+        match (forked, base) {
+            (Some(sys), _) => sys.attach_probe(sampler).run_glitch_probe_abortable_traced(
+                &cancel,
+                replication,
+                &abort,
+            ),
+            (None, Some(b)) => VodSystem::with_probe_marginal(c, lib, sampler, b)
+                .run_glitch_probe_abortable_traced(&cancel, replication, &abort),
+            (None, None) => VodSystem::with_probe(c, lib, sampler)
+                .run_glitch_probe_abortable_traced(&cancel, replication, &abort),
+        };
+    let simulate_wall = t2.elapsed().as_nanos() as u64;
+
+    // Phase spans in sim-time. Bounds are pure functions of the job's
+    // config (wall times ride alongside but are excluded from merged
+    // trace bytes), so the dispatcher's merged trace stays byte-identical
+    // no matter which worker ran the job. Import/fork are point spans at
+    // the snapshot boundary; a from-scratch build simulates from zero.
+    let mut spans = vec![TelemetrySpan {
+        label: "warmup",
+        sim_start: 0,
+        sim_end: warmup_ns,
+        wall_nanos: 0,
+    }];
+    if was_forked {
+        spans.push(TelemetrySpan {
+            label: "import",
+            sim_start: snap_ns,
+            sim_end: snap_ns,
+            wall_nanos: import_wall,
+        });
+        spans.push(TelemetrySpan {
+            label: "fork",
+            sim_start: snap_ns,
+            sim_end: snap_ns,
+            wall_nanos: fork_wall,
+        });
+    }
+    spans.push(TelemetrySpan {
+        label: "simulate",
+        sim_start: if was_forked { snap_ns } else { 0 },
+        sim_end: total_ns,
+        wall_nanos: simulate_wall,
+    });
+    spans.push(TelemetrySpan {
+        label: "measure",
+        sim_start: warmup_ns,
+        sim_end: total_ns,
+        wall_nanos: 0,
+    });
+    let samples = probe
+        .rows()
+        .iter()
+        .map(|row| TelemetrySample {
+            t_ns: row.t.0,
+            net_bytes: row.net_bytes,
+            pool_in_use: row.pool_in_use,
+            outstanding_deadlines: row.outstanding_deadlines,
+            disk_util: row.disk_util.clone(),
+        })
+        .collect();
+    let record = TelemetryRecord {
+        job: job_id,
+        interval_ns,
+        delta: TelemetryDelta {
+            glitches: report.glitches,
+            events: report.events_processed,
+            import_wall_nanos: import_wall,
+            fork_wall_nanos: fork_wall,
+            simulate_wall_nanos: simulate_wall,
+            forked: was_forked,
+            avg_disk_utilization: report.avg_disk_utilization,
+        },
+        spans,
+        samples,
+    };
+    (report, Some(record))
+}
+
 fn main() {
     let stall_ms = env_u64("SPIFFI_WORKER_STALL_MS");
     let exit_after = env_u64("SPIFFI_WORKER_EXIT_AFTER");
@@ -132,12 +280,18 @@ fn main() {
         jobs_seen += 1;
         if exit_after == Some(jobs_seen) {
             // Simulated crash: die without replying, mid-conversation.
+            // The stderr line plays the part of a real crash's last
+            // words, so the dispatcher's fault records have a tail to
+            // capture.
+            eprintln!(
+                "spiffi-worker: injected crash on job {jobs_seen} (SPIFFI_WORKER_EXIT_AFTER)"
+            );
             std::process::exit(17);
         }
         if let Some(ms) = stall_ms {
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
-        let record = match wire::parse_job(&line) {
+        let (record, telemetry) = match wire::parse_job(&line) {
             Ok(job) => {
                 let started = Instant::now();
                 let mut c = job.config;
@@ -145,46 +299,53 @@ fn main() {
                 c.seed = replication_seed(c.seed, job.replication);
                 match c.validate() {
                     Ok(()) => {
-                        let lib = cache.get(&c);
-                        // Standalone probe: a fresh cancel flag means the
-                        // run can only stop at its own first measured
-                        // glitch or the window end — the deterministic,
-                        // cacheable outcome. A `base=` token selects the
-                        // dispatcher's marginal-probe timing so the
-                        // outcome matches its snapshot-mode engine.
-                        let cancel = AtomicU32::new(u32::MAX);
-                        let forked = match (job.base, job.snapshot) {
-                            (Some(b), Some(digest)) if job.terminals > b => snapshots
-                                .base_system(digest, &c, b, &cache)
-                                .map(|base| base.fork_to(job.terminals)),
-                            _ => None,
-                        };
-                        let system = match (forked, job.base) {
-                            (Some(sys), _) => sys,
-                            (None, Some(b)) => VodSystem::with_library_marginal(c, lib, b),
-                            (None, None) => VodSystem::with_library(c, lib),
-                        };
-                        let report = system.run_glitch_probe(&cancel, job.replication);
+                        let (report, telemetry) = simulate(
+                            c,
+                            job.id,
+                            job.terminals,
+                            job.replication,
+                            job.base,
+                            job.snapshot,
+                            job.telemetry,
+                            &cache,
+                            &mut snapshots,
+                        );
+                        (
+                            ResultRecord {
+                                id: job.id,
+                                outcome: Ok(WorkerOutcome {
+                                    glitches: report.glitches,
+                                    events: report.events_processed,
+                                    wall_nanos: started.elapsed().as_nanos() as u64,
+                                }),
+                            },
+                            telemetry,
+                        )
+                    }
+                    Err(why) => (
                         ResultRecord {
                             id: job.id,
-                            outcome: Ok(WorkerOutcome {
-                                glitches: report.glitches,
-                                events: report.events_processed,
-                                wall_nanos: started.elapsed().as_nanos() as u64,
-                            }),
-                        }
-                    }
-                    Err(why) => ResultRecord {
-                        id: job.id,
-                        outcome: Err(format!("invalid config: {why}")),
-                    },
+                            outcome: Err(format!("invalid config: {why}")),
+                        },
+                        None,
+                    ),
                 }
             }
-            Err(e) => ResultRecord {
-                id: 0,
-                outcome: Err(format!("bad job line: {e}")),
-            },
+            Err(e) => (
+                ResultRecord {
+                    id: 0,
+                    outcome: Err(format!("bad job line: {e}")),
+                },
+                None,
+            ),
         };
+        // The telemetry frame precedes its result line, so by the time
+        // the dispatcher resolves the job its telemetry has arrived.
+        if let Some(rec) = telemetry {
+            if writeln!(out, "{}", wire::encode_telemetry(&rec)).is_err() {
+                break;
+            }
+        }
         if writeln!(out, "{}", wire::encode_result(&record))
             .and_then(|_| out.flush())
             .is_err()

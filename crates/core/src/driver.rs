@@ -54,11 +54,12 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 use crate::cache::{LibraryCache, ProbeCache, ProbeOutcome, SnapshotCache};
 use crate::config::SystemConfig;
-use crate::journal::{ProbeRun, RunJournal};
+use crate::journal::{PhaseKind, ProbeRun, RunJournal};
 use crate::metrics::RunReport;
 use crate::process::{ProcessConfig, ProcessPool, SnapshotBlob};
 use crate::system::VodSystem;
-use spiffi_simcore::SimDuration;
+use spiffi_simcore::{SimDuration, SimTime};
+use spiffi_trace::{SampleRow, StreamSpan, WorkerStream};
 
 /// Run one configuration to completion.
 pub fn run_once(cfg: &SystemConfig) -> RunReport {
@@ -158,6 +159,41 @@ pub fn snapshot_mode_from_env() -> SnapshotMode {
     }
 }
 
+/// Parse a `SPIFFI_TELEMETRY` setting: unset, empty, `0` or `off` turn
+/// worker telemetry off (`None`); a positive integer is the sampling
+/// interval in **milliseconds** (converted to nanoseconds). Anything else
+/// is an error carrying the offending text — a typo must not silently run
+/// without the telemetry the experiment was supposed to collect.
+pub(crate) fn parse_telemetry_env(v: Option<&str>) -> Result<Option<u64>, String> {
+    let t = v.unwrap_or("").trim();
+    if t.is_empty() || t == "0" || t.eq_ignore_ascii_case("off") {
+        return Ok(None);
+    }
+    match t.parse::<u64>() {
+        Ok(ms) if ms > 0 && ms <= u64::MAX / 1_000_000 => Ok(Some(ms * 1_000_000)),
+        _ => Err(t.to_string()),
+    }
+}
+
+/// Telemetry request from the `SPIFFI_TELEMETRY` environment variable: a
+/// positive integer selects that sampling interval in milliseconds,
+/// `0`/`off`/unset disables telemetry. Any other value is rejected with a
+/// diagnostic and a non-zero exit, matching the strict `SPIFFI_SNAPSHOT`
+/// parse.
+pub fn telemetry_from_env() -> Option<u64> {
+    let raw = std::env::var("SPIFFI_TELEMETRY").ok();
+    match parse_telemetry_env(raw.as_deref()) {
+        Ok(t) => t,
+        Err(bad) => {
+            eprintln!(
+                "spiffi: unknown SPIFFI_TELEMETRY value {bad:?} \
+                 (expected \"0\"/\"off\" or a sampling interval in milliseconds)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Run `f(i)` for every `i < n` on at most `threads` OS threads, returning
 /// the results slotted by index.
 ///
@@ -215,6 +251,12 @@ pub struct Engine {
     snapshot: SnapshotMode,
     journal: Arc<RunJournal>,
     process: Option<ProcessConfig>,
+    /// Worker probe-sampling interval in nanoseconds; `None` runs workers
+    /// with the zero-cost [`spiffi_trace::NoopProbe`].
+    telemetry: Option<u64>,
+    /// Per-worker telemetry streams drained from process pools, waiting
+    /// for [`Engine::take_worker_telemetry`].
+    worker_telemetry: Mutex<Vec<WorkerStream>>,
 }
 
 impl Default for Engine {
@@ -231,6 +273,7 @@ impl Engine {
         let mut engine = Engine::with_threads(engine_threads());
         engine.process = ProcessConfig::from_env();
         engine.snapshot = snapshot_mode_from_env();
+        engine.telemetry = telemetry_from_env();
         engine
     }
 
@@ -262,6 +305,8 @@ impl Engine {
             snapshot: SnapshotMode::Off,
             journal: Arc::new(RunJournal::new()),
             process: None,
+            telemetry: None,
+            worker_telemetry: Mutex::new(Vec::new()),
         }
     }
 
@@ -280,6 +325,31 @@ impl Engine {
     pub fn with_process(mut self, process: ProcessConfig) -> Self {
         self.process = Some(process);
         self
+    }
+
+    /// Request worker-side telemetry at the given probe-sampling interval
+    /// in nanoseconds (overriding the ambient `SPIFFI_TELEMETRY` setting
+    /// [`Engine::new`] read). `None` runs workers with the zero-cost noop
+    /// probe. Purely observational: search results are byte-identical with
+    /// telemetry on or off.
+    pub fn with_telemetry(mut self, interval_ns: Option<u64>) -> Self {
+        self.telemetry = interval_ns;
+        self
+    }
+
+    /// The worker probe-sampling interval in nanoseconds, if telemetry is
+    /// requested.
+    pub fn telemetry(&self) -> Option<u64> {
+        self.telemetry
+    }
+
+    /// Drain the per-worker telemetry streams collected by process-backed
+    /// searches since the last call (empty unless telemetry is on and a
+    /// process-backed search has run). Feed these to
+    /// [`spiffi_trace::merge::merged_chrome_trace`] for a multi-track
+    /// trace.
+    pub fn take_worker_telemetry(&self) -> Vec<WorkerStream> {
+        std::mem::take(&mut self.worker_telemetry.lock().unwrap())
     }
 
     /// The worker-thread budget.
@@ -393,7 +463,7 @@ impl Engine {
         let warm = mode == SnapshotMode::Warm;
         let cfg = &probe_cfg;
         let result = if let Some(pcfg) = &self.process {
-            match ProcessPool::spawn(pcfg.clone()) {
+            match ProcessPool::spawn(pcfg.clone().with_telemetry(self.telemetry)) {
                 Ok(pool) => ProcessSearch::new(self, cfg, search, &fp, base, warm, pool).run(),
                 Err(e) => {
                     // Spawning unavailable (missing binary, fork failure):
@@ -467,9 +537,13 @@ impl Engine {
                         // cached unconditionally.
                         let cancel = AtomicU32::new(u32::MAX);
                         let started = std::time::Instant::now();
-                        let report = self
-                            .probe_system(cfg, fp, base, warm, n, r)
-                            .run_glitch_probe(&cancel, r);
+                        let sys = self.probe_system(cfg, fp, base, warm, n, r);
+                        let sim_started = std::time::Instant::now();
+                        let report = sys.run_glitch_probe(&cancel, r);
+                        self.journal.record_phase(
+                            PhaseKind::Simulate,
+                            sim_started.elapsed().as_nanos() as u64,
+                        );
                         self.journal.record_probe(ProbeRun {
                             terminals: n,
                             replication: r,
@@ -535,15 +609,22 @@ impl Engine {
         };
         if warm && n > b {
             let (snap, hit) = self.snapshots.get_or_capture(fp, b, r, || {
+                let t0 = std::time::Instant::now();
                 let mut bc = c.clone();
                 bc.n_terminals = b;
                 let mut sys = VodSystem::with_library_marginal(bc, Arc::clone(&lib), b);
                 sys.replay_to_snapshot();
+                self.journal
+                    .record_phase(PhaseKind::Capture, t0.elapsed().as_nanos() as u64);
                 sys
             });
             self.journal
                 .record_snapshot(hit, n - b, snap.events_processed());
-            return snap.fork_to(n);
+            let t0 = std::time::Instant::now();
+            let forked = snap.fork_to(n);
+            self.journal
+                .record_phase(PhaseKind::Fork, t0.elapsed().as_nanos() as u64);
+            return forked;
         }
         VodSystem::with_library_marginal(c, lib, b)
     }
@@ -910,8 +991,12 @@ impl<'a> SpecSearch<'a> {
                     let system = self
                         .engine
                         .probe_system(self.cfg, self.fp, self.base, self.warm, n, r);
+                    let sim_started = std::time::Instant::now();
                     let (report, clean) =
                         system.run_glitch_probe_abortable(&cancel, r, &self.abort);
+                    self.engine
+                        .journal
+                        .record_phase(PhaseKind::Simulate, sim_started.elapsed().as_nanos() as u64);
                     self.engine.journal.record_probe(ProbeRun {
                         terminals: n,
                         replication: r,
@@ -1182,6 +1267,7 @@ impl<'a> ProcessSearch<'a> {
         self.engine
             .journal
             .record_snapshot_shipping(self.pool.snapshot_bytes_shipped(), self.pool.worker_forks());
+        self.fold_telemetry();
         let (max_terminals, below_bracket) = self.cursor.answer();
         // Waste accounting mirrors SpecSearch: everything executed for
         // this call minus the executed events the search counted (counted
@@ -1287,14 +1373,22 @@ impl<'a> ProcessSearch<'a> {
         c.seed = replication_seed(self.cfg.seed, r);
         let lib = self.engine.cache.get(&c);
         let (snap, hit) = self.engine.snapshots.get_or_capture(self.fp, b, r, || {
+            let t0 = std::time::Instant::now();
             let mut sys = VodSystem::with_library_marginal(c, lib, b);
             sys.replay_to_snapshot();
+            self.engine
+                .journal
+                .record_phase(PhaseKind::Capture, t0.elapsed().as_nanos() as u64);
             sys
         });
         self.engine
             .journal
             .record_snapshot(hit, n - b, snap.events_processed());
+        let t0 = std::time::Instant::now();
         let blob = Arc::new(SnapshotBlob::new(b, r, &snap.snap_export()));
+        self.engine
+            .journal
+            .record_phase(PhaseKind::Capture, t0.elapsed().as_nanos() as u64);
         self.blobs
             .insert(r, (Arc::clone(&blob), snap.events_processed()));
         Some(blob)
@@ -1364,6 +1458,14 @@ impl<'a> ProcessSearch<'a> {
     /// in-thread simulation: journaled, cached engine-wide, memoized.
     fn absorb_worker_result(&mut self, pair: (u32, u32), out: crate::wire::WorkerOutcome) {
         let (n, r) = pair;
+        // With telemetry on, the worker's own span deltas carry a
+        // finer-grained simulate wall; without it, the job's reported wall
+        // is the best available simulate-phase estimate.
+        if self.engine.telemetry.is_none() {
+            self.engine
+                .journal
+                .record_phase(PhaseKind::Simulate, out.wall_nanos);
+        }
         self.engine.journal.record_probe(ProbeRun {
             terminals: n,
             replication: r,
@@ -1392,10 +1494,14 @@ impl<'a> ProcessSearch<'a> {
         }
         let cancel = AtomicU32::new(u32::MAX);
         let started = std::time::Instant::now();
-        let report = self
+        let sys = self
             .engine
-            .probe_system(self.cfg, self.fp, self.base, self.warm, n, r)
-            .run_glitch_probe(&cancel, r);
+            .probe_system(self.cfg, self.fp, self.base, self.warm, n, r);
+        let sim_started = std::time::Instant::now();
+        let report = sys.run_glitch_probe(&cancel, r);
+        self.engine
+            .journal
+            .record_phase(PhaseKind::Simulate, sim_started.elapsed().as_nanos() as u64);
         self.engine.journal.record_probe(ProbeRun {
             terminals: n,
             replication: r,
@@ -1413,6 +1519,82 @@ impl<'a> ProcessSearch<'a> {
         self.engine.probes.insert(self.fp, n, r, outcome);
         self.outcomes.insert(pair, outcome);
         self.fresh.insert(pair, report.events_processed);
+    }
+
+    /// Fold everything the pool observed into the engine: telemetry
+    /// frames become [`WorkerStream`]s stashed for
+    /// [`Engine::take_worker_telemetry`], their journal deltas land in the
+    /// per-phase wall-time breakdown, snapshot shipping time is charged to
+    /// the `ship` phase, and crashed-worker faults (with their stderr
+    /// tails) are journaled. Purely observational — runs after the cursor
+    /// has its answer and touches no search state.
+    fn fold_telemetry(&mut self) {
+        self.engine
+            .journal
+            .record_phase(PhaseKind::Ship, self.pool.ship_nanos());
+        for fault in self.pool.take_faults() {
+            self.engine.journal.record_worker_fault(fault);
+        }
+        let telemetry = self.pool.take_telemetry();
+        let dropped = self.pool.telemetry_dropped();
+        if telemetry.is_empty() && dropped == 0 {
+            return;
+        }
+        let frames = telemetry.len() as u64;
+        let mut samples_total = 0u64;
+        let mut streams = Vec::with_capacity(telemetry.len());
+        for wt in telemetry {
+            let rec = wt.record;
+            samples_total += rec.samples.len() as u64;
+            let d = &rec.delta;
+            self.engine
+                .journal
+                .record_phase(PhaseKind::Import, d.import_wall_nanos);
+            self.engine
+                .journal
+                .record_phase(PhaseKind::Fork, d.fork_wall_nanos);
+            self.engine
+                .journal
+                .record_phase(PhaseKind::Simulate, d.simulate_wall_nanos);
+            streams.push(WorkerStream {
+                terminals: wt.terminals,
+                replication: wt.replication,
+                slot: wt.slot,
+                gen: wt.gen,
+                interval: SimDuration(rec.interval_ns),
+                report_disk_utilization: d.avg_disk_utilization,
+                glitches: d.glitches,
+                samples: rec
+                    .samples
+                    .into_iter()
+                    .map(|s| SampleRow {
+                        t: SimTime(s.t_ns),
+                        disk_util: s.disk_util,
+                        net_bytes: s.net_bytes,
+                        pool_in_use: s.pool_in_use,
+                        outstanding_deadlines: s.outstanding_deadlines,
+                    })
+                    .collect(),
+                spans: rec
+                    .spans
+                    .into_iter()
+                    .map(|sp| StreamSpan {
+                        label: sp.label,
+                        sim_start: SimTime(sp.sim_start),
+                        sim_end: SimTime(sp.sim_end),
+                        wall_nanos: sp.wall_nanos,
+                    })
+                    .collect(),
+            });
+        }
+        self.engine
+            .journal
+            .record_telemetry(frames, samples_total, dropped);
+        self.engine
+            .worker_telemetry
+            .lock()
+            .unwrap()
+            .append(&mut streams);
     }
 
     /// The first replication the cursor's own pending probe is missing —
@@ -1591,6 +1773,28 @@ mod tests {
         // must be rejected (the env reader exits with a diagnostic).
         for bad in ["2", "warmish", "on", "true"] {
             assert_eq!(parse_snapshot_mode(Some(bad)), Err(bad.to_string()));
+        }
+    }
+
+    #[test]
+    fn telemetry_env_values_parse_or_error() {
+        for off in [
+            None,
+            Some(""),
+            Some("  "),
+            Some("0"),
+            Some("off"),
+            Some("OFF"),
+        ] {
+            assert_eq!(parse_telemetry_env(off), Ok(None), "{off:?}");
+        }
+        // Milliseconds in, nanoseconds out.
+        assert_eq!(parse_telemetry_env(Some("1")), Ok(Some(1_000_000)));
+        assert_eq!(parse_telemetry_env(Some(" 250 ")), Ok(Some(250_000_000)));
+        // Garbage (including values that would overflow the ms→ns
+        // conversion) is rejected, not silently disabled.
+        for bad in ["-1", "fast", "1.5", "1s", "99999999999999999999"] {
+            assert_eq!(parse_telemetry_env(Some(bad)), Err(bad.trim().to_string()));
         }
     }
 

@@ -18,6 +18,62 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::process::WorkerFault;
+
+/// A phase of the snapshot/worker pipeline whose wall-clock cost the
+/// journal accounts separately. In-process searches only ever record
+/// `Capture` and `Simulate`; the other phases exist on the process
+/// backend (ship over the wire, import and fork inside the worker).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Simulating a base prefix and capturing its snapshot (dispatcher).
+    Capture,
+    /// Writing serialized snapshot frames to worker stdins (dispatcher).
+    Ship,
+    /// Importing a shipped snapshot body into a live system (worker).
+    Import,
+    /// Forking an imported or captured base out to a probe population.
+    Fork,
+    /// Running the simulation proper (either side).
+    Simulate,
+}
+
+/// Number of [`PhaseKind`] variants (the phase-accumulator array size).
+pub const PHASE_COUNT: usize = 5;
+
+impl PhaseKind {
+    /// Stable index into phase accumulator arrays.
+    pub fn index(self) -> usize {
+        match self {
+            PhaseKind::Capture => 0,
+            PhaseKind::Ship => 1,
+            PhaseKind::Import => 2,
+            PhaseKind::Fork => 3,
+            PhaseKind::Simulate => 4,
+        }
+    }
+
+    /// Stable lower-case name, used as the JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::Capture => "capture",
+            PhaseKind::Ship => "ship",
+            PhaseKind::Import => "import",
+            PhaseKind::Fork => "fork",
+            PhaseKind::Simulate => "simulate",
+        }
+    }
+
+    /// All phases in index order.
+    pub const ALL: [PhaseKind; PHASE_COUNT] = [
+        PhaseKind::Capture,
+        PhaseKind::Ship,
+        PhaseKind::Import,
+        PhaseKind::Fork,
+        PhaseKind::Simulate,
+    ];
+}
+
 /// One probe-replication resolution during a capacity search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProbeRun {
@@ -58,6 +114,11 @@ pub struct RunJournal {
     snapshot_saved_events: AtomicU64,
     snapshot_bytes_shipped: AtomicU64,
     worker_forks: AtomicU64,
+    phase_wall_nanos: [AtomicU64; PHASE_COUNT],
+    telemetry_frames: AtomicU64,
+    telemetry_samples: AtomicU64,
+    telemetry_dropped: AtomicU64,
+    worker_faults: Mutex<Vec<WorkerFault>>,
 }
 
 impl RunJournal {
@@ -116,6 +177,25 @@ impl RunJournal {
         self.worker_forks.fetch_add(worker_forks, Ordering::Relaxed);
     }
 
+    /// Add `nanos` of wall-clock time to `phase`'s accumulator.
+    pub fn record_phase(&self, phase: PhaseKind, nanos: u64) {
+        self.phase_wall_nanos[phase.index()].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record the telemetry traffic of one process-backed search: frames
+    /// decoded, probe samples those frames carried, and frames dropped
+    /// (digest/parse failure or no matching active job).
+    pub fn record_telemetry(&self, frames: u64, samples: u64, dropped: u64) {
+        self.telemetry_frames.fetch_add(frames, Ordering::Relaxed);
+        self.telemetry_samples.fetch_add(samples, Ordering::Relaxed);
+        self.telemetry_dropped.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Record one worker fault, stderr tail included.
+    pub fn record_worker_fault(&self, fault: WorkerFault) {
+        self.worker_faults.lock().unwrap().push(fault);
+    }
+
     /// A consistent copy of the journal, entries sorted into search order.
     pub fn snapshot(&self) -> JournalSnapshot {
         let mut probes = self.probes.lock().unwrap().clone();
@@ -133,6 +213,13 @@ impl RunJournal {
             snapshot_saved_events: self.snapshot_saved_events.load(Ordering::Relaxed),
             snapshot_bytes_shipped: self.snapshot_bytes_shipped.load(Ordering::Relaxed),
             worker_forks: self.worker_forks.load(Ordering::Relaxed),
+            phase_wall_nanos: std::array::from_fn(|i| {
+                self.phase_wall_nanos[i].load(Ordering::Relaxed)
+            }),
+            telemetry_frames: self.telemetry_frames.load(Ordering::Relaxed),
+            telemetry_samples: self.telemetry_samples.load(Ordering::Relaxed),
+            telemetry_dropped: self.telemetry_dropped.load(Ordering::Relaxed),
+            worker_faults: self.worker_faults.lock().unwrap().clone(),
         }
     }
 }
@@ -170,6 +257,18 @@ pub struct JournalSnapshot {
     /// Worker jobs resolved by forking a shipped snapshot instead of
     /// rebuilding the base prefix from scratch.
     pub worker_forks: u64,
+    /// Wall-clock nanoseconds per pipeline phase, indexed by
+    /// [`PhaseKind::index`].
+    pub phase_wall_nanos: [u64; PHASE_COUNT],
+    /// Telemetry frames decoded from worker stdout.
+    pub telemetry_frames: u64,
+    /// Probe samples carried by those frames.
+    pub telemetry_samples: u64,
+    /// Telemetry frames dropped (digest/parse failure or no matching
+    /// active job). Dropping is telemetry's only failure mode.
+    pub telemetry_dropped: u64,
+    /// Worker faults with their stderr tails, in fault order.
+    pub worker_faults: Vec<WorkerFault>,
 }
 
 impl JournalSnapshot {
@@ -193,8 +292,10 @@ impl JournalSnapshot {
         self.probes.iter().filter(|p| p.worker).count() as u64
     }
 
-    /// Serialize as a JSON object (hand-rolled; the journal carries only
-    /// numbers and booleans).
+    /// Serialize as a JSON object (hand-rolled; fault reasons and stderr
+    /// tails — the only strings — go through the shared
+    /// [`spiffi_trace::json`] escaper, so a worker's panic message can
+    /// never break the framing).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -207,7 +308,8 @@ impl JournalSnapshot {
              \"snapshot_captures\": {},\n  \"snapshot_hits\": {},\n  \
              \"forked_terminals\": {},\n  \"snapshot_saved_events\": {},\n  \
              \"snapshot_bytes_shipped\": {},\n  \"worker_forks\": {},\n  \
-             \"total_wall_ms\": {:.3},\n  \"probes\": [",
+             \"telemetry_frames\": {},\n  \"telemetry_samples\": {},\n  \
+             \"telemetry_dropped\": {},\n  \"phase_wall_ms\": {{",
             self.searches,
             self.speculative_events,
             self.probes.len(),
@@ -223,8 +325,54 @@ impl JournalSnapshot {
             self.snapshot_saved_events,
             self.snapshot_bytes_shipped,
             self.worker_forks,
+            self.telemetry_frames,
+            self.telemetry_samples,
+            self.telemetry_dropped,
+        );
+        for (i, phase) in PhaseKind::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": ", phase.name());
+            spiffi_trace::json::push_f64(
+                &mut out,
+                self.phase_wall_nanos[phase.index()] as f64 / 1e6,
+                3,
+            );
+        }
+        let _ = write!(
+            out,
+            "}},\n  \"total_wall_ms\": {:.3},\n  \"worker_faults\": [",
             self.total_wall_nanos() as f64 / 1e6,
         );
+        for (i, f) in self.worker_faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"slot\": {}, \"terminals\": {}, \"replication\": {}, \
+                 \"attempt\": {}, \"reason\": \"{}\", \"stderr_tail\": [",
+                f.slot,
+                f.terminals,
+                f.replication,
+                f.attempt,
+                spiffi_trace::json::escaped(&f.reason),
+            );
+            for (j, line) in f.stderr_tail.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                spiffi_trace::json::escape_into(&mut out, line);
+                out.push('"');
+            }
+            out.push_str("]}");
+        }
+        if !self.worker_faults.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"probes\": [");
         for (i, p) in self.probes.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -299,6 +447,21 @@ mod tests {
         j.record_snapshot(true, 8, 1_000);
         j.record_snapshot_shipping(65_536, 5);
         j.record_snapshot_shipping(1_024, 2);
+        j.record_phase(PhaseKind::Capture, 2_000_000);
+        j.record_phase(PhaseKind::Simulate, 3_000_000);
+        j.record_phase(PhaseKind::Simulate, 500_000);
+        j.record_telemetry(4, 40, 1);
+        j.record_worker_fault(WorkerFault {
+            slot: 0,
+            terminals: 8,
+            replication: 1,
+            attempt: 2,
+            reason: "worker exited (EOF)".to_string(),
+            stderr_tail: vec![
+                "panicked at \"bad\"\tthing".to_string(),
+                "tail 2".to_string(),
+            ],
+        });
         let text = j.snapshot().to_json();
         assert!(text.contains("\"searches\": 1"));
         assert!(text.contains("\"speculative_events\": 7"));
@@ -313,11 +476,27 @@ mod tests {
         assert!(text.contains("\"quarantined_jobs\": 1"));
         assert!(text.contains("\"terminals\": 4"));
         assert!(text.contains("\"wall_ms\": 1.500"));
+        assert!(text.contains("\"capture\": 2.000"));
+        assert!(text.contains("\"simulate\": 3.500"));
+        assert!(text.contains("\"ship\": 0.000"));
+        assert!(text.contains("\"telemetry_frames\": 4"));
+        assert!(text.contains("\"telemetry_samples\": 40"));
+        assert!(text.contains("\"telemetry_dropped\": 1"));
+        // Fault strings travel escaped: the tab and inner quotes in the
+        // stderr tail must not break the JSON framing.
+        assert!(text.contains("\"reason\": \"worker exited (EOF)\""));
+        assert!(text.contains(r#"panicked at \"bad\"\tthing"#));
+        assert!(text.contains("\"tail 2\""));
+        assert!(!text.contains('\t'));
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(text.matches(open).count(), text.matches(close).count());
         }
         // An empty journal serializes cleanly too.
         let empty = RunJournal::new().snapshot().to_json();
         assert!(empty.contains("\"probes\": []"));
+        assert!(empty.contains("\"worker_faults\": []"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(empty.matches(open).count(), empty.matches(close).count());
+        }
     }
 }

@@ -40,14 +40,19 @@ pub use driver::{
     run_once, run_replications, snapshot_mode_from_env, CapacityResult, CapacitySearch,
     ConfidentCapacity, ConfidentCapacityResult, Engine, SnapshotMode,
 };
-pub use journal::{JournalSnapshot, ProbeRun, RunJournal};
+pub use journal::{JournalSnapshot, PhaseKind, ProbeRun, RunJournal, PHASE_COUNT};
 pub use metrics::RunReport;
-pub use process::{discover_worker_bin, ProcessConfig, ProcessPool, SnapshotBlob};
+pub use process::{
+    discover_worker_bin, ProcessConfig, ProcessPool, SnapshotBlob, WorkerFault, WorkerTelemetry,
+};
 // The observability layer, re-exported so instrumented callers need only
 // depend on `spiffi-core`.
 pub use bitset::TermBitset;
 pub use piggyback::{Piggyback, StartDecision};
 pub use spiffi_simcore::KernelKind;
-pub use spiffi_trace::{NoopProbe, Probe, SampleRow, Sampler, TraceRecorder};
+pub use spiffi_trace::{
+    mean_disk_utilization_of, ForensicsDump, GlitchForensics, NoopProbe, Probe, SampleRow, Sampler,
+    StreamSpan, TraceRecorder, WorkerStream,
+};
 pub use system::{Event, VisualSearch, VodSystem};
 pub use terminal::{PlayState, Pump, Terminal};

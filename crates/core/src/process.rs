@@ -46,7 +46,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::config::SystemConfig;
@@ -77,6 +77,11 @@ pub struct ProcessConfig {
     pub max_attempts: u32,
     /// Extra environment for the children (fault injection in tests).
     pub worker_env: Vec<(String, String)>,
+    /// Telemetry request forwarded on every job line: `Some(interval_ns)`
+    /// asks workers to run jobs under a real probe and stream a
+    /// `spiffi-telemetry` frame back before each result. Observation-only:
+    /// outcomes are bit-identical with or without it.
+    pub telemetry: Option<u64>,
 }
 
 impl ProcessConfig {
@@ -90,6 +95,7 @@ impl ProcessConfig {
             job_timeout: Duration::from_secs(600),
             max_attempts: 3,
             worker_env: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -133,6 +139,13 @@ impl ProcessConfig {
             );
         }
         self.job_timeout = Duration::from_millis(clamped);
+        self
+    }
+
+    /// Request worker telemetry at `interval_ns` sampling (`None` keeps
+    /// the workers' zero-cost `NoopProbe` path).
+    pub fn with_telemetry(mut self, interval_ns: Option<u64>) -> Self {
+        self.telemetry = interval_ns;
         self
     }
 }
@@ -226,6 +239,52 @@ pub struct Resolved {
     pub attempts: u32,
 }
 
+/// One worker fault with its context: which slot failed which job, why,
+/// and the tail of the dead (or rejecting) worker's stderr — the lines
+/// that would otherwise vanish with the process. Folded into the
+/// [`RunJournal`](crate::RunJournal) by the driver.
+#[derive(Clone, Debug)]
+pub struct WorkerFault {
+    /// Worker slot the fault happened on.
+    pub slot: usize,
+    /// Terminal count of the job that paid for the fault.
+    pub terminals: u32,
+    /// Replication index of that job.
+    pub replication: u32,
+    /// Attempt number (1-based) the fault consumed.
+    pub attempt: u32,
+    /// Dispatcher-side description of the fault.
+    pub reason: String,
+    /// Most recent stderr lines from the worker incarnation, oldest
+    /// first; bounded at [`STDERR_TAIL_LINES`] lines.
+    pub stderr_tail: Vec<String>,
+}
+
+/// Lines of worker stderr retained per incarnation for fault reports.
+pub const STDERR_TAIL_LINES: usize = 16;
+
+/// Longest retained stderr line, in bytes; longer lines are truncated.
+pub const STDERR_TAIL_LINE_BYTES: usize = 240;
+
+/// A shared bounded tail of one worker incarnation's stderr.
+type StderrTail = Arc<Mutex<VecDeque<String>>>;
+
+/// One decoded `spiffi-telemetry` frame, tagged with the job identity and
+/// worker incarnation it arrived from.
+#[derive(Clone, Debug)]
+pub struct WorkerTelemetry {
+    /// Worker slot that ran the job.
+    pub slot: usize,
+    /// Incarnation counter of that slot when the frame arrived.
+    pub gen: u64,
+    /// Terminal count of the job the frame describes.
+    pub terminals: u32,
+    /// Replication index of that job.
+    pub replication: u32,
+    /// The decoded frame: samples, phase spans, journal delta.
+    pub record: wire::TelemetryRecord,
+}
+
 /// A message from a worker's stdout-reader thread.
 enum WorkerEvent {
     /// One line of output from worker `slot`, incarnation `gen`.
@@ -247,6 +306,9 @@ struct Slot {
     /// stdin. Dies with the incarnation: a respawned worker has an empty
     /// cache and is re-shipped on its next snapshot-referencing job.
     shipped: HashSet<u64>,
+    /// Bounded tail of this incarnation's stderr, fed by its reader
+    /// thread; snapshotted into [`WorkerFault`] records.
+    stderr_tail: StderrTail,
 }
 
 /// A pool of `spiffi-worker` children with timeout/retry/quarantine
@@ -265,6 +327,10 @@ pub struct ProcessPool {
     quarantined: u64,
     snapshot_bytes_shipped: u64,
     worker_forks: u64,
+    ship_nanos: u64,
+    telemetry: Vec<WorkerTelemetry>,
+    telemetry_dropped: u64,
+    faults: Vec<WorkerFault>,
 }
 
 impl std::fmt::Debug for ProcessPool {
@@ -298,6 +364,10 @@ impl ProcessPool {
             quarantined: 0,
             snapshot_bytes_shipped: 0,
             worker_forks: 0,
+            ship_nanos: 0,
+            telemetry: Vec::new(),
+            telemetry_dropped: 0,
+            faults: Vec::new(),
         };
         for i in 0..pool.cfg.workers {
             let slot = pool.spawn_worker_at(i)?;
@@ -329,7 +399,7 @@ impl ProcessPool {
         let mut cmd = Command::new(&self.cfg.worker_bin);
         cmd.stdin(Stdio::piped())
             .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
+            .stderr(Stdio::piped());
         cmd.env_remove("SPIFFI_WORKERS");
         for (k, v) in &self.cfg.worker_env {
             cmd.env(k, v);
@@ -337,8 +407,35 @@ impl ProcessPool {
         let mut child = cmd.spawn()?;
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = child.stdout.take().expect("piped stdout");
+        let stderr = child.stderr.take().expect("piped stderr");
         let gen = self.next_gen;
         self.next_gen += 1;
+        // Tee the worker's stderr: each line still reaches the
+        // dispatcher's stderr (as it did under Stdio::inherit), but a
+        // bounded tail is retained so a crashed worker's last words can be
+        // surfaced in its fault record instead of scrolling away.
+        let stderr_tail: StderrTail = Arc::new(Mutex::new(VecDeque::new()));
+        let tail = Arc::clone(&stderr_tail);
+        std::thread::spawn(move || {
+            use std::io::BufRead as _;
+            let reader = std::io::BufReader::new(stderr);
+            for line in reader.lines() {
+                let Ok(mut line) = line else { break };
+                eprintln!("{line}");
+                if line.len() > STDERR_TAIL_LINE_BYTES {
+                    let cut = (0..=STDERR_TAIL_LINE_BYTES)
+                        .rev()
+                        .find(|&i| line.is_char_boundary(i))
+                        .unwrap_or(0);
+                    line.truncate(cut);
+                }
+                let mut ring = tail.lock().unwrap();
+                if ring.len() == STDERR_TAIL_LINES {
+                    ring.pop_front();
+                }
+                ring.push_back(line);
+            }
+        });
         let tx = self.tx.clone();
         std::thread::spawn(move || {
             use std::io::BufRead as _;
@@ -367,6 +464,7 @@ impl ProcessPool {
             gen,
             active: None,
             shipped: HashSet::new(),
+            stderr_tail,
         })
     }
 
@@ -410,6 +508,30 @@ impl ProcessPool {
         self.worker_forks
     }
 
+    /// Wall-clock nanoseconds spent writing snapshot frames to worker
+    /// stdins (the "ship" phase of the snapshot pipeline).
+    pub fn ship_nanos(&self) -> u64 {
+        self.ship_nanos
+    }
+
+    /// Drain the telemetry frames collected so far (in arrival order).
+    pub fn take_telemetry(&mut self) -> Vec<WorkerTelemetry> {
+        std::mem::take(&mut self.telemetry)
+    }
+
+    /// Telemetry frames dropped because they failed to parse or could not
+    /// be matched to the slot's active job. Dropping is the only failure
+    /// mode — telemetry is observational, so a corrupt frame never costs
+    /// the job an attempt.
+    pub fn telemetry_dropped(&self) -> u64 {
+        self.telemetry_dropped
+    }
+
+    /// Drain the worker fault records collected so far (in fault order).
+    pub fn take_faults(&mut self) -> Vec<WorkerFault> {
+        std::mem::take(&mut self.faults)
+    }
+
     /// Accept a job: replication `replication` of a probe at `terminals`
     /// terminals of `config` (base seed; the worker derives the
     /// replication seed), built marginally against `base` when set. With
@@ -433,6 +555,7 @@ impl ProcessPool {
             replication,
             base,
             snapshot: snapshot.as_ref().map(|b| b.digest),
+            telemetry: self.cfg.telemetry,
             config: config.clone(),
         });
         self.queue.push_back(PendingJob {
@@ -464,7 +587,9 @@ impl ProcessPool {
             let mut wrote = Ok(());
             if let Some(blob) = &job.snapshot {
                 if !self.slots[slot].shipped.contains(&blob.digest) {
+                    let t0 = Instant::now();
                     wrote = writeln!(self.slots[slot].stdin, "{}", blob.line);
+                    self.ship_nanos += t0.elapsed().as_nanos() as u64;
                     if wrote.is_ok() {
                         self.slots[slot].shipped.insert(blob.digest);
                         self.snapshot_bytes_shipped += blob.line.len() as u64 + 1;
@@ -502,6 +627,38 @@ impl ProcessPool {
         }
     }
 
+    /// Snapshot the current tail of `slot`'s stderr (oldest line first).
+    /// A crashed worker's stdout EOF can outrun its stderr reader thread
+    /// by a scheduling quantum, so an empty tail is given a short bounded
+    /// grace to fill before the snapshot is taken.
+    fn stderr_tail_of(&self, slot: usize) -> Vec<String> {
+        for _ in 0..20 {
+            if !self.slots[slot].stderr_tail.lock().unwrap().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.slots[slot]
+            .stderr_tail
+            .lock()
+            .unwrap()
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Record one worker fault with the slot's current stderr tail.
+    fn record_fault(&mut self, slot: usize, job: &PendingJob, reason: &str) {
+        self.faults.push(WorkerFault {
+            slot,
+            terminals: job.terminals,
+            replication: job.replication,
+            attempt: job.attempts,
+            reason: reason.to_string(),
+            stderr_tail: self.stderr_tail_of(slot),
+        });
+    }
+
     /// Fail the active job on `slot` (worker death, timeout, or garbage
     /// output), respawning the worker.
     fn fail_active(&mut self, slot: usize, why: &str) {
@@ -510,6 +667,7 @@ impl ProcessPool {
                 "spiffi engine: worker {slot} failed job {} (n={} r={}, attempt {}): {why}",
                 job.id, job.terminals, job.replication, job.attempts
             );
+            self.record_fault(slot, &job, why);
             self.respawn(slot);
             self.requeue_or_quarantine(job);
         } else {
@@ -539,6 +697,43 @@ impl ProcessPool {
                 Ok(WorkerEvent::Line { slot, gen, line }) => {
                     if self.slots[slot].gen != gen {
                         continue; // a killed incarnation's leftovers
+                    }
+                    // Telemetry frames ride the same stdout pipe as
+                    // results; route them out before the result parser
+                    // (which would call them garbage and kill the
+                    // worker). A frame that fails its digest or parse is
+                    // counted and dropped — telemetry is observational,
+                    // so it never costs the job an attempt.
+                    if line.starts_with("spiffi-telemetry/") {
+                        match wire::parse_telemetry(&line) {
+                            Ok(record) => {
+                                let matched = self.slots[slot]
+                                    .active
+                                    .as_ref()
+                                    .filter(|(job, _)| job.id == record.job)
+                                    .map(|(job, _)| (job.terminals, job.replication));
+                                match matched {
+                                    Some((terminals, replication)) => {
+                                        self.telemetry.push(WorkerTelemetry {
+                                            slot,
+                                            gen,
+                                            terminals,
+                                            replication,
+                                            record,
+                                        });
+                                    }
+                                    None => self.telemetry_dropped += 1,
+                                }
+                            }
+                            Err(e) => {
+                                self.telemetry_dropped += 1;
+                                eprintln!(
+                                    "spiffi engine: worker {slot} sent a bad telemetry \
+                                     frame ({e}); dropped"
+                                );
+                            }
+                        }
+                        continue;
                     }
                     match wire::parse_result(&line) {
                         Ok(result) => {
@@ -570,6 +765,7 @@ impl ProcessPool {
                                         "spiffi engine: worker {slot} rejected job {}: {msg}",
                                         job.id
                                     );
+                                    self.record_fault(slot, &job, &format!("rejected: {msg}"));
                                     if job.attempts >= self.cfg.max_attempts {
                                         self.quarantined += 1;
                                         self.dispatch();

@@ -1051,6 +1051,55 @@ impl<P: Probe> VodSystem<P> {
         Self::build(cfg, library.into(), probe, None)
     }
 
+    /// [`VodSystem::with_library_marginal`] with an observation `probe`:
+    /// marginal-probe timing (terminals at or above `base` join in the
+    /// late window) plus telemetry callbacks. The report stays
+    /// bit-identical to the untraced marginal build's.
+    ///
+    /// # Panics
+    /// If the configuration fails [`SystemConfig::validate`].
+    pub fn with_probe_marginal(
+        cfg: SystemConfig,
+        library: impl Into<std::sync::Arc<Library>>,
+        probe: P,
+        base: u32,
+    ) -> Self {
+        Self::build(cfg, library.into(), probe, Some(base))
+    }
+
+    /// Swap this system's probe for `probe`, moving every other field
+    /// unchanged. Observation-only by construction: the simulation state
+    /// is untouched, so the run ahead is bit-identical to running under
+    /// the old probe. This is how a worker attaches a live sampler to a
+    /// system it just imported or forked under the default [`NoopProbe`].
+    pub fn attach_probe<Q: Probe>(self, probe: Q) -> VodSystem<Q> {
+        VodSystem {
+            cfg: self.cfg,
+            cal: self.cal,
+            library: self.library,
+            layout: self.layout,
+            selector: self.selector,
+            net: self.net,
+            nodes: self.nodes,
+            terminals: self.terminals,
+            term_rngs: self.term_rngs,
+            piggyback: self.piggyback,
+            searches: self.searches,
+            search_sessions: self.search_sessions,
+            measuring: self.measuring,
+            next_req_id: self.next_req_id,
+            glitches_measured: self.glitches_measured,
+            glitching_terminals: self.glitching_terminals,
+            blocks_delivered: self.blocks_delivered,
+            events_processed: self.events_processed,
+            io_latency: self.io_latency,
+            deadline_misses: self.deadline_misses,
+            pump_scratch: self.pump_scratch,
+            waiter_scratch: self.waiter_scratch,
+            probe,
+        }
+    }
+
     /// Shared constructor. `base = Some(b)` selects marginal-probe timing
     /// (see [`VodSystem::with_library_marginal`]); `None` is the standard
     /// timeline where every terminal joins in `[0, stagger)`.
@@ -1220,11 +1269,26 @@ impl<P: Probe> VodSystem<P> {
     /// counted: a truncated report reflects wall-clock scheduling, not the
     /// simulation.
     pub fn run_glitch_probe_abortable(
-        mut self,
+        self,
         cancel: &std::sync::atomic::AtomicU32,
         index: u32,
         abort: &std::sync::atomic::AtomicBool,
     ) -> (RunReport, bool) {
+        let (report, clean, _) = self.run_glitch_probe_abortable_traced(cancel, index, abort);
+        (report, clean)
+    }
+
+    /// [`VodSystem::run_glitch_probe_abortable`], additionally returning
+    /// the probe with whatever it recorded (the worker's telemetry path).
+    /// [`Probe::run_end`] fires at the stop instant on every exit path, so
+    /// a sampler's final partial interval is clipped consistently whether
+    /// the run glitched, completed, or was truncated.
+    pub fn run_glitch_probe_abortable_traced(
+        mut self,
+        cancel: &std::sync::atomic::AtomicU32,
+        index: u32,
+        abort: &std::sync::atomic::AtomicBool,
+    ) -> (RunReport, bool, P) {
         use std::sync::atomic::Ordering;
         // Poll the cancel flag once per this many events: rarely enough to
         // stay off the coherence traffic, often enough (< 1 ms of work) to
@@ -1233,7 +1297,10 @@ impl<P: Probe> VodSystem<P> {
         let end = SimTime::ZERO + self.cfg.timing.total();
         if cancel.load(Ordering::Relaxed) < index || abort.load(Ordering::Relaxed) {
             let now = self.cal.now();
-            return (self.collect_report(now), false);
+            if P::ENABLED {
+                self.probe.run_end(now);
+            }
+            return (self.collect_report(now), false, self.probe);
         }
         while let Some((_, ev)) = self.cal.pop_until(end) {
             self.events_processed += 1;
@@ -1241,17 +1308,26 @@ impl<P: Probe> VodSystem<P> {
             if self.glitches_measured > 0 {
                 cancel.fetch_min(index, Ordering::Relaxed);
                 let now = self.cal.now();
-                return (self.collect_report(now), true);
+                if P::ENABLED {
+                    self.probe.run_end(now);
+                }
+                return (self.collect_report(now), true, self.probe);
             }
             if self.events_processed & CANCEL_POLL_MASK == 0
                 && (cancel.load(Ordering::Relaxed) < index || abort.load(Ordering::Relaxed))
             {
                 let now = self.cal.now();
-                return (self.collect_report(now), false);
+                if P::ENABLED {
+                    self.probe.run_end(now);
+                }
+                return (self.collect_report(now), false, self.probe);
             }
         }
         self.cal.advance_to(end);
-        (self.collect_report(end), true)
+        if P::ENABLED {
+            self.probe.run_end(end);
+        }
+        (self.collect_report(end), true, self.probe)
     }
 
     /// Events processed so far (monotone; carried into clones and forks).

@@ -1,0 +1,220 @@
+//! The cross-process telemetry plane must be purely observational: with
+//! telemetry on, workers stream probe samples, phase spans and journal
+//! deltas back over the v4 wire — and the search results stay
+//! byte-identical to a telemetry-off run. The merged multi-track trace
+//! assembled from those streams must come out byte-identical at any
+//! worker count and any arrival interleaving (the canonical-sort
+//! contract), and a crashed worker's stderr tail must surface in the
+//! journal's fault entries.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use spiffi_core::{
+    CapacityResult, CapacitySearch, Engine, ProcessConfig, SystemConfig, WorkerStream,
+};
+use spiffi_simcore::SimDuration;
+use spiffi_trace::merge::merged_chrome_trace;
+
+/// The tiny single-disk configuration used throughout the core tests.
+fn tiny() -> SystemConfig {
+    let mut c = SystemConfig::small_test();
+    c.topology = spiffi_layout::Topology {
+        nodes: 1,
+        disks_per_node: 1,
+    };
+    c.n_videos = 40;
+    c.access = spiffi_mpeg::AccessPattern::Uniform;
+    c.video.duration = SimDuration::from_secs(60);
+    c.server_memory_bytes = 16 * 1024 * 1024;
+    c.timing.stagger = SimDuration::from_secs(5);
+    c.timing.warmup = SimDuration::from_secs(10);
+    c.timing.measure = SimDuration::from_secs(30);
+    c
+}
+
+/// One replication per probe so the counted pair set is exactly
+/// `(n, 0)` for every probed count — the filter the merged-trace
+/// byte-identity argument rests on.
+fn search() -> CapacitySearch {
+    CapacitySearch {
+        lo: 2,
+        hi: 40,
+        step: 2,
+        replications: 1,
+    }
+}
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_spiffi-worker"))
+}
+
+/// 1 s sampling: tiles the tiny workload's warmup and measurement windows
+/// exactly.
+const INTERVAL_NS: u64 = 1_000_000_000;
+
+fn assert_same_result(got: &CapacityResult, reference: &CapacityResult, what: &str) {
+    assert_eq!(
+        got.max_terminals, reference.max_terminals,
+        "{what} changed the capacity"
+    );
+    assert_eq!(got.probes, reference.probes, "{what} changed the probe log");
+    assert_eq!(
+        got.events_processed, reference.events_processed,
+        "{what} changed the counted event total"
+    );
+    assert_eq!(
+        got.below_bracket, reference.below_bracket,
+        "{what} changed the bracket flag"
+    );
+}
+
+/// Run a telemetry-on process-backed search and return the result plus
+/// the counted worker streams (speculative jobs vary with pool width;
+/// counted ones do not).
+fn counted_streams(workers: usize) -> (CapacityResult, Vec<WorkerStream>) {
+    let engine = Engine::with_threads(1)
+        .with_process(ProcessConfig::new(workers, worker_bin()))
+        .with_telemetry(Some(INTERVAL_NS));
+    let result = engine.max_glitch_free_terminals(&tiny(), &search());
+    let counted: HashSet<(u32, u32)> = result.probes.iter().map(|&(n, _)| (n, 0)).collect();
+    let streams = engine
+        .take_worker_telemetry()
+        .into_iter()
+        .filter(|s| counted.contains(&(s.terminals, s.replication)))
+        .collect();
+    (result, streams)
+}
+
+#[test]
+fn telemetry_on_changes_no_result_bytes() {
+    let cfg = tiny();
+    let search = search();
+    let reference = Engine::with_threads(1).max_glitch_free_terminals(&cfg, &search);
+
+    for workers in [1, 2] {
+        let engine = Engine::with_threads(1)
+            .with_process(ProcessConfig::new(workers, worker_bin()))
+            .with_telemetry(Some(INTERVAL_NS));
+        let got = engine.max_glitch_free_terminals(&cfg, &search);
+        assert_same_result(
+            &got,
+            &reference,
+            &format!("telemetry on, {workers} workers"),
+        );
+
+        let journal = engine.journal().snapshot();
+        assert!(
+            journal.telemetry_frames > 0,
+            "{workers} workers: no telemetry frame landed"
+        );
+        assert!(
+            journal.telemetry_samples > 0,
+            "{workers} workers: frames carried no samples"
+        );
+        assert_eq!(
+            journal.telemetry_dropped, 0,
+            "{workers} workers: healthy frames must not be dropped"
+        );
+        let streams = engine.take_worker_telemetry();
+        assert_eq!(
+            streams.len() as u64,
+            journal.telemetry_frames,
+            "every decoded frame must surface as a stream"
+        );
+        assert!(
+            streams.iter().all(|s| !s.spans.is_empty()),
+            "every stream carries phase spans"
+        );
+        // The worker deltas must populate the simulate-phase wall.
+        let simulate = spiffi_core::PhaseKind::Simulate.index();
+        assert!(
+            journal.phase_wall_nanos[simulate] > 0,
+            "worker deltas must land in the simulate phase wall"
+        );
+    }
+}
+
+#[test]
+fn merged_trace_is_byte_identical_across_worker_counts_and_arrival_orders() {
+    let (r1, s1) = counted_streams(1);
+    let (r2, s2) = counted_streams(2);
+    let (r4, mut s4) = counted_streams(4);
+    assert_same_result(&r2, &r1, "2 workers");
+    assert_same_result(&r4, &r1, "4 workers");
+    assert!(!s1.is_empty(), "counted jobs must have produced streams");
+
+    let reference = merged_chrome_trace(&[], &[], &s1, None);
+    assert_eq!(
+        merged_chrome_trace(&[], &[], &s2, None),
+        reference,
+        "2-worker merged trace diverged from the 1-worker bytes"
+    );
+    assert_eq!(
+        merged_chrome_trace(&[], &[], &s4, None),
+        reference,
+        "4-worker merged trace diverged from the 1-worker bytes"
+    );
+
+    // Arrival order is whatever the pool's wait loop happened to see;
+    // the canonical sort must erase it. Exercise a few deterministic
+    // permutations of the same stream set.
+    s4.reverse();
+    assert_eq!(
+        merged_chrome_trace(&[], &[], &s4, None),
+        reference,
+        "reversed arrival order changed the merged bytes"
+    );
+    let n = s4.len();
+    s4.rotate_left(n / 2);
+    assert_eq!(
+        merged_chrome_trace(&[], &[], &s4, None),
+        reference,
+        "rotated arrival order changed the merged bytes"
+    );
+    // Duplicate deliveries (a retried job observed twice) dedupe away.
+    let dup = s4[0].clone();
+    s4.push(dup);
+    assert_eq!(
+        merged_chrome_trace(&[], &[], &s4, None),
+        reference,
+        "a duplicated stream changed the merged bytes"
+    );
+}
+
+#[test]
+fn crashed_worker_stderr_tail_lands_in_the_journal() {
+    let cfg = tiny();
+    let search = search();
+    let reference = Engine::with_threads(1).max_glitch_free_terminals(&cfg, &search);
+
+    let mut pcfg = ProcessConfig::new(2, worker_bin());
+    pcfg.worker_env
+        .push(("SPIFFI_WORKER_EXIT_AFTER".into(), "3".into()));
+    let engine = Engine::with_threads(1).with_process(pcfg);
+    let got = engine.max_glitch_free_terminals(&cfg, &search);
+    assert_same_result(&got, &reference, "a crash-looping pool");
+
+    let journal = engine.journal().snapshot();
+    assert!(
+        !journal.worker_faults.is_empty(),
+        "crashes must be journaled as faults"
+    );
+    assert!(
+        journal
+            .worker_faults
+            .iter()
+            .any(|f| f.stderr_tail.iter().any(|l| l.contains("injected crash"))),
+        "at least one fault must carry the worker's final stderr line; got {:?}",
+        journal
+            .worker_faults
+            .iter()
+            .map(|f| &f.stderr_tail)
+            .collect::<Vec<_>>()
+    );
+    // The journal JSON renders the tails without panicking and with the
+    // fault reasons escaped.
+    let json = journal.to_json();
+    assert!(json.contains("\"worker_faults\""));
+    assert!(json.contains("injected crash"));
+}

@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 
 use spiffi_simcore::SimTime;
 
+use crate::json;
 use crate::probe::{PoolEvent, TerminalEvent};
 use crate::record::TraceEvent;
 use crate::sample::SampleRow;
@@ -41,7 +42,7 @@ pub fn jsonl(events: &[TraceEvent], rows: &[SampleRow]) -> String {
     out
 }
 
-fn jsonl_event(out: &mut String, ev: &TraceEvent) {
+pub(crate) fn jsonl_event(out: &mut String, ev: &TraceEvent) {
     match *ev {
         TraceEvent::DiskIoStart { now, ev } => {
             let s = ev.service;
@@ -150,7 +151,7 @@ fn jsonl_row(out: &mut String, row: &SampleRow) {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{u:.6}");
+        json::push_f64(out, *u, 6);
     }
     let _ = writeln!(
         out,
@@ -159,7 +160,7 @@ fn jsonl_row(out: &mut String, row: &SampleRow) {
     );
 }
 
-fn pool_label(ev: PoolEvent) -> &'static str {
+pub(crate) fn pool_label(ev: PoolEvent) -> &'static str {
     match ev {
         PoolEvent::Hit { .. } => "hit",
         PoolEvent::InFlightHit { .. } => "inflight_hit",
@@ -169,7 +170,7 @@ fn pool_label(ev: PoolEvent) -> &'static str {
     }
 }
 
-fn terminal_label(ev: TerminalEvent) -> &'static str {
+pub(crate) fn terminal_label(ev: TerminalEvent) -> &'static str {
     match ev {
         TerminalEvent::StartedPlaying => "started_playing",
         TerminalEvent::Glitched => "glitched",
@@ -183,8 +184,29 @@ fn terminal_label(ev: TerminalEvent) -> &'static str {
 /// Microseconds with nanosecond precision, as Chrome's `ts`/`dur` fields
 /// expect. Formatted from the integer nanosecond count so the rendering
 /// is exact and deterministic.
-fn micros(ns: u64) -> String {
+pub(crate) fn micros(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Comma separation state for a `traceEvents` array under construction.
+/// Shared between [`chrome_trace`] and [`crate::merge`] so both emit
+/// byte-identical separators.
+pub(crate) struct Emitter {
+    first: bool,
+}
+
+impl Emitter {
+    pub(crate) fn new() -> Self {
+        Emitter { first: true }
+    }
+
+    pub(crate) fn line(&mut self, out: &mut String, line: &str) {
+        if !self.first {
+            out.push_str(",\n");
+        }
+        self.first = false;
+        out.push_str(line);
+    }
 }
 
 /// Render events and sample rows in Chrome `trace_event` JSON (the
@@ -198,13 +220,24 @@ fn micros(ns: u64) -> String {
 /// the sampler series as counter (`"C"`) tracks.
 pub fn chrome_trace(events: &[TraceEvent], rows: &[SampleRow]) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
-    let mut first = true;
+    let mut em = Emitter::new();
+    emit_dispatcher(&mut out, &mut em, events, rows);
+    out.push_str("\n]}\n");
+    out
+}
+
+/// The dispatcher-side body of [`chrome_trace`]: process/thread metadata,
+/// event slices/instants, and the sampler counter tracks, written into an
+/// open `traceEvents` array. [`crate::merge`] appends worker tracks after
+/// this.
+pub(crate) fn emit_dispatcher(
+    out: &mut String,
+    em: &mut Emitter,
+    events: &[TraceEvent],
+    rows: &[SampleRow],
+) {
     let mut emit = |line: String, out: &mut String| {
-        if !first {
-            out.push_str(",\n");
-        }
-        first = false;
-        out.push_str(&line);
+        em.line(out, &line);
     };
 
     // Name the processes/threads that actually appear.
@@ -223,7 +256,7 @@ pub fn chrome_trace(events: &[TraceEvent], rows: &[SampleRow]) -> String {
     emit(
         "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"system\"}}"
             .to_string(),
-        &mut out,
+        out,
     );
     for &(node, tid) in &node_tids {
         if tid == 0 {
@@ -233,14 +266,14 @@ pub fn chrome_trace(events: &[TraceEvent], rows: &[SampleRow]) -> String {
                     1 + node,
                     node,
                 ),
-                &mut out,
+                out,
             );
             emit(
                 format!(
                     "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"cpu\"}}}}",
                     1 + node,
                 ),
-                &mut out,
+                out,
             );
         } else {
             emit(
@@ -250,7 +283,7 @@ pub fn chrome_trace(events: &[TraceEvent], rows: &[SampleRow]) -> String {
                     tid,
                     tid - 1,
                 ),
-                &mut out,
+                out,
             );
         }
     }
@@ -276,7 +309,7 @@ pub fn chrome_trace(events: &[TraceEvent], rows: &[SampleRow]) -> String {
                         s.transfer.0,
                         s.sequential,
                     ),
-                    &mut out,
+                    out,
                 );
             }
             TraceEvent::DiskIoDone { .. } => {
@@ -298,7 +331,7 @@ pub fn chrome_trace(events: &[TraceEvent], rows: &[SampleRow]) -> String {
                         micros(start.0),
                         micros((end - start).0),
                     ),
-                    &mut out,
+                    out,
                 );
             }
             TraceEvent::NetSend { now, ev } => {
@@ -311,7 +344,7 @@ pub fn chrome_trace(events: &[TraceEvent], rows: &[SampleRow]) -> String {
                         ev.bytes,
                         ev.delay.0,
                     ),
-                    &mut out,
+                    out,
                 );
             }
             TraceEvent::Pool { now, node, ev } => {
@@ -323,7 +356,7 @@ pub fn chrome_trace(events: &[TraceEvent], rows: &[SampleRow]) -> String {
                         1 + node,
                         micros(now.0),
                     ),
-                    &mut out,
+                    out,
                 );
             }
             TraceEvent::Terminal { now, term, ev } => {
@@ -335,12 +368,19 @@ pub fn chrome_trace(events: &[TraceEvent], rows: &[SampleRow]) -> String {
                         terminal_label(ev),
                         micros(now.0),
                     ),
-                    &mut out,
+                    out,
                 );
             }
         }
     }
 
+    emit_counter_rows(out, em, 0, rows);
+}
+
+/// The four sampler counter tracks (`disk_util`, `net_bytes`,
+/// `pool_in_use`, `outstanding_deadlines`) under process `pid` — pid 0
+/// for the dispatcher run, a worker-track pid in merged traces.
+pub(crate) fn emit_counter_rows(out: &mut String, em: &mut Emitter, pid: u32, rows: &[SampleRow]) {
     for row in rows {
         let ts = micros(row.t.0);
         let mut util = String::new();
@@ -348,42 +388,40 @@ pub fn chrome_trace(events: &[TraceEvent], rows: &[SampleRow]) -> String {
             if i > 0 {
                 util.push(',');
             }
-            let _ = write!(util, "\"d{i}\":{u:.6}");
+            let _ = write!(util, "\"d{i}\":");
+            json::push_f64(&mut util, *u, 6);
         }
-        emit(
-            format!(
-                "{{\"ph\":\"C\",\"name\":\"disk_util\",\"pid\":0,\"ts\":{ts},\"args\":{{{util}}}}}"
+        em.line(
+            out,
+            &format!(
+                "{{\"ph\":\"C\",\"name\":\"disk_util\",\"pid\":{pid},\"ts\":{ts},\"args\":{{{util}}}}}"
             ),
-            &mut out,
         );
-        emit(
-            format!(
-                "{{\"ph\":\"C\",\"name\":\"net_bytes\",\"pid\":0,\"ts\":{ts},\
+        em.line(
+            out,
+            &format!(
+                "{{\"ph\":\"C\",\"name\":\"net_bytes\",\"pid\":{pid},\"ts\":{ts},\
                  \"args\":{{\"bytes\":{}}}}}",
                 row.net_bytes,
             ),
-            &mut out,
         );
-        emit(
-            format!(
-                "{{\"ph\":\"C\",\"name\":\"pool_in_use\",\"pid\":0,\"ts\":{ts},\
+        em.line(
+            out,
+            &format!(
+                "{{\"ph\":\"C\",\"name\":\"pool_in_use\",\"pid\":{pid},\"ts\":{ts},\
                  \"args\":{{\"frames\":{}}}}}",
                 row.pool_in_use,
             ),
-            &mut out,
         );
-        emit(
-            format!(
-                "{{\"ph\":\"C\",\"name\":\"outstanding_deadlines\",\"pid\":0,\"ts\":{ts},\
+        em.line(
+            out,
+            &format!(
+                "{{\"ph\":\"C\",\"name\":\"outstanding_deadlines\",\"pid\":{pid},\"ts\":{ts},\
                  \"args\":{{\"ios\":{}}}}}",
                 row.outstanding_deadlines,
             ),
-            &mut out,
         );
     }
-
-    out.push_str("\n]}\n");
-    out
 }
 
 /// The run's end time as recorded in the merged stream — the maximum

@@ -1,0 +1,238 @@
+//! Glitch forensics: a bounded ring of recent probe events that is
+//! frozen the moment the first glitch fires.
+//!
+//! A capacity number says *that* a population glitched; forensics shows
+//! *why*. [`GlitchForensics`] keeps, per terminal, a ring of the last N
+//! lifecycle transitions, plus one system-wide ring of recent disk /
+//! pool / network events for context. When the first
+//! [`TerminalEvent::Glitched`] arrives, both rings are snapshotted into a
+//! [`ForensicsDump`] — the causal chain leading into the glitch — and
+//! recording continues without disturbing the frozen dump. Memory stays
+//! bounded at `depth` entries per ring no matter how long the run is.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use spiffi_simcore::SimTime;
+
+use crate::export::{jsonl_event, terminal_label};
+use crate::probe::{DiskIoDone, DiskIoStart, NetSend, PoolEvent, Probe, TerminalEvent};
+use crate::record::TraceEvent;
+
+/// The frozen state of the rings at the moment the first glitch fired.
+#[derive(Clone, Debug)]
+pub struct ForensicsDump {
+    /// The terminal whose glitch triggered the freeze.
+    pub terminal: u32,
+    /// Simulation time of that glitch.
+    pub at: SimTime,
+    /// The glitching terminal's recent lifecycle transitions, oldest
+    /// first, ending with the glitch itself.
+    pub history: Vec<(SimTime, &'static str)>,
+    /// Recent system-wide events (disk I/O, pool traffic, net sends)
+    /// leading into the glitch, oldest first.
+    pub context: Vec<TraceEvent>,
+}
+
+impl ForensicsDump {
+    /// Render the dump as one JSON object (`history` entries are
+    /// `{"t_ns":..,"event":".."}`, `context` entries reuse the JSONL
+    /// event schema).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"terminal\":{},\"at_ns\":{},\"history\":[",
+            self.terminal, self.at.0
+        );
+        for (i, (t, label)) in self.history.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"t_ns\":{},\"event\":\"{label}\"}}", t.0);
+        }
+        out.push_str("],\"context\":[");
+        let mut line = String::new();
+        for (i, ev) in self.context.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            line.clear();
+            jsonl_event(&mut line, ev);
+            out.push_str(line.trim_end());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A [`Probe`] that maintains the bounded forensics rings.
+///
+/// Composable like any probe — `trace_run --forensics` runs it alongside
+/// the recorder and sampler as a nested tuple. Observation-only: the
+/// rings copy values the simulation already computed.
+#[derive(Clone, Debug)]
+pub struct GlitchForensics {
+    depth: usize,
+    per_term: BTreeMap<u32, VecDeque<(SimTime, &'static str)>>,
+    context: VecDeque<TraceEvent>,
+    dump: Option<ForensicsDump>,
+}
+
+impl GlitchForensics {
+    /// Rings bounded at `depth` entries (per terminal, and for the shared
+    /// context ring).
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "forensics ring depth must be positive");
+        GlitchForensics {
+            depth,
+            per_term: BTreeMap::new(),
+            context: VecDeque::new(),
+            dump: None,
+        }
+    }
+
+    /// The configured ring bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The dump frozen at the first glitch, if one fired.
+    pub fn dump(&self) -> Option<&ForensicsDump> {
+        self.dump.as_ref()
+    }
+
+    /// JSON rendering of the dump, or `null` when no glitch fired.
+    pub fn to_json(&self) -> String {
+        match &self.dump {
+            Some(d) => d.to_json(),
+            None => "null".to_string(),
+        }
+    }
+
+    /// Current ring length for `term` (test/diagnostic accessor).
+    pub fn history_len(&self, term: u32) -> usize {
+        self.per_term.get(&term).map_or(0, |r| r.len())
+    }
+
+    fn push_context(&mut self, ev: TraceEvent) {
+        if self.context.len() == self.depth {
+            self.context.pop_front();
+        }
+        self.context.push_back(ev);
+    }
+}
+
+impl Probe for GlitchForensics {
+    fn disk_io_start(&mut self, now: SimTime, ev: DiskIoStart) {
+        self.push_context(TraceEvent::DiskIoStart { now, ev });
+    }
+
+    fn disk_io_done(&mut self, now: SimTime, ev: DiskIoDone) {
+        self.push_context(TraceEvent::DiskIoDone { now, ev });
+    }
+
+    fn net_send(&mut self, now: SimTime, ev: NetSend) {
+        self.push_context(TraceEvent::NetSend { now, ev });
+    }
+
+    fn pool_event(&mut self, now: SimTime, node: u32, ev: PoolEvent) {
+        self.push_context(TraceEvent::Pool { now, node, ev });
+    }
+
+    fn terminal_event(&mut self, now: SimTime, term: u32, ev: TerminalEvent) {
+        let depth = self.depth;
+        let ring = self.per_term.entry(term).or_default();
+        if ring.len() == depth {
+            ring.pop_front();
+        }
+        ring.push_back((now, terminal_label(ev)));
+        if ev == TerminalEvent::Glitched && self.dump.is_none() {
+            self.dump = Some(ForensicsDump {
+                terminal: term,
+                at: now,
+                history: ring.iter().copied().collect(),
+                context: self.context.iter().copied().collect(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::NetMsgKind;
+    use spiffi_simcore::SimDuration;
+
+    fn sec(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn send(bytes: u64) -> NetSend {
+        NetSend {
+            kind: NetMsgKind::Reply,
+            bytes,
+            delay: SimDuration::from_micros(5),
+        }
+    }
+
+    #[test]
+    fn rings_respect_their_bound() {
+        let mut f = GlitchForensics::new(3);
+        for i in 0..10 {
+            f.terminal_event(sec(i), 7, TerminalEvent::StartedPlaying);
+            f.net_send(sec(i), send(i));
+        }
+        assert_eq!(f.history_len(7), 3);
+        assert_eq!(f.context.len(), 3);
+        // The ring holds the *last* three entries.
+        let ring = &f.per_term[&7];
+        assert_eq!(ring[0].0, sec(7));
+        assert_eq!(ring[2].0, sec(9));
+    }
+
+    #[test]
+    fn first_glitch_freezes_the_dump() {
+        let mut f = GlitchForensics::new(4);
+        f.terminal_event(sec(1), 3, TerminalEvent::StartedPlaying);
+        f.net_send(sec(2), send(100));
+        f.terminal_event(sec(3), 3, TerminalEvent::Glitched);
+        // Later activity — including a second glitch — leaves the dump
+        // untouched.
+        f.terminal_event(sec(4), 9, TerminalEvent::Glitched);
+        f.net_send(sec(5), send(999));
+
+        let d = f.dump().expect("glitch fired");
+        assert_eq!(d.terminal, 3);
+        assert_eq!(d.at, sec(3));
+        assert_eq!(
+            d.history,
+            vec![(sec(1), "started_playing"), (sec(3), "glitched")]
+        );
+        assert_eq!(d.context.len(), 1);
+        assert_eq!(d.context[0].t(), sec(2));
+    }
+
+    #[test]
+    fn no_glitch_means_no_dump_and_null_json() {
+        let mut f = GlitchForensics::new(2);
+        f.terminal_event(sec(1), 0, TerminalEvent::StartedPlaying);
+        assert!(f.dump().is_none());
+        assert_eq!(f.to_json(), "null");
+    }
+
+    #[test]
+    fn dump_json_is_balanced_and_carries_both_rings() {
+        let mut f = GlitchForensics::new(8);
+        f.net_send(sec(1), send(64));
+        f.terminal_event(sec(2), 5, TerminalEvent::Glitched);
+        let text = f.to_json();
+        assert!(text.starts_with("{\"terminal\":5,\"at_ns\":"));
+        assert!(text.contains("\"event\":\"glitched\""));
+        assert!(text.contains("\"type\":\"net_send\""));
+        assert!(!text.contains('\n'));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(text.matches(open).count(), text.matches(close).count());
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Assemble per-worker telemetry streams into one multi-track
+//! Chrome/Perfetto trace.
+//!
+//! A multi-process search produces one dispatcher-side probe stream plus
+//! one telemetry stream per worker job. This module merges them into a
+//! single `trace_event` JSON document: the dispatcher keeps the layout of
+//! [`crate::export::chrome_trace`] (pid 0 system track, pid `1 + node`
+//! per node), and every worker stream becomes its own process track at
+//! pid [`WORKER_TRACK_PID_BASE`]` + k`.
+//!
+//! # Canonical sort contract
+//!
+//! The merged trace must be byte-identical no matter how many workers ran
+//! the search or in which order their frames arrived. Physical execution
+//! details — worker slot, incarnation generation, arrival order, wall
+//! times — are all wall-clock artifacts, so they are **excluded from the
+//! trace bytes** (they live in the journal instead). Track identity is
+//! the *job*: streams are sorted by `(terminals, replication)`, duplicate
+//! jobs (a retry that re-ran after its first telemetry frame was already
+//! received) are dropped after the sort, and track pids are assigned in
+//! that canonical order. Stream content is pure simulation data, which is
+//! deterministic per job, so the merged bytes are too.
+
+use spiffi_simcore::{SimDuration, SimTime};
+
+use crate::export::{emit_counter_rows, emit_dispatcher, micros, Emitter};
+use crate::forensics::ForensicsDump;
+use crate::record::TraceEvent;
+use crate::sample::{mean_disk_utilization_of, SampleRow};
+
+/// First pid used for worker-stream tracks; far above any node pid.
+pub const WORKER_TRACK_PID_BASE: u32 = 1000;
+
+/// Pid of the glitch-forensics track, when a dump is merged in.
+pub const FORENSICS_PID: u32 = 999;
+
+/// A coarse execution phase of a worker job, in simulation time, with
+/// the measured wall-clock cost where one exists. Wall times never enter
+/// the merged trace bytes (see the module docs); they are folded into the
+/// journal's per-phase breakdown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamSpan {
+    /// Stable phase label (`warmup`, `import`, `fork`, `simulate`,
+    /// `measure`).
+    pub label: &'static str,
+    /// Phase start in simulation time.
+    pub sim_start: SimTime,
+    /// Phase end in simulation time (equal to `sim_start` for phases
+    /// that are a point in sim time, like a snapshot import).
+    pub sim_end: SimTime,
+    /// Measured wall-clock cost, 0 where the phase is purely simulated.
+    pub wall_nanos: u64,
+}
+
+/// One worker job's telemetry stream, as decoded from a
+/// `spiffi-telemetry` wire frame.
+#[derive(Clone, Debug)]
+pub struct WorkerStream {
+    /// Terminal population of the job.
+    pub terminals: u32,
+    /// Replication index of the job.
+    pub replication: u32,
+    /// Physical pool slot that ran the job — journal/summary only, never
+    /// part of the merged trace bytes.
+    pub slot: usize,
+    /// Worker incarnation generation — journal/summary only.
+    pub gen: u64,
+    /// The sampler interval the worker ran with.
+    pub interval: SimDuration,
+    /// The worker's own `RunReport::avg_disk_utilization`, for
+    /// cross-checking the shipped samples.
+    pub report_disk_utilization: f64,
+    /// Glitches the job observed (0 = clean run).
+    pub glitches: u64,
+    /// Fixed-interval sample rows, in time order.
+    pub samples: Vec<SampleRow>,
+    /// Coarse phase spans.
+    pub spans: Vec<StreamSpan>,
+}
+
+impl WorkerStream {
+    /// Mean per-disk utilization over sample rows lying entirely inside
+    /// `[from, to]` — the number to compare against
+    /// [`report_disk_utilization`](Self::report_disk_utilization) when
+    /// the interval tiles the window (PR 4's sampler-vs-report gate,
+    /// now applied across the process boundary).
+    pub fn mean_disk_utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        mean_disk_utilization_of(&self.samples, self.interval, from, to)
+    }
+}
+
+/// Canonical stream order: sorted by job identity, duplicates dropped.
+/// Exposed so callers (summaries, tests) agree with the trace layout.
+pub fn canonical_streams(streams: &[WorkerStream]) -> Vec<&WorkerStream> {
+    let mut order: Vec<&WorkerStream> = streams.iter().collect();
+    order.sort_by_key(|s| (s.terminals, s.replication));
+    order.dedup_by_key(|s| (s.terminals, s.replication));
+    order
+}
+
+/// Render the dispatcher stream plus every worker stream (and, when
+/// present, a glitch-forensics dump) as one Chrome `trace_event` JSON
+/// document. See the module docs for the canonical sort contract.
+pub fn merged_chrome_trace(
+    events: &[TraceEvent],
+    rows: &[SampleRow],
+    streams: &[WorkerStream],
+    forensics: Option<&ForensicsDump>,
+) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut em = Emitter::new();
+    emit_dispatcher(&mut out, &mut em, events, rows);
+
+    for (k, s) in canonical_streams(streams).iter().enumerate() {
+        let pid = WORKER_TRACK_PID_BASE + k as u32;
+        em.line(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"probe t={} r={}\"}}}}",
+                s.terminals, s.replication,
+            ),
+        );
+        em.line(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"phases\"}}}}"
+            ),
+        );
+        let mut spans = s.spans.clone();
+        spans.sort_by_key(|sp| (sp.sim_start, sp.sim_end, sp.label));
+        for sp in &spans {
+            if sp.sim_start == sp.sim_end {
+                em.line(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"s\":\"p\",\"name\":\"{}\",\"cat\":\"phase\",\
+                         \"pid\":{pid},\"tid\":0,\"ts\":{}}}",
+                        sp.label,
+                        micros(sp.sim_start.0),
+                    ),
+                );
+            } else {
+                em.line(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"phase\",\"pid\":{pid},\
+                         \"tid\":0,\"ts\":{},\"dur\":{}}}",
+                        sp.label,
+                        micros(sp.sim_start.0),
+                        micros((sp.sim_end - sp.sim_start).0),
+                    ),
+                );
+            }
+        }
+        emit_counter_rows(&mut out, &mut em, pid, &s.samples);
+    }
+
+    if let Some(d) = forensics {
+        let pid = FORENSICS_PID;
+        em.line(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"glitch forensics (term {})\"}}}}",
+                d.terminal,
+            ),
+        );
+        for &(t, label) in &d.history {
+            em.line(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"i\",\"s\":\"p\",\"name\":\"{label}\",\"cat\":\"forensics\",\
+                     \"pid\":{pid},\"tid\":0,\"ts\":{}}}",
+                    micros(t.0),
+                ),
+            );
+        }
+        for ev in &d.context {
+            em.line(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"i\",\"s\":\"p\",\"name\":\"{}\",\"cat\":\"forensics\",\
+                     \"pid\":{pid},\"tid\":1,\"ts\":{}}}",
+                    event_brief(ev),
+                    micros(ev.t().0),
+                ),
+            );
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// A short, stable label for a context-ring event.
+fn event_brief(ev: &TraceEvent) -> String {
+    match *ev {
+        TraceEvent::DiskIoStart { ev, .. } => {
+            format!(
+                "disk {} d{} {}",
+                ev.node,
+                ev.disk,
+                if ev.is_prefetch { "prefetch" } else { "read" }
+            )
+        }
+        TraceEvent::DiskIoDone { ev, .. } => format!("disk {} d{} done", ev.node, ev.disk),
+        TraceEvent::CpuSpan { node, job, .. } => format!("cpu {} {}", node, job.label()),
+        TraceEvent::NetSend { ev, .. } => format!("net {}", ev.kind.label()),
+        TraceEvent::Pool { node, ev, .. } => {
+            format!("pool {} {}", node, crate::export::pool_label(ev))
+        }
+        TraceEvent::Terminal { term, ev, .. } => {
+            format!("term {} {}", term, crate::export::terminal_label(ev))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn row(t_s: u64, util: f64) -> SampleRow {
+        SampleRow {
+            t: sec(t_s),
+            disk_util: vec![util],
+            net_bytes: 100 * t_s,
+            pool_in_use: 2,
+            outstanding_deadlines: 1,
+        }
+    }
+
+    fn stream(terminals: u32, replication: u32, slot: usize, wall: u64) -> WorkerStream {
+        WorkerStream {
+            terminals,
+            replication,
+            slot,
+            gen: slot as u64 + 10,
+            interval: SimDuration::from_secs(1),
+            report_disk_utilization: 0.25,
+            glitches: 0,
+            samples: vec![row(1, 0.25), row(2, 0.25)],
+            spans: vec![
+                StreamSpan {
+                    label: "warmup",
+                    sim_start: SimTime::ZERO,
+                    sim_end: sec(1),
+                    wall_nanos: 0,
+                },
+                StreamSpan {
+                    label: "simulate",
+                    sim_start: SimTime::ZERO,
+                    sim_end: sec(2),
+                    wall_nanos: wall,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn merged_trace_is_arrival_order_invariant() {
+        let a = stream(12, 0, 0, 111);
+        let b = stream(24, 0, 1, 222);
+        let c = stream(12, 1, 1, 333);
+        let one = merged_chrome_trace(&[], &[], &[a.clone(), b.clone(), c.clone()], None);
+        let two = merged_chrome_trace(&[], &[], &[c, b, a], None);
+        assert_eq!(one, two);
+        assert!(one.contains("probe t=12 r=0"));
+        assert!(one.contains("probe t=24 r=0"));
+    }
+
+    #[test]
+    fn duplicates_and_wall_clock_artifacts_do_not_change_bytes() {
+        let a = stream(12, 0, 0, 111);
+        // Same job re-run on a different slot/gen with different wall
+        // times: a retry duplicate.
+        let mut dup = stream(12, 0, 3, 999_999);
+        dup.gen = 77;
+        let base = merged_chrome_trace(&[], &[], std::slice::from_ref(&a), None);
+        let with_dup = merged_chrome_trace(&[], &[], &[dup, a], None);
+        assert_eq!(base, with_dup);
+        // Wall times and slot/gen never appear in the output at all.
+        assert!(!base.contains("111"));
+    }
+
+    #[test]
+    fn tracks_get_distinct_pids_in_canonical_order() {
+        let text = merged_chrome_trace(&[], &[], &[stream(24, 0, 0, 1), stream(12, 0, 1, 2)], None);
+        let p12 = text.find("probe t=12 r=0").unwrap();
+        let p24 = text.find("probe t=24 r=0").unwrap();
+        assert!(p12 < p24, "canonical order sorts by terminals");
+        assert!(text.contains(&format!("\"pid\":{}", WORKER_TRACK_PID_BASE)));
+        assert!(text.contains(&format!("\"pid\":{}", WORKER_TRACK_PID_BASE + 1)));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(text.matches(open).count(), text.matches(close).count());
+        }
+    }
+
+    #[test]
+    fn forensics_dump_renders_as_its_own_track() {
+        let dump = ForensicsDump {
+            terminal: 9,
+            at: sec(3),
+            history: vec![(sec(2), "started_playing"), (sec(3), "glitched")],
+            context: vec![TraceEvent::NetSend {
+                now: sec(2),
+                ev: crate::probe::NetSend {
+                    kind: crate::probe::NetMsgKind::Reply,
+                    bytes: 64,
+                    delay: SimDuration::from_micros(5),
+                },
+            }],
+        };
+        let text = merged_chrome_trace(&[], &[], &[stream(12, 0, 0, 1)], Some(&dump));
+        assert!(text.contains("glitch forensics (term 9)"));
+        assert!(text.contains(&format!("\"pid\":{FORENSICS_PID}")));
+        assert!(text.contains("\"name\":\"net reply\""));
+    }
+
+    #[test]
+    fn stream_mean_matches_report_for_tiling_window() {
+        let s = stream(12, 0, 0, 1);
+        let mean = s.mean_disk_utilization(SimTime::ZERO, sec(2));
+        assert!((mean - 0.25).abs() < 1e-12);
+    }
+}

@@ -95,19 +95,7 @@ impl Sampler {
     /// against `RunReport::avg_disk_utilization` for a measurement window
     /// the interval tiles exactly.
     pub fn mean_disk_utilization(&self, from: SimTime, to: SimTime) -> f64 {
-        let mut sum = 0.0;
-        let mut n = 0usize;
-        for row in &self.rows {
-            if row.t <= to && row.t.saturating_since(from) >= self.interval {
-                sum += row.disk_util.iter().sum::<f64>();
-                n += row.disk_util.len();
-            }
-        }
-        if n == 0 {
-            0.0
-        } else {
-            sum / n as f64
-        }
+        mean_disk_utilization_of(&self.rows, self.interval, from, to)
     }
 
     fn end_of(&self, idx: u64) -> SimTime {
@@ -158,6 +146,32 @@ impl Sampler {
             self.slot(k)[disk] += (clip_end - t).0;
             t = clip_end;
         }
+    }
+}
+
+/// Mean per-disk utilization across rows whose interval lies entirely
+/// inside `[from, to]` — the free-function form of
+/// [`Sampler::mean_disk_utilization`], usable on rows that crossed a
+/// process boundary (worker telemetry streams) where the `Sampler`
+/// itself is gone.
+pub fn mean_disk_utilization_of(
+    rows: &[SampleRow],
+    interval: SimDuration,
+    from: SimTime,
+    to: SimTime,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for row in rows {
+        if row.t <= to && row.t.saturating_since(from) >= interval {
+            sum += row.disk_util.iter().sum::<f64>();
+            n += row.disk_util.len();
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
     }
 }
 
