@@ -454,12 +454,27 @@ fn measure_engine(threads: usize) -> Sample {
     }
 }
 
-fn sample_json(s: &Sample, indent: &str) -> String {
+/// Machine cores visible to this run. Recorded in the JSON so the
+/// per-core throughput figures can be compared across runners with
+/// different core counts.
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `threads` is the parallelism the section actually employed — the
+/// calibration denominator for `events_per_sec_per_core`, which is the
+/// wall-clock-independent number to eyeball across heterogeneous runners
+/// (raw wall time and events/s scale with whatever hardware the job
+/// landed on; per-core throughput mostly does not).
+fn sample_json(s: &Sample, indent: &str, threads: usize) -> String {
     format!(
-        "{{\n{indent}  \"wall_seconds\": {},\n{indent}  \"events_processed\": {},\n{indent}  \"events_per_sec\": {},\n{indent}  \"capacity_terminals\": {}\n{indent}}}",
+        "{{\n{indent}  \"wall_seconds\": {},\n{indent}  \"events_processed\": {},\n{indent}  \"events_per_sec\": {},\n{indent}  \"events_per_sec_per_core\": {},\n{indent}  \"capacity_terminals\": {}\n{indent}}}",
         f64_fixed(s.wall_seconds, 4),
         s.events_processed,
         f64_fixed(s.events_per_sec, 1),
+        f64_fixed(s.events_per_sec / threads as f64, 1),
         s.capacity
     )
 }
@@ -512,8 +527,11 @@ fn main() {
     let speedup = current.wall_seconds / parallel.wall_seconds;
     println!(
         "engine ({threads} thread(s)): wall: {:.3} s   events: {}   capacity: {} terminals   \
-         speedup vs single-thread: {speedup:.2}x",
-        parallel.wall_seconds, parallel.events_processed, parallel.capacity
+         speedup vs single-thread: {speedup:.2}x   {:.0} events/s/core",
+        parallel.wall_seconds,
+        parallel.events_processed,
+        parallel.capacity,
+        parallel.events_per_sec / threads as f64
     );
     assert_eq!(
         parallel.capacity, current.capacity,
@@ -648,7 +666,10 @@ fn main() {
         read_baseline(out)
     };
 
-    let mut json = String::from("{\n  \"benchmark\": \"perf_baseline\",\n");
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"perf_baseline\",\n  \"cores\": {},\n",
+        cores()
+    );
     json.push_str(
         "  \"workload\": {\n    \"description\": \"single-threaded capacity bisection, 3 schedulers per probe\",\n",
     );
@@ -672,10 +693,10 @@ fn main() {
                 b.events_per_sec,
                 improvement * 100.0
             );
-            json.push_str(&format!("  \"baseline\": {},\n", sample_json(b, "  ")));
+            json.push_str(&format!("  \"baseline\": {},\n", sample_json(b, "  ", 1)));
             json.push_str(&format!(
                 "  \"current\": {},\n",
-                sample_json(&current, "  ")
+                sample_json(&current, "  ", 1)
             ));
             json.push_str(&format!(
                 "  \"events_per_sec_improvement\": {},\n  \"deterministic_vs_baseline\": {},\n",
@@ -687,17 +708,19 @@ fn main() {
             println!("recorded as baseline");
             json.push_str(&format!(
                 "  \"baseline\": {},\n",
-                sample_json(&current, "  ")
+                sample_json(&current, "  ", 1)
             ));
         }
     }
     json.push_str(&format!(
         "  \"parallel\": {{\n    \"threads\": {threads},\n    \"wall_seconds\": {},\n    \
          \"events_processed\": {},\n    \"events_per_sec\": {},\n    \
+         \"events_per_sec_per_core\": {},\n    \
          \"capacity_terminals\": {},\n    \"speedup_vs_single_thread\": {}\n  }},\n",
         f64_fixed(parallel.wall_seconds, 4),
         parallel.events_processed,
         f64_fixed(parallel.events_per_sec, 1),
+        f64_fixed(parallel.events_per_sec / threads as f64, 1),
         parallel.capacity,
         f64_fixed(speedup, 4)
     ));

@@ -22,10 +22,26 @@
 //! - `TRACE_journal.json` — the engine's run-journal snapshot.
 //!
 //! Usage:
-//!   trace_run                # full workload (120 s measurement window)
-//!   trace_run --small        # CI-sized run (30 s window, fewer terminals)
-//!   trace_run --dump-state   # additionally write TRACE_state.snap
-//!   trace_run --forensics    # overload run + TRACE_forensics.json dump
+//! ```text
+//!   trace_run                    # full workload (120 s measurement window)
+//!   trace_run --small            # CI-sized run (30 s window, fewer terminals)
+//!   trace_run --dump-state       # additionally write TRACE_state.snap
+//!   trace_run --forensics        # overload run + TRACE_forensics.json dump
+//!   trace_run --scenario <file>  # fault-plan run + TRACE_scenario.json verdict
+//! ```
+//!
+//! `--scenario` runs a fault-injection plan end to end: the plan file is
+//! parsed and validated, the CI-sized workload runs with the scenario's
+//! perturbations firing as calendar events (each firing lands in the
+//! Perfetto export as an instant event on the fault track, written to
+//! `TRACE_scenario.trace.json`), the faulted capacity is measured with an
+//! [`Engine`] search (under `SPIFFI_WORKERS` the scenario ships to worker
+//! processes in the job protocol's `scn=` token), and the plan's `expect`
+//! thresholds are evaluated against the run. The machine-readable verdict
+//! goes to `TRACE_scenario.json`; the exit code is 0 when every threshold
+//! passes, 1 when any fails, and 2 on a malformed plan. Faulted runs are
+//! exactly as deterministic as clean ones, so the whole stdout is
+//! byte-identical at any `SPIFFI_THREADS` / `SPIFFI_WORKERS` setting.
 //!
 //! `--dump-state` replays the workload's warmed-up base prefix exactly as
 //! the warm snapshot path would (marginal timing, replication 0) and
@@ -48,14 +64,15 @@
 use std::collections::BTreeMap;
 
 use spiffi_core::{
-    replication_seed, wire, CapacitySearch, Engine, GlitchForensics, PhaseKind, Sampler,
+    replication_seed, wire, CapacitySearch, Engine, FaultPlan, GlitchForensics, PhaseKind, Sampler,
     SystemConfig, TraceRecorder, VodSystem, WorkerStream,
 };
 use spiffi_mpeg::AccessPattern;
 use spiffi_simcore::{SimDuration, SimTime};
 use spiffi_trace::export;
+use spiffi_trace::json::f64_fixed;
 use spiffi_trace::merge::merged_chrome_trace;
-use spiffi_trace::ForensicsDump;
+use spiffi_trace::{ForensicsDump, TraceEvent};
 
 /// The perf_baseline workload shape: one node, four disks, uniform access
 /// over 64 one-minute titles, memory far below the working set.
@@ -134,10 +151,172 @@ fn forensics_run(cfg: &SystemConfig) -> Option<ForensicsDump> {
     dump
 }
 
+/// Run one fault-plan scenario end to end and return the process exit
+/// code: 0 when every configured threshold passes, 1 when any fails, 2
+/// when the plan itself is malformed or inconsistent with the workload.
+///
+/// The traced run uses the CI-sized workload (12 terminals, 30 s window)
+/// so each plan's node/disk indices and fault times are written against a
+/// fixed, known schedule; the capacity search then measures how many
+/// terminals the *faulted* system still sustains glitch-free, which the
+/// plan's `min_capacity` gate bounds from below.
+fn scenario_run(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scenario: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let plan = match FaultPlan::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("scenario {path}: {e}");
+            return 2;
+        }
+    };
+    let mut cfg = workload_config(true);
+    if let Err(e) = plan.scenario.validate_against(&cfg.timing) {
+        eprintln!("scenario {path}: {e}");
+        return 2;
+    }
+    cfg.scenario = Some(plan.scenario.clone());
+    if let Err(e) = cfg.validate() {
+        eprintln!("scenario {path}: {e}");
+        return 2;
+    }
+    let nodes = cfg.topology.nodes as usize;
+    let disks_per_node = cfg.topology.disks_per_node as usize;
+
+    println!("== trace_run --scenario: {} ==", plan.name);
+    println!(
+        "plan: {} fault(s){}; workload: {} terminals, {} disks, {} s window\n",
+        plan.scenario.faults.len(),
+        if plan.scenario.mix.is_some() {
+            " + bitrate mix"
+        } else {
+            ""
+        },
+        cfg.n_terminals,
+        nodes * disks_per_node,
+        cfg.timing.measure.as_secs_f64(),
+    );
+
+    let library = VodSystem::generate_library(&cfg);
+    let probe = (
+        TraceRecorder::new(),
+        Sampler::new(SAMPLE_INTERVAL, nodes, disks_per_node),
+    );
+    let system = VodSystem::with_probe(cfg.clone(), library, probe);
+    let (report, (recorder, sampler)) = system.run_traced();
+
+    let mut faults_fired = 0u64;
+    for ev in recorder.events() {
+        if let TraceEvent::Fault { now, ev } = ev {
+            faults_fired += 1;
+            println!(
+                "fault @ {:.3} s: {ev:?}",
+                now.saturating_since(SimTime::ZERO).as_secs_f64()
+            );
+        }
+    }
+    println!("{}", report.summary());
+    println!("faults fired: {faults_fired}");
+
+    let chrome = export::chrome_trace(recorder.events(), sampler.rows());
+    std::fs::write("TRACE_scenario.trace.json", &chrome).expect("write TRACE_scenario.trace.json");
+
+    // The recovered-capacity search: the same bracketed bisection the
+    // clean workload uses, on the faulted config. Every probe injects the
+    // scenario, so the answer is the population the system sustains
+    // *through* the faults — the floor `min_capacity` gates.
+    let engine = Engine::new();
+    engine.journal().record_faults(faults_fired);
+    let search = CapacitySearch {
+        lo: 4,
+        hi: 96,
+        step: 4,
+        replications: 1,
+    };
+    let result = engine.max_glitch_free_terminals(&cfg, &search);
+    println!(
+        "faulted capacity: {} terminals ({} probes{})",
+        result.max_terminals,
+        result.probes.len(),
+        if result.below_bracket {
+            ", below bracket"
+        } else {
+            ""
+        },
+    );
+
+    let verdicts = plan
+        .thresholds
+        .evaluate(&report, Some(result.max_terminals));
+    for v in &verdicts {
+        println!(
+            "check {}: limit {}, actual {} — {}",
+            v.check,
+            v.limit,
+            v.actual,
+            if v.pass { "pass" } else { "FAIL" },
+        );
+    }
+    if verdicts.is_empty() {
+        println!("plan sets no thresholds — nothing gated");
+    }
+    let all_pass = verdicts.iter().all(|v| v.pass);
+
+    let glitch_ppm = report.glitches.saturating_mul(1_000_000) / report.blocks_delivered.max(1);
+    let mut json = format!(
+        "{{\n  \"scenario\": \"{}\",\n  \"plan_file\": \"{path}\",\n  \"faults_fired\": {faults_fired},\n  \
+         \"report\": {{\n    \"terminals\": {},\n    \"glitches\": {},\n    \
+         \"blocks_delivered\": {},\n    \"glitch_ppm\": {glitch_ppm},\n    \
+         \"io_latency_max_ms\": {},\n    \"deadline_misses\": {}\n  }},\n  \
+         \"capacity_terminals\": {},\n  \"below_bracket\": {},\n  \"verdicts\": [\n",
+        plan.name,
+        report.terminals,
+        report.glitches,
+        report.blocks_delivered,
+        f64_fixed(report.io_latency_max_ms, 3),
+        report.deadline_misses,
+        result.max_terminals,
+        result.below_bracket,
+    );
+    for (i, v) in verdicts.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"check\": \"{}\", \"limit\": {}, \"actual\": {}, \"pass\": {}}}{}\n",
+            v.check,
+            v.limit,
+            v.actual,
+            v.pass,
+            if i + 1 == verdicts.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!("  ],\n  \"pass\": {all_pass}\n}}\n"));
+    std::fs::write("TRACE_scenario.json", json).expect("write TRACE_scenario.json");
+
+    println!("\nwrote TRACE_scenario.trace.json (open in https://ui.perfetto.dev)");
+    println!("wrote TRACE_scenario.json (pass: {all_pass})");
+    if all_pass {
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let dump = std::env::args().any(|a| a == "--dump-state");
-    let forensics = std::env::args().any(|a| a == "--forensics");
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--scenario") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--scenario requires a plan-file path");
+            std::process::exit(2);
+        };
+        std::process::exit(scenario_run(path));
+    }
+    let small = args.iter().any(|a| a == "--small");
+    let dump = args.iter().any(|a| a == "--dump-state");
+    let forensics = args.iter().any(|a| a == "--forensics");
     let cfg = workload_config(small);
     let nodes = cfg.topology.nodes as usize;
     let disks_per_node = cfg.topology.disks_per_node as usize;
@@ -327,9 +506,13 @@ fn main() {
         None
     };
     if forensics {
+        // A glitch-free overload run still writes a real object (not
+        // `null`): jq gates keyed on `.glitches == 0` can tell "no glitch
+        // happened" apart from "the file was never written", instead of
+        // passing vacuously on a missing or null dump.
         let fjson = match &fdump {
             Some(d) => d.to_json(),
-            None => "null".to_string(),
+            None => "{\n  \"glitches\": 0,\n  \"dump\": null\n}\n".to_string(),
         };
         std::fs::write("TRACE_forensics.json", fjson).expect("write TRACE_forensics.json");
     }

@@ -44,6 +44,10 @@ pub struct LibraryKey {
     fps: u32,
     duration_ns: u64,
     search_speedup: Option<u32>,
+    /// Bitrate-heterogeneity from a fault scenario, as `(every, bps)`:
+    /// every k-th title is regenerated at an alternate bitrate, so two
+    /// configurations differing only in mix must not share a library.
+    mix: Option<(u32, u64)>,
 }
 
 impl LibraryKey {
@@ -56,6 +60,11 @@ impl LibraryKey {
             fps: cfg.video.fps,
             duration_ns: cfg.video.duration.0,
             search_speedup: cfg.search_speedup,
+            mix: cfg
+                .scenario
+                .as_ref()
+                .and_then(|s| s.mix)
+                .map(|m| (m.every, m.bit_rate_bps)),
         }
     }
 }
@@ -340,6 +349,21 @@ mod tests {
         let mut longer = cfg.clone();
         longer.video.duration = longer.video.duration + longer.video.duration;
         assert_ne!(LibraryKey::of(&cfg), LibraryKey::of(&longer));
+
+        // A bitrate mix regenerates titles, so it must change the key —
+        // but a scenario carrying only faults must not.
+        let mut mixed = cfg.clone();
+        mixed.scenario = Some(crate::scenario::Scenario {
+            mix: Some(crate::scenario::BitrateMix {
+                every: 4,
+                bit_rate_bps: 15_000_000,
+            }),
+            ..Default::default()
+        });
+        assert_ne!(LibraryKey::of(&cfg), LibraryKey::of(&mixed));
+        let mut faulted = cfg.clone();
+        faulted.scenario = Some(crate::scenario::Scenario::default());
+        assert_eq!(LibraryKey::of(&cfg), LibraryKey::of(&faulted));
     }
 
     #[test]

@@ -145,6 +145,9 @@ pub struct SystemConfig {
     pub timing: RunTiming,
     /// Master random seed; replications vary this.
     pub seed: u64,
+    /// Optional fault-injection scenario (scheduled perturbations plus an
+    /// optional bitrate-heterogeneous library). `None` is a clean run.
+    pub scenario: Option<crate::scenario::Scenario>,
 }
 
 impl SystemConfig {
@@ -178,6 +181,7 @@ impl SystemConfig {
             initial_position: InitialPosition::UniformWithinVideo,
             timing: RunTiming::default(),
             seed: 0x5b1ff1,
+            scenario: None,
         }
     }
 
@@ -217,6 +221,7 @@ impl SystemConfig {
                 measure: SimDuration::from_secs(60),
             },
             seed: 1,
+            scenario: None,
         }
     }
 
@@ -264,6 +269,46 @@ impl SystemConfig {
         }
         if self.timing.warmup < self.timing.stagger {
             return Err("warmup must cover the start stagger".into());
+        }
+        if let Some(scenario) = &self.scenario {
+            scenario
+                .validate_against(&self.timing)
+                .map_err(|e| e.to_string())?;
+            for fault in &scenario.faults {
+                match *fault {
+                    crate::scenario::FaultSpec::DiskDeath { node, disk, .. }
+                    | crate::scenario::FaultSpec::DiskDegrade { node, disk, .. } => {
+                        if node >= self.topology.nodes || disk >= self.topology.disks_per_node {
+                            return Err(format!(
+                                "fault targets node {node} disk {disk}, outside the topology"
+                            ));
+                        }
+                    }
+                    crate::scenario::FaultSpec::AbandonBurst { .. } => {}
+                }
+                if matches!(fault, crate::scenario::FaultSpec::DiskDeath { .. })
+                    && self.topology.disks_per_node < 2
+                {
+                    return Err(
+                        "disk death needs a surviving disk on the node to fail over to".into(),
+                    );
+                }
+            }
+            // Chained failover resolves as long as one sibling survives;
+            // a scenario that kills every disk on a node has nowhere left
+            // to re-dispatch.
+            for n in 0..self.topology.nodes {
+                let deaths = scenario
+                    .faults
+                    .iter()
+                    .filter(|f| {
+                        matches!(f, crate::scenario::FaultSpec::DiskDeath { node, .. } if *node == n)
+                    })
+                    .count() as u32;
+                if deaths >= self.topology.disks_per_node {
+                    return Err(format!("scenario kills every disk on node {n}"));
+                }
+            }
         }
         Ok(())
     }

@@ -118,6 +118,7 @@ pub struct RunJournal {
     telemetry_frames: AtomicU64,
     telemetry_samples: AtomicU64,
     telemetry_dropped: AtomicU64,
+    faults_injected: AtomicU64,
     worker_faults: Mutex<Vec<WorkerFault>>,
 }
 
@@ -196,6 +197,14 @@ impl RunJournal {
         self.worker_faults.lock().unwrap().push(fault);
     }
 
+    /// Record scenario fault actions a run executed (disk deaths, degrade
+    /// set/restore pairs, abandonment bursts). Purely observational, like
+    /// everything else here — the actions themselves fire inside the
+    /// simulation's event loop.
+    pub fn record_faults(&self, actions: u64) {
+        self.faults_injected.fetch_add(actions, Ordering::Relaxed);
+    }
+
     /// A consistent copy of the journal, entries sorted into search order.
     pub fn snapshot(&self) -> JournalSnapshot {
         let mut probes = self.probes.lock().unwrap().clone();
@@ -219,6 +228,7 @@ impl RunJournal {
             telemetry_frames: self.telemetry_frames.load(Ordering::Relaxed),
             telemetry_samples: self.telemetry_samples.load(Ordering::Relaxed),
             telemetry_dropped: self.telemetry_dropped.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
             worker_faults: self.worker_faults.lock().unwrap().clone(),
         }
     }
@@ -267,6 +277,8 @@ pub struct JournalSnapshot {
     /// Telemetry frames dropped (digest/parse failure or no matching
     /// active job). Dropping is telemetry's only failure mode.
     pub telemetry_dropped: u64,
+    /// Scenario fault actions executed across recorded runs.
+    pub faults_injected: u64,
     /// Worker faults with their stderr tails, in fault order.
     pub worker_faults: Vec<WorkerFault>,
 }
@@ -309,7 +321,8 @@ impl JournalSnapshot {
              \"forked_terminals\": {},\n  \"snapshot_saved_events\": {},\n  \
              \"snapshot_bytes_shipped\": {},\n  \"worker_forks\": {},\n  \
              \"telemetry_frames\": {},\n  \"telemetry_samples\": {},\n  \
-             \"telemetry_dropped\": {},\n  \"phase_wall_ms\": {{",
+             \"telemetry_dropped\": {},\n  \"faults_injected\": {},\n  \
+             \"phase_wall_ms\": {{",
             self.searches,
             self.speculative_events,
             self.probes.len(),
@@ -328,6 +341,7 @@ impl JournalSnapshot {
             self.telemetry_frames,
             self.telemetry_samples,
             self.telemetry_dropped,
+            self.faults_injected,
         );
         for (i, phase) in PhaseKind::ALL.iter().enumerate() {
             if i > 0 {
@@ -451,6 +465,7 @@ mod tests {
         j.record_phase(PhaseKind::Simulate, 3_000_000);
         j.record_phase(PhaseKind::Simulate, 500_000);
         j.record_telemetry(4, 40, 1);
+        j.record_faults(4);
         j.record_worker_fault(WorkerFault {
             slot: 0,
             terminals: 8,
@@ -482,6 +497,7 @@ mod tests {
         assert!(text.contains("\"telemetry_frames\": 4"));
         assert!(text.contains("\"telemetry_samples\": 40"));
         assert!(text.contains("\"telemetry_dropped\": 1"));
+        assert!(text.contains("\"faults_injected\": 4"));
         // Fault strings travel escaped: the tab and inner quotes in the
         // stderr tail must not break the JSON framing.
         assert!(text.contains("\"reason\": \"worker exited (EOF)\""));

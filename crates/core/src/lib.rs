@@ -29,6 +29,7 @@ pub mod metrics;
 pub mod node;
 pub mod piggyback;
 pub mod process;
+pub mod scenario;
 pub mod system;
 pub mod terminal;
 pub mod wire;
@@ -49,6 +50,7 @@ pub use process::{
 // depend on `spiffi-core`.
 pub use bitset::TermBitset;
 pub use piggyback::{Piggyback, StartDecision};
+pub use scenario::{BitrateMix, FaultPlan, FaultSpec, PlanError, Scenario, Thresholds, Verdict};
 pub use spiffi_simcore::KernelKind;
 pub use spiffi_trace::{
     mean_disk_utilization_of, ForensicsDump, GlitchForensics, NoopProbe, Probe, SampleRow, Sampler,

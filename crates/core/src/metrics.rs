@@ -8,7 +8,7 @@ use spiffi_simcore::SimDuration;
 /// behind every figure of §7: glitch counts (Figures 9–13, 15, 19, Table
 /// 2), disk utilization (Figure 14), CPU utilization (Figure 17), network
 /// bandwidth (Figure 18), and buffer-pool sharing (Figure 16).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
     /// Terminals in the closed population.
     pub terminals: u32,

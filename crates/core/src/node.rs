@@ -107,6 +107,10 @@ pub struct DiskUnit {
     /// any. A new timer is armed only when the queue head's release time
     /// moves earlier; otherwise the armed timer stays valid.
     pub release_timer: Option<SimTime>,
+    /// False once a fault scenario has killed this disk: no new I/O is
+    /// issued to it and its queue has been failed over to a surviving
+    /// sibling on the same node.
+    pub alive: bool,
 }
 
 impl DiskUnit {
@@ -127,6 +131,7 @@ impl DiskUnit {
             by_block: FastHashMap::with_capacity_and_hasher(inflight_hint, Default::default()),
             release_gen: 0,
             release_timer: None,
+            alive: true,
         }
     }
 

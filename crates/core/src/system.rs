@@ -33,8 +33,8 @@ use spiffi_simcore::dist::{uniform_time, Exponential};
 use spiffi_simcore::stats::Histogram;
 use spiffi_simcore::{Calendar, FastHashMap, SimRng, SimTime, SnapError, SnapReader, SnapWriter};
 use spiffi_trace::{
-    CpuJobKind, DiskIoDone, DiskIoStart, NetMsgKind, NetSend, NoopProbe, PoolEvent, Probe,
-    TerminalEvent,
+    CpuJobKind, DiskIoDone, DiskIoStart, FaultEvent, NetMsgKind, NetSend, NoopProbe, PoolEvent,
+    Probe, TerminalEvent,
 };
 
 use crate::config::{RunTiming, SystemConfig};
@@ -62,6 +62,73 @@ struct SearchState {
     search: VisualSearch,
     end_at: SimTime,
     started: bool,
+}
+
+/// One entry of the fault-scenario action table. The table is a pure
+/// function of `cfg.scenario` — a degrade window expands to a set/restore
+/// pair — so it is rebuilt from the config on snapshot import and never
+/// serialized; pending [`Event::FaultFire`] events index into it.
+#[derive(Clone, Copy, Debug)]
+enum FaultAction {
+    /// Permanently fail a disk and re-dispatch its queue to a sibling.
+    KillDisk { node: u32, disk: u32 },
+    /// Scale a disk's mechanical latencies to `pct`% of nominal.
+    SetLatencyScale { node: u32, disk: u32, pct: u32 },
+    /// Every `every`-th terminal abandons its current title.
+    Abandon { every: u32 },
+}
+
+/// The firing schedule `cfg.scenario` expands to, in declaration order:
+/// a disk death or abandon burst is one action; a degrade window is a
+/// set-scale action at its start and a restore-to-100% action at its end.
+fn fault_schedule_of(cfg: &SystemConfig) -> Vec<(spiffi_simcore::SimDuration, FaultAction)> {
+    use crate::scenario::FaultSpec;
+    let mut out = Vec::new();
+    let Some(scenario) = &cfg.scenario else {
+        return out;
+    };
+    for fault in &scenario.faults {
+        match *fault {
+            FaultSpec::DiskDeath { node, disk, at } => {
+                out.push((at, FaultAction::KillDisk { node, disk }));
+            }
+            FaultSpec::DiskDegrade {
+                node,
+                disk,
+                at,
+                dur,
+                factor_pct,
+            } => {
+                out.push((
+                    at,
+                    FaultAction::SetLatencyScale {
+                        node,
+                        disk,
+                        pct: factor_pct,
+                    },
+                ));
+                // The restore may land past run end; it then simply
+                // never pops.
+                out.push((
+                    at + dur,
+                    FaultAction::SetLatencyScale {
+                        node,
+                        disk,
+                        pct: 100,
+                    },
+                ));
+            }
+            FaultSpec::AbandonBurst { at, every } => {
+                out.push((at, FaultAction::Abandon { every }));
+            }
+        }
+    }
+    out
+}
+
+/// The action table pending [`Event::FaultFire`] events index into.
+fn fault_actions_of(cfg: &SystemConfig) -> Vec<FaultAction> {
+    fault_schedule_of(cfg).into_iter().map(|(_, a)| a).collect()
 }
 
 /// Size of a read-request message on the wire.
@@ -167,6 +234,10 @@ pub enum Event {
         /// The terminal.
         term: u32,
     },
+    /// Execute action `idx` of the fault-scenario action table (built
+    /// deterministically from `cfg.scenario`, so the index alone
+    /// identifies the perturbation across snapshot round-trips).
+    FaultFire(u32),
 }
 
 /// Base of the per-terminal RNG stream ids: terminal `t` draws from stream
@@ -197,6 +268,7 @@ fn event_kind(ev: &Event) -> &'static str {
         Event::SearchStep { .. } => "SearchStep",
         Event::SmoothSearchBegin { .. } => "SmoothSearchBegin",
         Event::SmoothSearchEnd { .. } => "SmoothSearchEnd",
+        Event::FaultFire(_) => "FaultFire",
     }
 }
 
@@ -334,6 +406,10 @@ fn snap_event(w: &mut SnapWriter, ev: &Event) {
             w.u8("ek", 12);
             w.u32("ev", term);
         }
+        Event::FaultFire(idx) => {
+            w.u8("ek", 13);
+            w.u32("ev", idx);
+        }
     }
 }
 
@@ -390,6 +466,7 @@ fn read_event(r: &mut SnapReader<'_>) -> Result<Event, SnapError> {
             end_at: r.time("ed")?,
         },
         12 => Event::SmoothSearchEnd { term: r.u32("ev")? },
+        13 => Event::FaultFire(r.u32("ev")?),
         tag => {
             return Err(SnapError::BadValue {
                 key: "ek",
@@ -561,6 +638,12 @@ pub struct VodSystem<P: Probe = NoopProbe> {
     io_latency: Histogram,
     /// Demand I/Os completing after their deadline.
     deadline_misses: u64,
+    /// Fault-scenario action table (see [`FaultAction`]); config-derived,
+    /// rebuilt on snapshot import rather than serialized.
+    fault_actions: Vec<FaultAction>,
+    /// Fault actions executed so far (serialized — a forked system must
+    /// agree with its parent on which faults already fired).
+    faults_fired: u64,
     // --- recycled event-loop buffers (allocation-free steady state) ---
     /// Request buffer handed to [`Terminal::pump_reusing`] each wake.
     pump_scratch: Vec<u32>,
@@ -584,20 +667,27 @@ impl VodSystem {
     ///
     /// Generation draws an exponential frame-size sample per frame of every
     /// title, which dominates construction cost. The library depends only
-    /// on `cfg.seed`, `cfg.n_videos`, `cfg.video`, and `cfg.search_speedup`
-    /// — callers running many simulations that agree on those fields (a
-    /// capacity search at one replication seed, a scheduler comparison)
-    /// should generate once and hand clones to
-    /// [`VodSystem::with_library`].
+    /// on `cfg.seed`, `cfg.n_videos`, `cfg.video`, `cfg.search_speedup`,
+    /// and a scenario's bitrate mix — callers running many simulations
+    /// that agree on those fields (a capacity search at one replication
+    /// seed, a scheduler comparison) should generate once and hand clones
+    /// to [`VodSystem::with_library`].
     pub fn generate_library(cfg: &SystemConfig) -> Library {
+        let seed = cfg.seed ^ 0x11b;
+        let base = cfg.video;
+        let mix = cfg.scenario.as_ref().and_then(|s| s.mix);
+        let params_of = move |i: u32| match mix {
+            Some(m) if m.applies_to(i) => spiffi_mpeg::VideoParams {
+                bit_rate_bps: m.bit_rate_bps,
+                ..base
+            },
+            _ => base,
+        };
         match cfg.search_speedup {
-            None => Library::generate(cfg.n_videos, cfg.video, cfg.seed ^ 0x11b),
-            Some(speedup) => Library::generate_with_search_versions(
-                cfg.n_videos,
-                cfg.video,
-                cfg.seed ^ 0x11b,
-                speedup,
-            ),
+            None => Library::generate_each(cfg.n_videos, seed, params_of),
+            Some(speedup) => {
+                Library::generate_each_with_search_versions(cfg.n_videos, seed, speedup, params_of)
+            }
         }
     }
 
@@ -718,6 +808,7 @@ impl VodSystem {
                     }
                     None => w.bool("ut", false),
                 }
+                w.bool("ul", unit.alive);
             }
             w.usize("wn", node.pending_reads.len());
             for pr in &node.pending_reads {
@@ -765,6 +856,7 @@ impl VodSystem {
         w.u64("ep", self.events_processed);
         self.io_latency.snap_export(&mut w);
         w.u64("dm", self.deadline_misses);
+        w.u64("ff", self.faults_fired);
         w.finish()
     }
 
@@ -901,6 +993,7 @@ impl VodSystem {
                 } else {
                     None
                 };
+                let alive = r.bool("ul")?;
                 disks.push(DiskUnit {
                     disk,
                     sched,
@@ -911,6 +1004,7 @@ impl VodSystem {
                     by_block,
                     release_gen,
                     release_timer,
+                    alive,
                 });
             }
             let wn = r.usize("wn")?;
@@ -1005,7 +1099,11 @@ impl VodSystem {
         let events_processed = r.u64("ep")?;
         let io_latency = Histogram::snap_import(&mut r)?;
         let deadline_misses = r.u64("dm")?;
+        let faults_fired = r.u64("ff")?;
         r.finish()?;
+        // The action table is a pure function of the configuration;
+        // pending FaultFire events re-bind to it by index.
+        let fault_actions = fault_actions_of(&cfg);
 
         Ok(VodSystem {
             cfg,
@@ -1028,6 +1126,8 @@ impl VodSystem {
             events_processed,
             io_latency,
             deadline_misses,
+            fault_actions,
+            faults_fired,
             pump_scratch: Vec::with_capacity(pump_cap),
             waiter_scratch: Vec::with_capacity(16),
             probe: NoopProbe,
@@ -1094,6 +1194,8 @@ impl<P: Probe> VodSystem<P> {
             events_processed: self.events_processed,
             io_latency: self.io_latency,
             deadline_misses: self.deadline_misses,
+            fault_actions: self.fault_actions,
+            faults_fired: self.faults_fired,
             pump_scratch: self.pump_scratch,
             waiter_scratch: self.waiter_scratch,
             probe,
@@ -1179,6 +1281,15 @@ impl<P: Probe> VodSystem<P> {
         }
         cal.schedule_at(SimTime::ZERO + cfg.timing.warmup, Event::BeginMeasure);
 
+        // Fault perturbations fire as ordinary calendar events, so they
+        // interleave with the workload in deterministic event order at
+        // any thread or worker count, and pending firings serialize with
+        // the rest of the calendar on snapshot.
+        let fault_actions = fault_actions_of(&cfg);
+        for (idx, (at, _)) in fault_schedule_of(&cfg).iter().enumerate() {
+            cal.schedule_at(SimTime::ZERO + *at, Event::FaultFire(idx as u32));
+        }
+
         let piggyback = cfg.piggyback_delay.map(Piggyback::new);
 
         let glitching_terminals = crate::bitset::TermBitset::with_capacity(cfg.n_terminals);
@@ -1207,6 +1318,8 @@ impl<P: Probe> VodSystem<P> {
             events_processed: 0,
             io_latency: Histogram::new(0.005, 400),
             deadline_misses: 0,
+            fault_actions,
+            faults_fired: 0,
             pump_scratch: Vec::with_capacity(pump_cap),
             waiter_scratch: Vec::with_capacity(16),
             probe,
@@ -1333,6 +1446,12 @@ impl<P: Probe> VodSystem<P> {
     /// Events processed so far (monotone; carried into clones and forks).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Fault-scenario actions executed so far (a degrade window counts
+    /// twice: once applying the scale, once restoring it).
+    pub fn faults_fired(&self) -> u64 {
+        self.faults_fired
     }
 
     /// Events currently pending in the calendar.
@@ -1488,7 +1607,14 @@ impl<P: Probe> VodSystem<P> {
                 }
                 self.handle_cpu_job(node, job);
             }
-            Event::DiskDone { node, disk } => self.handle_disk_done(node, disk),
+            Event::DiskDone { node, disk } => {
+                // A completion from a disk that died mid-transfer is void:
+                // its read was re-dispatched to the failover sibling when
+                // the disk was killed.
+                if self.nodes[node as usize].disks[disk as usize].alive {
+                    self.handle_disk_done(node, disk);
+                }
+            }
             Event::PrefetchRelease { node, disk, gen } => {
                 let unit = &mut self.nodes[node as usize].disks[disk as usize];
                 if unit.release_gen == gen {
@@ -1513,6 +1639,7 @@ impl<P: Probe> VodSystem<P> {
                 end_at,
             } => self.smooth_search_begin(term, forward, end_at),
             Event::SmoothSearchEnd { term } => self.smooth_search_end(term),
+            Event::FaultFire(idx) => self.fire_fault(idx),
         }
     }
 
@@ -1917,6 +2044,11 @@ impl<P: Probe> VodSystem<P> {
                 deadline,
             } => self.handle_request(node, term, epoch, block, deadline),
             CpuJob::StartIo { disk, req } => {
+                // The target may have died while this job sat on the CPU
+                // queue; its I/O context was migrated to the failover
+                // sibling when the disk was killed, so the request simply
+                // follows it there.
+                let disk = self.route_disk(node, disk);
                 self.nodes[node as usize].disks[disk as usize]
                     .sched
                     .push(req);
@@ -1960,7 +2092,7 @@ impl<P: Probe> VodSystem<P> {
     ) {
         let token = waiter_token(term, epoch);
         let loc = self.layout.locate(block);
-        let d = loc.disk.disk;
+        let d = self.route_disk(node, loc.disk.disk);
         let n = node as usize;
         let looked_up = self.nodes[n].pool.lookup(block, Some(term));
         if P::ENABLED {
@@ -2058,7 +2190,7 @@ impl<P: Probe> VodSystem<P> {
         if self.nodes[n].pool.lookup(next, None) != LookupResult::Miss {
             return;
         }
-        let d = self.layout.locate(next).disk.disk;
+        let d = self.route_disk(node, self.layout.locate(next).disk.disk);
         // Estimated deadline: the real request for `next` trails this one
         // by the playback time of the intervening stripe blocks.
         let stride = (next.index - block.index) as u64;
@@ -2080,6 +2212,9 @@ impl<P: Probe> VodSystem<P> {
     fn prefetch_kick(&mut self, node: u32, disk: u32) {
         let now = self.cal.now();
         let n = node as usize;
+        if !self.nodes[n].disks[disk as usize].alive {
+            return;
+        }
         loop {
             let decision = self.nodes[n].disks[disk as usize].prefetch.try_issue(now);
             match decision {
@@ -2190,7 +2325,7 @@ impl<P: Probe> VodSystem<P> {
     fn try_start_disk(&mut self, node: u32, disk: u32) {
         let now = self.cal.now();
         let unit = &mut self.nodes[node as usize].disks[disk as usize];
-        if unit.current.is_some() {
+        if !unit.alive || unit.current.is_some() {
             return;
         }
         let head = unit.disk.head_cylinder();
@@ -2324,7 +2459,7 @@ impl<P: Probe> VodSystem<P> {
                         }
                         self.nodes[n].pending_reads.pop_front();
                         self.nodes[n].pool.add_waiter(f, token);
-                        let d = self.layout.locate(pr.block).disk.disk;
+                        let d = self.route_disk(node, self.layout.locate(pr.block).disk.disk);
                         self.issue_io(
                             node,
                             d,
@@ -2338,6 +2473,150 @@ impl<P: Probe> VodSystem<P> {
                     None => break,
                 },
             }
+        }
+    }
+
+    // ----- fault scenarios ------------------------------------------------
+
+    /// The disk that demand and prefetch I/O aimed at `(node, disk)`
+    /// should actually go to: the disk itself while it lives, else its
+    /// failover sibling.
+    fn route_disk(&self, node: u32, disk: u32) -> u32 {
+        if self.nodes[node as usize].disks[disk as usize].alive {
+            disk
+        } else {
+            self.failover_target(node, disk)
+        }
+    }
+
+    /// The next living disk after `disk` on `node`, wrapping — chained
+    /// deaths keep resolving as long as one sibling survives.
+    ///
+    /// # Panics
+    /// If every disk on the node is dead; [`SystemConfig::validate`]
+    /// rejects scenarios that could get here.
+    fn failover_target(&self, node: u32, disk: u32) -> u32 {
+        let dpn = self.cfg.topology.disks_per_node;
+        (1..dpn)
+            .map(|off| (disk + off) % dpn)
+            .find(|&d| self.nodes[node as usize].disks[d as usize].alive)
+            .expect("fault scenario left a node with no living disk")
+    }
+
+    /// Execute action `idx` of the scenario table.
+    fn fire_fault(&mut self, idx: u32) {
+        self.faults_fired += 1;
+        match self.fault_actions[idx as usize] {
+            FaultAction::SetLatencyScale { node, disk, pct } => {
+                self.nodes[node as usize].disks[disk as usize]
+                    .disk
+                    .set_latency_scale_pct(pct);
+                if P::ENABLED {
+                    self.probe.fault_event(
+                        self.cal.now(),
+                        FaultEvent::DiskDegraded {
+                            node,
+                            disk,
+                            latency_scale_pct: pct,
+                        },
+                    );
+                }
+            }
+            FaultAction::KillDisk { node, disk } => self.kill_disk(node, disk),
+            FaultAction::Abandon { every } => self.abandon_burst(every),
+        }
+    }
+
+    /// Permanently fail `(node, disk)`. Every queued and in-service read
+    /// is re-dispatched to the failover sibling — disk geometry is
+    /// identical across a node, so cylinder numbers carry over — and all
+    /// future I/O for the dead disk's blocks routes there too. Issued
+    /// prefetches are demoted to demand reads: their pool frames may
+    /// already hold waiters that must still be fed, so the reads cannot
+    /// simply be dropped. The read on the platters at death is lost and
+    /// reissued from scratch (its eventual `DiskDone` is void).
+    fn kill_disk(&mut self, node: u32, disk: u32) {
+        let now = self.cal.now();
+        let n = node as usize;
+        self.nodes[n].disks[disk as usize].alive = false;
+        let target = self.failover_target(node, disk);
+        let (mut moved, mut requeue) = {
+            let unit = &mut self.nodes[n].disks[disk as usize];
+            let head = unit.disk.head_cylinder();
+            let mut requeue = unit.sched.drain(now, head);
+            if let Some(rid) = unit.current.take() {
+                let ctx = unit.inflight[&rid];
+                let loc = self.layout.locate(ctx.block);
+                requeue.push(DiskRequest {
+                    id: rid,
+                    cylinder: unit.disk.params().cylinder_of(loc.disk_byte),
+                    deadline: ctx.deadline,
+                    stream: None,
+                    is_prefetch: false,
+                });
+            }
+            // A pending delayed-prefetch release must not kick a dead
+            // disk; the queued (unissued) prefetches behind it are
+            // frameless and simply never issue.
+            unit.release_gen += 1;
+            unit.release_timer = None;
+            let mut moved: Vec<(RequestId, IoCtx)> = unit.inflight.drain().collect();
+            // Map drain order is an implementation detail; re-insert in
+            // request order so the failover is bit-reproducible.
+            moved.sort_unstable_by_key(|(rid, _)| rid.0);
+            unit.by_block.clear();
+            (moved, requeue)
+        };
+        for (rid, ctx) in &mut moved {
+            if ctx.is_prefetch {
+                self.nodes[n].disks[disk as usize].prefetch.complete();
+                ctx.is_prefetch = false;
+            }
+            let tu = &mut self.nodes[n].disks[target as usize];
+            tu.inflight.insert(*rid, *ctx);
+            tu.by_block.insert(ctx.block, *rid);
+        }
+        for req in &mut requeue {
+            req.is_prefetch = false;
+            self.nodes[n].disks[target as usize].sched.push(*req);
+        }
+        if P::ENABLED {
+            self.probe.fault_event(
+                now,
+                FaultEvent::DiskDeath {
+                    node,
+                    disk,
+                    failover: target,
+                },
+            );
+        }
+        self.try_start_disk(node, target);
+    }
+
+    /// Every `every`-th terminal that is mid-title abandons it and picks
+    /// a fresh selection — [`VodSystem::handle_video_finished`] semantics
+    /// without a completed title. A piggyback group whose leader abandons
+    /// dissolves, and every member re-selects; riding followers are not
+    /// `Playing` themselves and are only reached that way.
+    fn abandon_burst(&mut self, every: u32) {
+        let mut abandoned = 0;
+        for t in 0..self.cfg.n_terminals {
+            if t % every != 0 {
+                continue;
+            }
+            let mid_title = !matches!(
+                self.terminals[t as usize].state(),
+                crate::terminal::PlayState::Idle | crate::terminal::PlayState::Finished
+            );
+            if !mid_title {
+                continue;
+            }
+            abandoned += 1;
+            self.handle_video_finished(t);
+        }
+        if P::ENABLED {
+            self.probe
+                .fault_event(self.cal.now(), FaultEvent::AbandonBurst { abandoned });
         }
     }
 
@@ -2544,5 +2823,157 @@ mod tests {
         let r_wire = back.fork_to(20).run();
         assert_eq!(r_memory, r_wire, "forked runs diverged after round-trip");
         assert!(r_memory.blocks_delivered > 0, "degenerate run");
+    }
+
+    /// Records every fault callback so tests can assert what fired when.
+    #[derive(Clone, Default)]
+    struct FaultLog {
+        events: Vec<(SimTime, FaultEvent)>,
+    }
+
+    impl Probe for FaultLog {
+        fn fault_event(&mut self, now: SimTime, ev: FaultEvent) {
+            self.events.push((now, ev));
+        }
+    }
+
+    fn faulted_config() -> SystemConfig {
+        let mut cfg = SystemConfig::small_test();
+        cfg.n_terminals = 12;
+        cfg.scenario = Some(crate::scenario::Scenario {
+            faults: vec![
+                crate::scenario::FaultSpec::DiskDeath {
+                    node: 0,
+                    disk: 0,
+                    at: SimDuration::from_secs(20),
+                },
+                crate::scenario::FaultSpec::DiskDegrade {
+                    node: 1,
+                    disk: 1,
+                    at: SimDuration::from_secs(25),
+                    dur: SimDuration::from_secs(10),
+                    factor_pct: 200,
+                },
+                crate::scenario::FaultSpec::AbandonBurst {
+                    at: SimDuration::from_secs(30),
+                    every: 3,
+                },
+            ],
+            mix: Some(crate::scenario::BitrateMix {
+                every: 4,
+                bit_rate_bps: 8_000_000,
+            }),
+        });
+        cfg
+    }
+
+    #[test]
+    fn fault_scenario_perturbs_the_run_and_stays_deterministic() {
+        let cfg = faulted_config();
+        let (faulted, log) = VodSystem::with_probe(
+            cfg.clone(),
+            VodSystem::generate_library(&cfg),
+            FaultLog::default(),
+        )
+        .run_traced();
+        let again = VodSystem::new(cfg.clone()).run();
+        assert_eq!(faulted, again, "faulted runs must reproduce bit-exactly");
+
+        let mut clean_cfg = cfg.clone();
+        clean_cfg.scenario = None;
+        let clean = VodSystem::new(clean_cfg).run();
+        assert_ne!(faulted, clean, "faults had no observable effect");
+
+        // Death@20, degrade-set@25, abandon@30, degrade-restore@35 —
+        // firing order follows simulation time, not declaration order.
+        let kinds: Vec<&'static str> = log.events.iter().map(|(_, e)| e.label()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "disk_death",
+                "disk_degraded",
+                "abandon_burst",
+                "disk_degraded"
+            ]
+        );
+        assert!(log.events.windows(2).all(|w| w[0].0 <= w[1].0));
+        match log.events[0].1 {
+            FaultEvent::DiskDeath {
+                node,
+                disk,
+                failover,
+            } => {
+                assert_eq!((node, disk), (0, 0));
+                assert_eq!(failover, 1, "failover must pick the living sibling");
+            }
+            other => panic!("expected disk death, got {other:?}"),
+        }
+        match log.events[2].1 {
+            FaultEvent::AbandonBurst { abandoned } => {
+                assert!(abandoned > 0, "no terminal was mid-title at the burst")
+            }
+            other => panic!("expected abandon burst, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_snapshot_round_trips_and_forks_identically() {
+        // Fault times sit past the warm-snapshot instant (warmup −
+        // stagger = 10 s), so pending FaultFire events must survive the
+        // wire round-trip for the forks to agree.
+        let cfg = faulted_config();
+        let library = std::sync::Arc::new(VodSystem::generate_library(&cfg));
+        let mut sys = VodSystem::with_library_marginal(cfg.clone(), library.clone(), 12);
+        sys.replay_to_snapshot();
+        assert_eq!(sys.faults_fired(), 0, "faults fired before snapshot");
+
+        let body = sys.snap_export();
+        let back = VodSystem::snap_import(cfg, library, &body).expect("snapshot import");
+        assert_eq!(back.snap_export(), body, "re-export not byte-identical");
+
+        let r_memory = sys.fork_to(12).run();
+        let r_wire = back.fork_to(12).run();
+        assert_eq!(r_memory, r_wire, "faulted forks diverged after round-trip");
+        assert!(r_memory.blocks_delivered > 0, "degenerate run");
+    }
+
+    #[test]
+    fn dead_disk_serves_no_io_and_its_streams_survive() {
+        let cfg = faulted_config();
+        let (report, probe) = VodSystem::with_probe(
+            cfg.clone(),
+            VodSystem::generate_library(&cfg),
+            DiskIoLog::default(),
+        )
+        .run_traced();
+        assert!(report.blocks_delivered > 0, "degenerate run");
+        let death = SimTime::ZERO + SimDuration::from_secs(20);
+        assert!(
+            probe
+                .starts
+                .iter()
+                .all(|&(t, node, disk)| { (node, disk) != (0, 0) || t < death }),
+            "dead disk started a transfer after its death"
+        );
+        // The survivor on the node carried load after the death.
+        assert!(
+            probe
+                .starts
+                .iter()
+                .any(|&(t, node, disk)| (node, disk) == (0, 1) && t > death),
+            "failover sibling never served after the death"
+        );
+    }
+
+    /// Records disk transfer starts as `(time, node, disk)`.
+    #[derive(Clone, Default)]
+    struct DiskIoLog {
+        starts: Vec<(SimTime, u32, u32)>,
+    }
+
+    impl Probe for DiskIoLog {
+        fn disk_io_start(&mut self, now: SimTime, ev: DiskIoStart) {
+            self.starts.push((now, ev.node, ev.disk));
+        }
     }
 }

@@ -385,6 +385,9 @@ pub fn encode_job(job: &JobRecord) -> String {
     if let Some(interval_ns) = job.telemetry {
         let _ = write!(s, " telem={interval_ns}");
     }
+    if let Some(scenario) = &c.scenario {
+        let _ = write!(s, " scn={}", scenario.encode_wire());
+    }
     s
 }
 
@@ -547,6 +550,13 @@ pub fn parse_job(line: &str) -> Result<JobRecord, WireError> {
         "uniform" => InitialPosition::UniformWithinVideo,
         other => return Err(bad("ipos", other)),
     };
+    // `scn=` is optional like `snap=`/`telem=`: absence means a clean run.
+    let scenario = match f.opt("scn") {
+        None => None,
+        Some(raw) => {
+            Some(crate::scenario::Scenario::decode_wire(raw).map_err(|_| bad("scn", raw))?)
+        }
+    };
     let config = SystemConfig {
         topology: spiffi_layout::Topology {
             nodes: f.num("nodes")?,
@@ -597,6 +607,7 @@ pub fn parse_job(line: &str) -> Result<JobRecord, WireError> {
             measure: f.dur("measure")?,
         },
         seed: f.num("seed")?,
+        scenario,
     };
     let base = match f.raw("base")? {
         "none" => None,
@@ -1088,6 +1099,39 @@ mod tests {
                 let got = parse_job(&encode_job(&sent)).expect("round trip");
                 assert_eq!(got.telemetry, telemetry, "telem token drifted");
             }
+            for scenario in [
+                None,
+                Some(crate::scenario::Scenario::default()),
+                Some(crate::scenario::Scenario {
+                    faults: vec![
+                        crate::scenario::FaultSpec::DiskDeath {
+                            node: 0,
+                            disk: 1,
+                            at: SimDuration::from_secs(20),
+                        },
+                        crate::scenario::FaultSpec::DiskDegrade {
+                            node: 1,
+                            disk: 0,
+                            at: SimDuration::from_secs(5),
+                            dur: SimDuration::from_secs(10),
+                            factor_pct: 200,
+                        },
+                        crate::scenario::FaultSpec::AbandonBurst {
+                            at: SimDuration::from_secs(25),
+                            every: 3,
+                        },
+                    ],
+                    mix: Some(crate::scenario::BitrateMix {
+                        every: 4,
+                        bit_rate_bps: 15_000_000,
+                    }),
+                }),
+            ] {
+                let mut sent = job(cfg.clone());
+                sent.config.scenario = scenario.clone();
+                let got = parse_job(&encode_job(&sent)).expect("round trip");
+                assert_eq!(got.config.scenario, scenario, "scn token drifted");
+            }
             let sent = job(cfg);
             let got = parse_job(&encode_job(&sent)).expect("round trip");
             assert_eq!(got.id, 42);
@@ -1146,6 +1190,22 @@ mod tests {
         assert!(matches!(
             parse_job(&mangled),
             Err(WireError::BadValue { field: "snap", .. })
+        ));
+        // A corrupt scenario token.
+        let mut with_scn = job(SystemConfig::small_test());
+        with_scn.config.scenario = Some(crate::scenario::Scenario {
+            faults: vec![crate::scenario::FaultSpec::DiskDeath {
+                node: 0,
+                disk: 1,
+                at: SimDuration::from_secs(20),
+            }],
+            mix: None,
+        });
+        let good = encode_job(&with_scn);
+        let mangled = good.replace("scn=k,", "scn=q,");
+        assert!(matches!(
+            parse_job(&mangled),
+            Err(WireError::BadValue { field: "scn", .. })
         ));
     }
 

@@ -148,6 +148,10 @@ pub struct Disk {
     contexts: Vec<(u64, u64)>,
     /// Monotone use counter backing the context LRU stamps.
     context_stamp: u64,
+    /// Service-time multiplier in percent (100 = nominal). Fault-injection
+    /// scenarios raise it to model a degraded drive (recalibration,
+    /// remapped sectors); every component of the breakdown scales.
+    latency_scale_pct: u32,
     busy: SimDuration,
     window_start: SimTime,
     reads: Counter,
@@ -163,6 +167,7 @@ impl Disk {
             head_cylinder: 0,
             contexts: Vec::with_capacity(params.cache_contexts),
             context_stamp: 0,
+            latency_scale_pct: 100,
             busy: SimDuration::ZERO,
             window_start: SimTime::ZERO,
             reads: Counter::new(),
@@ -179,6 +184,21 @@ impl Disk {
     /// Current head cylinder (updated as reads complete).
     pub fn head_cylinder(&self) -> u32 {
         self.head_cylinder
+    }
+
+    /// Current service-time multiplier in percent (100 = nominal).
+    pub fn latency_scale_pct(&self) -> u32 {
+        self.latency_scale_pct
+    }
+
+    /// Set the service-time multiplier in percent. 200 means every read
+    /// takes twice its nominal time; 100 restores nominal service.
+    ///
+    /// # Panics
+    /// If `pct` is zero (a free disk is not a disk model).
+    pub fn set_latency_scale_pct(&mut self, pct: u32) {
+        assert!(pct > 0, "latency scale must be positive");
+        self.latency_scale_pct = pct;
     }
 
     /// Service a read of `[start, start + len)` issued at `now`, returning
@@ -231,11 +251,13 @@ impl Disk {
         }
         self.bytes_read += len;
 
+        let scale =
+            |d: SimDuration| SimDuration(d.0.saturating_mul(self.latency_scale_pct as u64) / 100);
         let breakdown = ServiceBreakdown {
-            seek,
-            settle,
-            rotation,
-            transfer,
+            seek: scale(seek),
+            settle: scale(settle),
+            rotation: scale(rotation),
+            transfer: scale(transfer),
             sequential,
         };
         self.busy += breakdown.total();
@@ -317,6 +339,7 @@ impl Disk {
             w.u64("ds", stamp);
         }
         w.u64("dt", self.context_stamp);
+        w.u32("dz", self.latency_scale_pct);
         w.dur("db", self.busy);
         w.time("dw", self.window_start);
         w.u64("dr", self.reads.get());
@@ -335,6 +358,13 @@ impl Disk {
             contexts.push((end, stamp));
         }
         let context_stamp = r.u64("dt")?;
+        let latency_scale_pct = r.u32("dz")?;
+        if latency_scale_pct == 0 {
+            return Err(SnapError::BadValue {
+                key: "dz",
+                value: "0".into(),
+            });
+        }
         let busy = r.dur("db")?;
         let window_start = r.time("dw")?;
         let mut reads = Counter::new();
@@ -347,6 +377,7 @@ impl Disk {
             head_cylinder,
             contexts,
             context_stamp,
+            latency_scale_pct,
             busy,
             window_start,
             reads,
@@ -505,6 +536,37 @@ mod tests {
         let mut d = disk();
         let mut rng = SimRng::new(8);
         d.read(0, 0, &mut rng);
+    }
+
+    #[test]
+    fn latency_scale_doubles_every_component() {
+        let mut nominal = disk();
+        let mut degraded = disk();
+        degraded.set_latency_scale_pct(200);
+        assert_eq!(degraded.latency_scale_pct(), 200);
+        // Same seed → same rotational draw; the degraded breakdown must be
+        // exactly 2× per component (modulo the /100 integer rounding).
+        let a = nominal.read(0, 512 * KB, &mut SimRng::new(11));
+        let b = degraded.read(0, 512 * KB, &mut SimRng::new(11));
+        for (x, y) in [
+            (a.seek, b.seek),
+            (a.settle, b.settle),
+            (a.rotation, b.rotation),
+            (a.transfer, b.transfer),
+        ] {
+            assert_eq!(y.0, x.0 * 2, "{x} vs {y}");
+        }
+        // Restoring nominal service stops the scaling.
+        degraded.set_latency_scale_pct(100);
+        let c = degraded.read(100 * MB, 512 * KB, &mut SimRng::new(12));
+        let d = nominal.read(100 * MB, 512 * KB, &mut SimRng::new(12));
+        assert_eq!(c.transfer, d.transfer);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency scale must be positive")]
+    fn zero_latency_scale_panics() {
+        disk().set_latency_scale_pct(0);
     }
 
     #[test]

@@ -49,9 +49,17 @@ pub struct Library {
 impl Library {
     /// Generate `n` titles with identical stream parameters.
     pub fn generate(n: usize, params: VideoParams, seed: u64) -> Self {
+        Self::generate_each(n, seed, |_| params)
+    }
+
+    /// Generate `n` titles where title `i` uses `params_of(i)` — a
+    /// bitrate-heterogeneous library (e.g. mostly 4 Mbit/s titles with
+    /// every k-th at 15 Mbit/s). Frame sizes still derive only from
+    /// `(seed, id)` and the title's own parameters.
+    pub fn generate_each(n: usize, seed: u64, params_of: impl Fn(u32) -> VideoParams) -> Self {
         assert!(n > 0, "library must contain at least one title");
         let videos = (0..n)
-            .map(|i| Video::generate(VideoId(i as u32), params, seed))
+            .map(|i| Video::generate(VideoId(i as u32), params_of(i as u32), seed))
             .collect();
         Library {
             videos,
@@ -69,17 +77,31 @@ impl Library {
         seed: u64,
         speedup: u32,
     ) -> Self {
+        Self::generate_each_with_search_versions(n, seed, speedup, |_| params)
+    }
+
+    /// [`Library::generate_with_search_versions`] with per-title
+    /// parameters: title `i` uses `params_of(i)`, and its search version
+    /// inherits those parameters with duration scaled by `1/speedup`.
+    pub fn generate_each_with_search_versions(
+        n: usize,
+        seed: u64,
+        speedup: u32,
+        params_of: impl Fn(u32) -> VideoParams,
+    ) -> Self {
         assert!(n > 0, "library must contain at least one title");
         assert!(speedup >= 2, "a search version must be faster than 1x");
         let mut videos: Vec<Video> = (0..n)
-            .map(|i| Video::generate(VideoId(i as u32), params, seed))
+            .map(|i| Video::generate(VideoId(i as u32), params_of(i as u32), seed))
             .collect();
-        let search_params = VideoParams {
-            duration: params.duration / speedup as u64,
-            ..params
-        };
-        videos
-            .extend((0..n).map(|i| Video::generate(VideoId((n + i) as u32), search_params, seed)));
+        videos.extend((0..n).map(|i| {
+            let params = params_of(i as u32);
+            let search_params = VideoParams {
+                duration: params.duration / speedup as u64,
+                ..params
+            };
+            Video::generate(VideoId((n + i) as u32), search_params, seed)
+        }));
         Library {
             videos,
             normal_titles: n,
@@ -226,6 +248,32 @@ mod tests {
         let mut dedup = sizes.clone();
         dedup.dedup();
         assert_eq!(sizes, dedup, "adjacent titles should differ in size");
+    }
+
+    #[test]
+    fn per_title_params_produce_a_heterogeneous_library() {
+        let base = small_params();
+        let fat = VideoParams {
+            bit_rate_bps: base.bit_rate_bps * 3,
+            ..base
+        };
+        let lib = Library::generate_each(8, 1, |i| if i % 4 == 0 { fat } else { base });
+        assert_eq!(lib.get(VideoId(0)).params().bit_rate_bps, fat.bit_rate_bps);
+        assert_eq!(lib.get(VideoId(1)).params().bit_rate_bps, base.bit_rate_bps);
+        assert_eq!(lib.get(VideoId(4)).params().bit_rate_bps, fat.bit_rate_bps);
+        // A 3x-bitrate title of equal duration carries roughly 3x the bytes.
+        let ratio =
+            lib.get(VideoId(0)).total_bytes() as f64 / lib.get(VideoId(1)).total_bytes() as f64;
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
+        // The uniform constructor stays bit-identical to generate_each.
+        let uniform = Library::generate(8, base, 1);
+        let each = Library::generate_each(8, 1, |_| base);
+        for i in 0..8u32 {
+            assert_eq!(
+                uniform.get(VideoId(i)).total_bytes(),
+                each.get(VideoId(i)).total_bytes()
+            );
+        }
     }
 
     #[test]

@@ -92,6 +92,19 @@ pub trait DiskScheduler: Send + Sync {
     /// Number of queued requests.
     fn len(&self) -> usize;
 
+    /// Remove every queued request, in the order the scheduler would have
+    /// serviced them from `now`/`head_cylinder`. Used by fault injection to
+    /// re-dispatch a dead disk's queue to its failover target; the target's
+    /// scheduler re-orders on push, so only determinism of the drain order
+    /// matters, which repeated [`DiskScheduler::pop_next`] guarantees.
+    fn drain(&mut self, now: SimTime, head_cylinder: u32) -> Vec<DiskRequest> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(req) = self.pop_next(now, head_cylinder) {
+            out.push(req);
+        }
+        out
+    }
+
     /// True when no requests are queued.
     fn is_empty(&self) -> bool {
         self.len() == 0

@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 use spiffi_simcore::SimTime;
 
 use crate::json;
-use crate::probe::{PoolEvent, TerminalEvent};
+use crate::probe::{FaultEvent, PoolEvent, TerminalEvent};
 use crate::record::TraceEvent;
 use crate::sample::SampleRow;
 
@@ -135,6 +135,40 @@ pub(crate) fn jsonl_event(out: &mut String, ev: &TraceEvent) {
             | TerminalEvent::PiggybackOpened { video } = ev
             {
                 let _ = write!(out, ",\"video\":{video}");
+            }
+            out.push_str("}\n");
+        }
+        TraceEvent::Fault { now, ev } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"fault\",\"t_ns\":{},\"fault\":\"{}\"",
+                now.0,
+                ev.label(),
+            );
+            match ev {
+                FaultEvent::DiskDeath {
+                    node,
+                    disk,
+                    failover,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"node\":{node},\"disk\":{disk},\"failover\":{failover}"
+                    );
+                }
+                FaultEvent::DiskDegraded {
+                    node,
+                    disk,
+                    latency_scale_pct,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"node\":{node},\"disk\":{disk},\"latency_scale_pct\":{latency_scale_pct}"
+                    );
+                }
+                FaultEvent::AbandonBurst { abandoned } => {
+                    let _ = write!(out, ",\"abandoned\":{abandoned}");
+                }
             }
             out.push_str("}\n");
         }
@@ -366,6 +400,34 @@ pub(crate) fn emit_dispatcher(
                          \"pid\":0,\"tid\":1,\"ts\":{}}}",
                         term,
                         terminal_label(ev),
+                        micros(now.0),
+                    ),
+                    out,
+                );
+            }
+            TraceEvent::Fault { now, ev } => {
+                let args = match ev {
+                    FaultEvent::DiskDeath {
+                        node,
+                        disk,
+                        failover,
+                    } => format!("{{\"node\":{node},\"disk\":{disk},\"failover\":{failover}}}"),
+                    FaultEvent::DiskDegraded {
+                        node,
+                        disk,
+                        latency_scale_pct,
+                    } => format!(
+                        "{{\"node\":{node},\"disk\":{disk},\"latency_scale_pct\":{latency_scale_pct}}}"
+                    ),
+                    FaultEvent::AbandonBurst { abandoned } => {
+                        format!("{{\"abandoned\":{abandoned}}}")
+                    }
+                };
+                emit(
+                    format!(
+                        "{{\"ph\":\"i\",\"s\":\"g\",\"name\":\"fault {}\",\"cat\":\"fault\",\
+                         \"pid\":0,\"tid\":0,\"ts\":{},\"args\":{args}}}",
+                        ev.label(),
                         micros(now.0),
                     ),
                     out,

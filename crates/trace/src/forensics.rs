@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, VecDeque};
 use spiffi_simcore::SimTime;
 
 use crate::export::{jsonl_event, terminal_label};
-use crate::probe::{DiskIoDone, DiskIoStart, NetSend, PoolEvent, Probe, TerminalEvent};
+use crate::probe::{DiskIoDone, DiskIoStart, FaultEvent, NetSend, PoolEvent, Probe, TerminalEvent};
 use crate::record::TraceEvent;
 
 /// The frozen state of the rings at the moment the first glitch fired.
@@ -138,6 +138,10 @@ impl Probe for GlitchForensics {
 
     fn pool_event(&mut self, now: SimTime, node: u32, ev: PoolEvent) {
         self.push_context(TraceEvent::Pool { now, node, ev });
+    }
+
+    fn fault_event(&mut self, now: SimTime, ev: FaultEvent) {
+        self.push_context(TraceEvent::Fault { now, ev });
     }
 
     fn terminal_event(&mut self, now: SimTime, term: u32, ev: TerminalEvent) {

@@ -43,8 +43,8 @@ mod sample;
 pub use forensics::{ForensicsDump, GlitchForensics};
 pub use merge::{StreamSpan, WorkerStream};
 pub use probe::{
-    CpuJobKind, DiskIoDone, DiskIoStart, NetMsgKind, NetSend, NoopProbe, PoolEvent, Probe,
-    TerminalEvent,
+    CpuJobKind, DiskIoDone, DiskIoStart, FaultEvent, NetMsgKind, NetSend, NoopProbe, PoolEvent,
+    Probe, TerminalEvent,
 };
 pub use record::{TraceEvent, TraceRecorder};
 pub use sample::{mean_disk_utilization_of, SampleRow, Sampler};

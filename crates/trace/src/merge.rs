@@ -214,6 +214,7 @@ fn event_brief(ev: &TraceEvent) -> String {
         TraceEvent::Terminal { term, ev, .. } => {
             format!("term {} {}", term, crate::export::terminal_label(ev))
         }
+        TraceEvent::Fault { ev, .. } => format!("fault {}", ev.label()),
     }
 }
 

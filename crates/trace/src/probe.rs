@@ -143,6 +143,49 @@ pub enum TerminalEvent {
     },
 }
 
+/// A scheduled fault-plan perturbation firing inside the system (scenario
+/// engine). The payload names the perturbation; targets use the same
+/// node/disk indices as the disk events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A disk died; its queue and in-flight reads re-dispatch to the
+    /// failover disk.
+    DiskDeath {
+        /// Owning node.
+        node: u32,
+        /// Node-local index of the dead disk.
+        disk: u32,
+        /// Node-local index of the failover target.
+        failover: u32,
+    },
+    /// A disk entered (or left) a degraded-service window.
+    DiskDegraded {
+        /// Owning node.
+        node: u32,
+        /// Node-local disk index.
+        disk: u32,
+        /// New service-time multiplier in percent (100 = window closed).
+        latency_scale_pct: u32,
+    },
+    /// A burst of terminal abandonment: every selected active terminal
+    /// quit its title and immediately picked another.
+    AbandonBurst {
+        /// Terminals that abandoned mid-title.
+        abandoned: u32,
+    },
+}
+
+impl FaultEvent {
+    /// Stable lower-case label (trace export).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultEvent::DiskDeath { .. } => "disk_death",
+            FaultEvent::DiskDegraded { .. } => "disk_degraded",
+            FaultEvent::AbandonBurst { .. } => "abandon_burst",
+        }
+    }
+}
+
 /// Observer hooks wired through the event loop and the five resource
 /// models. Every method has an empty default, so a probe implements only
 /// the callbacks it cares about.
@@ -192,6 +235,11 @@ pub trait Probe {
     /// A lifecycle transition on terminal `term`.
     fn terminal_event(&mut self, now: SimTime, term: u32, ev: TerminalEvent) {
         let _ = (now, term, ev);
+    }
+
+    /// A scheduled fault-plan perturbation fired.
+    fn fault_event(&mut self, now: SimTime, ev: FaultEvent) {
+        let _ = (now, ev);
     }
 
     /// The run reached its end time (flush point for samplers).
@@ -248,6 +296,11 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn terminal_event(&mut self, now: SimTime, term: u32, ev: TerminalEvent) {
         self.0.terminal_event(now, term, ev);
         self.1.terminal_event(now, term, ev);
+    }
+
+    fn fault_event(&mut self, now: SimTime, ev: FaultEvent) {
+        self.0.fault_event(now, ev);
+        self.1.fault_event(now, ev);
     }
 
     fn run_end(&mut self, end: SimTime) {
@@ -307,5 +360,18 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(CpuJobKind::StartIo.label(), "start_io");
         assert_eq!(NetMsgKind::Reply.label(), "reply");
+        assert_eq!(
+            FaultEvent::DiskDeath {
+                node: 0,
+                disk: 1,
+                failover: 2
+            }
+            .label(),
+            "disk_death"
+        );
+        assert_eq!(
+            FaultEvent::AbandonBurst { abandoned: 4 }.label(),
+            "abandon_burst"
+        );
     }
 }

@@ -4,7 +4,9 @@ use std::collections::BTreeMap;
 
 use spiffi_simcore::SimTime;
 
-use crate::probe::{CpuJobKind, DiskIoDone, DiskIoStart, NetSend, PoolEvent, Probe, TerminalEvent};
+use crate::probe::{
+    CpuJobKind, DiskIoDone, DiskIoStart, FaultEvent, NetSend, PoolEvent, Probe, TerminalEvent,
+};
 
 /// One recorded probe callback. Calendar pops ([`Probe::sim_event`]) are
 /// tallied per kind rather than stored individually — a 120 s run pops
@@ -62,6 +64,13 @@ pub enum TraceEvent {
         /// Payload as delivered to the probe.
         ev: TerminalEvent,
     },
+    /// A fault-plan perturbation fired.
+    Fault {
+        /// Simulation time of the callback.
+        now: SimTime,
+        /// Payload as delivered to the probe.
+        ev: FaultEvent,
+    },
 }
 
 impl TraceEvent {
@@ -73,7 +82,8 @@ impl TraceEvent {
             | TraceEvent::DiskIoDone { now, .. }
             | TraceEvent::NetSend { now, .. }
             | TraceEvent::Pool { now, .. }
-            | TraceEvent::Terminal { now, .. } => now,
+            | TraceEvent::Terminal { now, .. }
+            | TraceEvent::Fault { now, .. } => now,
             TraceEvent::CpuSpan { start, .. } => start,
         }
     }
@@ -151,6 +161,10 @@ impl Probe for TraceRecorder {
 
     fn terminal_event(&mut self, now: SimTime, term: u32, ev: TerminalEvent) {
         self.events.push(TraceEvent::Terminal { now, term, ev });
+    }
+
+    fn fault_event(&mut self, now: SimTime, ev: FaultEvent) {
+        self.events.push(TraceEvent::Fault { now, ev });
     }
 
     fn run_end(&mut self, end: SimTime) {
